@@ -1,0 +1,77 @@
+"""C12 — the IFU return stack: hit rates, depth sweep, flush policies
+(section 6).
+
+"As long as calls and returns follow a LIFO discipline this allows
+returns to be handled as fast as calls.  When something unusual happens
+(e.g., any XFER other than a simple call or return, or running out of
+space in the return stack), fall back to the general scheme by flushing
+the return stack."
+
+Ablations: depth 2-32, FULL_FLUSH (the paper's rule) versus SPILL_OLDEST,
+and traces with coroutine XFERs mixed in.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import banner, format_table
+from repro.ifu.returnstack import OverflowPolicy
+from repro.workloads.synthetic import TraceConfig, call_return_trace
+from repro.workloads.traces import replay_on_return_stack
+
+TRACE = call_return_trace(TraceConfig(length=60_000, seed=6))
+XFER_TRACE = call_return_trace(TraceConfig(length=60_000, seed=6, xfer_prob=0.01))
+
+
+def report() -> str:
+    rows = []
+    previous = 0.0
+    for depth in (2, 4, 8, 16, 32):
+        full = replay_on_return_stack(TRACE, depth, OverflowPolicy.FULL_FLUSH)
+        oldest = replay_on_return_stack(TRACE, depth, OverflowPolicy.SPILL_OLDEST)
+        rows.append(
+            [
+                depth,
+                f"{full.hit_rate:.1%}",
+                f"{oldest.hit_rate:.1%}",
+                full.entries_flushed,
+                oldest.entries_flushed,
+            ]
+        )
+        assert oldest.hit_rate >= full.hit_rate
+        assert full.hit_rate >= previous - 0.001
+        previous = full.hit_rate
+    deep = replay_on_return_stack(TRACE, 8)
+    assert deep.hit_rate > 0.95
+    table = format_table(
+        ["depth", "hit rate (FULL_FLUSH)", "hit rate (SPILL_OLDEST)", "flushed (full)", "flushed (oldest)"],
+        rows,
+    )
+
+    xfer_rows = []
+    for label, trace in [("pure calls/returns", TRACE), ("1% coroutine XFERs", XFER_TRACE)]:
+        replay = replay_on_return_stack(trace, 8)
+        xfer_rows.append(
+            [
+                label,
+                f"{replay.hit_rate:.1%}",
+                replay.flush_events.get("xfer", 0),
+                replay.flush_events.get("overflow", 0),
+            ]
+        )
+    xfer_table = format_table(["trace", "hit rate", "xfer flushes", "overflow flushes"], xfer_rows)
+
+    text = banner("C12: return-stack hit rate vs depth and policy")
+    return text + "\n" + table + "\n\nThe 'unusual event' rule in action:\n" + xfer_table
+
+
+def test_c12_report():
+    assert "hit rate" in report()
+
+
+def test_bench_replay_depth8(benchmark):
+    trace = call_return_trace(TraceConfig(length=5_000))
+    benchmark(lambda: replay_on_return_stack(trace, 8))
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,130 @@
+"""C13 — the section 8 conclusion: one table for the whole ladder.
+
+"We have seen that a very general model for control transfers can be
+implemented with a wide variety of tradeoffs among three factors:
+simplicity ... space ... speed; section 4 maximizes simplicity, section
+5 minimizes space, sections 6-7 maximize speed."
+
+The same corpus program is compiled, linked, and run under I1-I4; the
+table reports per-transfer memory references, register references,
+modelled cycles, and the jump-speed fraction — the measured version of
+the paper's triangle.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import banner, format_table
+from repro.analysis.timing import transfer_cost_table
+from repro.workloads.programs import CORPUS
+
+
+def gather(name="calls"):
+    entry = CORPUS[name]
+    return transfer_cost_table(list(entry.sources), entry=entry.entry)
+
+
+def report() -> str:
+    sections = []
+    for name in ("calls", "fib", "pipeline"):
+        rows = []
+        costs = gather(name)
+        for cost in costs:
+            rows.append(
+                [
+                    cost.label,
+                    cost.transfers,
+                    f"{cost.memory_refs:.2f}",
+                    f"{cost.register_refs:.2f}",
+                    f"{cost.cycles_per_transfer:.1f}",
+                    f"{cost.jump_speed_fraction:.0%}",
+                ]
+            )
+        by_label = {cost.label: cost for cost in costs}
+        assert by_label["I4 banks"].memory_refs < by_label["I3 direct+rstack"].memory_refs
+        assert by_label["I3 direct+rstack"].memory_refs < by_label["I2 mesa"].memory_refs
+        assert by_label["I4 banks"].cycles_per_transfer < by_label["I1 simple"].cycles_per_transfer
+        table = format_table(
+            ["implementation", "transfers", "mem refs/xfer", "reg refs/xfer", "cycles/xfer", "jump speed"],
+            rows,
+        )
+        sections.append(f"\nprogram: {name}\n{table}")
+    text = banner("C13: the implementation ladder (section 8's triangle, measured)")
+    return text + "\n" + "\n".join(sections) + "\n" + _cost_sensitivity()
+
+
+def _cost_sensitivity() -> str:
+    """Ablation: the slower storage is, the more I4's banks matter.
+
+    Section 7.3's cycle ratio (register 1, cache 2) is the default; a
+    machine with 4-cycle storage widens the I2-to-I4 gap — the banks'
+    advantage is proportional to the storage they avoid.
+    """
+    from repro.analysis.timing import measure_program
+    from repro.interp.machineconfig import MachineConfig
+
+    entry = CORPUS["calls"]
+    rows = []
+    gaps = []
+    for memory_cycles in (2, 4):
+        model_kwargs = {"memory_read": memory_cycles, "memory_write": memory_cycles}
+        i2 = measure_program(
+            list(entry.sources),
+            MachineConfig.i2(cost_model=MachineConfig.i2().cost_model.with_charges(**model_kwargs)),
+            "i2",
+        )
+        i4 = measure_program(
+            list(entry.sources),
+            MachineConfig.i4(cost_model=MachineConfig.i4().cost_model.with_charges(**model_kwargs)),
+            "i4",
+        )
+        speedup = i2.cycles_per_transfer / i4.cycles_per_transfer
+        gaps.append(speedup)
+        rows.append(
+            [
+                memory_cycles,
+                f"{i2.cycles_per_transfer:.1f}",
+                f"{i4.cycles_per_transfer:.1f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+    assert gaps[1] > gaps[0]  # slower storage -> bigger win for banks
+    table = format_table(
+        ["storage cycles", "I2 cycles/xfer", "I4 cycles/xfer", "I4 speedup"], rows
+    )
+    return "\nAblation: storage-cost sensitivity (program: calls)\n" + table
+
+
+def test_c13_report():
+    assert "I4 banks" in report()
+
+
+def test_bench_i1(benchmark):
+    from conftest import run_program
+
+    entry = CORPUS["calls"]
+    benchmark(lambda: run_program(entry.sources, "i1"))
+
+
+def test_bench_i2(benchmark):
+    from conftest import run_program
+
+    entry = CORPUS["calls"]
+    benchmark(lambda: run_program(entry.sources, "i2"))
+
+
+def test_bench_i3(benchmark):
+    from conftest import run_program
+
+    entry = CORPUS["calls"]
+    benchmark(lambda: run_program(entry.sources, "i3"))
+
+
+def test_bench_i4(benchmark):
+    from conftest import run_program
+
+    entry = CORPUS["calls"]
+    benchmark(lambda: run_program(entry.sources, "i4"))
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,60 @@
+"""C3 — T1: the table-indirection space model (section 5).
+
+"If the full address takes f bits, the table index takes i bits, and the
+address is used n times, then the space changes from nf to ni+f. ...
+For example, if n=3, i=10 (1024 table entries) and f=32, then 96-62 = 34
+bits are saved, or about one-third."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import banner, format_table
+from repro.analysis.space import t1_savings
+
+
+def report() -> str:
+    example = t1_savings(3, 10, 32)
+    assert (example.direct_bits, example.indirect_bits, example.saved_bits) == (96, 62, 34)
+
+    rows = [
+        [
+            "paper example (n=3, i=10, f=32)",
+            example.direct_bits,
+            example.indirect_bits,
+            example.saved_bits,
+            f"{example.saved_fraction:.0%}",
+        ]
+    ]
+    for n in (1, 2, 5, 10):
+        model = t1_savings(n, 10, 32)
+        rows.append(
+            [
+                f"n={n}",
+                model.direct_bits,
+                model.indirect_bits,
+                model.saved_bits,
+                f"{model.saved_fraction:.0%}",
+            ]
+        )
+    breakeven = t1_savings(2, 10, 32)
+    assert t1_savings(1, 10, 32).saved_bits < 0 < breakeven.saved_bits
+    table = format_table(
+        ["case", "direct bits (nf)", "indirect bits (ni+f)", "saved", "fraction"], rows
+    )
+    text = banner("C3 / T1: indirection space model (paper: 34 bits, ~1/3 saved)")
+    return text + "\n" + table
+
+
+def test_c3_report():
+    assert "34" in report()
+
+
+def test_bench_t1_sweep(benchmark):
+    def sweep():
+        return [t1_savings(n, i, 32).saved_bits for n in range(1, 50) for i in (8, 10, 12)]
+
+    benchmark(sweep)
+
+
+if __name__ == "__main__":
+    print(report())

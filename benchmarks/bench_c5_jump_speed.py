@@ -1,0 +1,89 @@
+"""C5 — the headline claim: "simple Pascal-style calls and returns can
+be executed as fast as in the most specialized mechanism.  Indeed, they
+can be as fast as unconditional jumps at least 95% of the time."
+
+Measured two ways:
+
+* dynamically, over every corpus program compiled for I3 and I4 (the
+  jump-speed fraction of calls+returns);
+* at scale, over calibrated synthetic traces replayed against the
+  return stack (calls are DIRECTCALLs, returns hit unless flushed).
+
+The I2 row shows why section 6 exists: without the direct linkage and
+return stack, almost no transfer fetches at jump speed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import banner, format_table
+from repro.workloads.programs import CORPUS
+from repro.workloads.synthetic import TraceConfig, call_return_trace
+from repro.workloads.traces import replay_on_return_stack
+
+from conftest import run_program
+
+
+def gather_programs():
+    rows = []
+    weighted = {"i3": [0.0, 0], "i4": [0.0, 0]}
+    for name in sorted(CORPUS):
+        entry = CORPUS[name]
+        if entry.needs_descriptors:
+            continue  # coroutine programs are outside the claim's universe
+        cells = [name]
+        for preset in ("i2", "i3", "i4"):
+            _, machine = run_program(entry.sources, preset, entry=entry.entry)
+            fraction = machine.fetch.call_return_jump_speed_fraction
+            transfers = machine.fetch.calls_and_returns()
+            cells.append(f"{fraction:.1%}")
+            if preset in weighted:
+                weighted[preset][0] += fraction * transfers
+                weighted[preset][1] += transfers
+        rows.append(cells)
+    means = {preset: total / count for preset, (total, count) in weighted.items()}
+    return rows, means
+
+
+def report() -> str:
+    rows, means = gather_programs()
+    rows.append(
+        ["(transfer-weighted mean)", "", f"{means['i3']:.1%}", f"{means['i4']:.1%}"]
+    )
+    table = format_table(["program", "I2 (mesa)", "I3 (direct)", "I4 (banks)"], rows)
+
+    # The corpus-wide fraction (weighted by how many transfers each
+    # program executes) meets the paper's bar; individual outliers like
+    # ackermann show the deep-recursion stress case the fallback absorbs.
+    for preset in ("i3", "i4"):
+        assert means[preset] >= 0.95, (preset, means[preset])
+
+    trace_rows = []
+    for label, config in [
+        ("calibrated (leafy)", TraceConfig(length=50_000)),
+        ("adversarial walk", TraceConfig(length=50_000, leaf_prob=0.0, reversion=0.0)),
+        ("with 2% coroutine XFERs", TraceConfig(length=50_000, xfer_prob=0.02)),
+    ]:
+        replay = replay_on_return_stack(call_return_trace(config), depth=8)
+        trace_rows.append([label, f"{replay.jump_speed_fraction:.1%}", f"{replay.hit_rate:.1%}"])
+    trace_table = format_table(["trace", "jump-speed fraction", "return hit rate"], trace_rows)
+
+    text = banner("C5: calls+returns at jump speed (paper: >= 95%)")
+    return text + "\n" + table + "\n\nSynthetic traces (depth-8 return stack):\n" + trace_table
+
+
+def test_c5_report():
+    assert "95%" in report() or "jump speed" in report()
+
+
+def test_bench_i4_run(benchmark):
+    entry = CORPUS["calls"]
+    benchmark(lambda: run_program(entry.sources, "i4"))
+
+
+def test_bench_trace_replay(benchmark):
+    trace = call_return_trace(TraceConfig(length=5_000))
+    benchmark(lambda: replay_on_return_stack(trace, depth=8))
+
+
+if __name__ == "__main__":
+    print(report())

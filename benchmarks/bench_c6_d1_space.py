@@ -1,0 +1,76 @@
+"""C6 — D1: the space cost of DIRECTCALL versus EXTERNALCALL (section 6).
+
+"The call instruction is larger: four bytes instead of one ...  Of
+course, two bytes of LV entry are saved, so the space is only 30% more
+if the procedure is called only once from the module. ...  If this
+[SHORTDIRECTCALL] succeeds, the space is the same as in the current
+scheme for a single call of p from a module, and 50% more (6 bytes
+instead of 4) for two calls."
+
+Both the analytic model and a measured whole-program comparison.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import banner, format_table
+from repro.analysis.space import code_size_by_linkage, d1_call_space, sdfc_reach_model
+from repro.workloads.programs import CORPUS
+
+
+def report() -> str:
+    rows = []
+    for calls in (1, 2, 3, 5, 10):
+        space = d1_call_space(calls)
+        rows.append(
+            [
+                calls,
+                space.external_bytes,
+                space.direct_bytes,
+                f"{space.direct_overhead:+.0%}",
+                space.short_direct_bytes,
+                f"{space.short_direct_overhead:+.0%}",
+            ]
+        )
+    one = d1_call_space(1)
+    two = d1_call_space(2)
+    assert abs(one.direct_overhead - 1 / 3) < 0.01  # "only 30% more"
+    assert one.short_direct_overhead == 0.0  # "the same ... for a single call"
+    assert abs(two.short_direct_overhead - 0.5) < 0.01  # "50% more (6 vs 4)"
+    assert sdfc_reach_model(16, 16) == 1 << 20  # "one megabyte around"
+
+    model_table = format_table(
+        ["calls/module", "EFC bytes", "DFC bytes", "DFC vs EFC", "SDFC bytes", "SDFC vs EFC"],
+        rows,
+    )
+
+    measured_rows = []
+    entry = CORPUS["pipeline"]
+    for space in code_size_by_linkage(list(entry.sources)):
+        measured_rows.append(
+            [space.linkage, space.code_bytes, space.lv_words, space.gft_entries, space.total_bytes]
+        )
+    measured_table = format_table(
+        ["linkage", "code bytes", "LV words", "GFT entries", "total bytes"], measured_rows
+    )
+
+    text = banner("C6 / D1: call-site space by linkage (paper: +30%, 0%, +50%)")
+    return (
+        text
+        + "\n"
+        + model_table
+        + "\n\nWhole-program measurement (pipeline corpus program):\n"
+        + measured_table
+    )
+
+
+def test_c6_report():
+    assert "+33%" in report() or "30%" in report()
+
+
+def test_bench_code_size_analysis(benchmark):
+    entry = CORPUS["pipeline"]
+    benchmark(lambda: code_size_by_linkage(list(entry.sources)))
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,72 @@
+"""C8 — frame size distribution (section 7.1).
+
+"Mesa statistics suggest that 95% of all frames allocated are smaller
+than 80 bytes, and this sets a conservative upper bound on the size of a
+register bank.  With 8 banks of 80 bytes, there would be about 5000 bits
+of registers, which does not seem unreasonable."
+
+Measured over the calibrated generator and over the compiled corpus's
+static frame sizes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import banner, format_table
+from repro.lang.compiler import compile_program
+from repro.workloads.programs import CORPUS
+from repro.workloads.synthetic import FrameSizeModel, frame_size_samples
+
+
+def corpus_frame_sizes():
+    sizes = []
+    for entry in CORPUS.values():
+        for module in compile_program(list(entry.sources)):
+            for procedure in module.procedures:
+                sizes.append(procedure.frame_words)
+    return sizes
+
+
+def report() -> str:
+    model = FrameSizeModel()
+    samples = frame_size_samples(50_000)
+    fraction = model.percentile_check(samples)
+    assert 0.93 <= fraction <= 0.97
+
+    static_sizes = corpus_frame_sizes()
+    static_under = sum(1 for s in static_sizes if s < 40) / len(static_sizes)
+
+    # "With 8 banks of 80 bytes, there would be about 5000 bits".
+    bits = 8 * 40 * 16
+    rows = [
+        ["dynamic frames < 80 bytes (synthetic)", "95%", f"{fraction:.1%}"],
+        ["static frames < 80 bytes (corpus)", "(same regime)", f"{static_under:.1%}"],
+        ["largest corpus frame (words)", "-", max(static_sizes)],
+        ["smallest corpus frame (words)", "~8 (16 bytes)", min(static_sizes)],
+        ["8 banks x 80 bytes", "~5000 bits", f"{bits} bits"],
+    ]
+    assert bits == 5120  # "about 5000 bits"
+    table = format_table(["metric", "paper", "measured"], rows)
+
+    histogram_rows = []
+    buckets = [(0, 16), (16, 24), (24, 40), (40, 64), (64, 128), (128, 1 << 16)]
+    for low, high in buckets:
+        count = sum(1 for s in samples if low <= s < high)
+        histogram_rows.append(
+            [f"{low * 2}-{high * 2 if high < 60000 else '...'} bytes", count, f"{count / len(samples):.1%}"]
+        )
+    histogram = format_table(["frame size", "samples", "fraction"], histogram_rows)
+
+    text = banner("C8: frame sizes (paper: 95% under 80 bytes)")
+    return text + "\n" + table + "\n\nDistribution of 50k synthetic frames:\n" + histogram
+
+
+def test_c8_report():
+    assert "80 bytes" in report()
+
+
+def test_bench_sampling(benchmark):
+    benchmark(lambda: frame_size_samples(10_000))
+
+
+if __name__ == "__main__":
+    print(report())

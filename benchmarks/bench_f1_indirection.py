@@ -1,0 +1,129 @@
+"""F1 — Figure 1: levels of indirection in a procedure call.
+
+The paper's figure diagrams an EXTERNALCALL walking code -> link vector
+-> GFT -> global frame (code base) -> entry vector -> code bytes: four
+table levels.  This benchmark measures the counted memory references of
+every resolution discipline on a real linked image and checks the
+figure's accounting, then times the resolutions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import banner, format_table
+from repro.interp.machineconfig import MachineConfig
+from repro.lang.compiler import CompileOptions, compile_program
+from repro.lang.linker import link
+from repro.mesa.linkage import (
+    resolve_direct,
+    resolve_external_mesa,
+    resolve_external_wide,
+    resolve_local,
+)
+
+SOURCES = [
+    """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN Lib.work(3) + helper();
+END;
+PROCEDURE helper(): INT;
+BEGIN
+  RETURN 1;
+END;
+END.
+""",
+    """
+MODULE Lib;
+PROCEDURE work(x): INT;
+BEGIN
+  RETURN x * x;
+END;
+END.
+""",
+]
+
+
+def _image(preset):
+    config = MachineConfig.preset(preset)
+    modules = compile_program(SOURCES, CompileOptions.for_config(config))
+    return link(modules, config, ("Main", "main"))
+
+
+def _measure(image, resolver):
+    before = image.counter.memory_references
+    target = resolver()
+    return target.levels, image.counter.memory_references - before
+
+
+def gather():
+    mesa = _image("i2")
+    main = mesa.instance_of("Main")
+    lv_index = main.module.imports.index(("Lib", "work"))
+    external = _measure(
+        mesa,
+        lambda: resolve_external_mesa(mesa.memory, mesa.code, mesa.gft, main.lv, lv_index),
+    )
+    local = _measure(
+        mesa,
+        lambda: resolve_local(mesa.memory, mesa.code, main.gf_address, main.code_base, 1),
+    )
+
+    wide_image = _image("i1")
+    wmain = wide_image.instance_of("Main")
+    windex = wmain.module.imports.index(("Lib", "work"))
+    wide = _measure(
+        wide_image,
+        lambda: resolve_external_wide(wide_image.memory, wide_image.code, wmain.lv, windex),
+    )
+
+    direct_image = _image("i3")
+    lib = direct_image.instance_of("Lib")
+    work = lib.module.procedure_named("work")
+    direct = _measure(
+        direct_image,
+        lambda: resolve_direct(direct_image.code, lib.code_base + work.direct_offset),
+    )
+    return external, local, wide, direct
+
+
+def report() -> str:
+    external, local, wide, direct = gather()
+    rows = [
+        ["EXTERNALCALL (I2, Fig. 1)", "4 levels", external[0], external[1]],
+        ["LOCALCALL (I2)", "1 level", local[0], local[1]],
+        ["wide LV (I1)", "full addresses", wide[0], wide[1]],
+        ["DIRECTCALL (I3)", "0 levels", direct[0], direct[1]],
+    ]
+    assert external[0] == 4 and local[0] == 1 and direct[0] == 0
+    assert direct[1] < wide[1] < external[1]
+    table = format_table(
+        ["discipline", "paper", "levels measured", "memory refs (incl. fsi)"], rows
+    )
+    return banner("F1 / Figure 1: levels of indirection per call") + "\n" + table
+
+
+def test_f1_report_shape():
+    assert "EXTERNALCALL" in report()
+
+
+def test_bench_external_resolution(benchmark):
+    image = _image("i2")
+    main = image.instance_of("Main")
+    index = main.module.imports.index(("Lib", "work"))
+
+    benchmark(
+        lambda: resolve_external_mesa(image.memory, image.code, image.gft, main.lv, index)
+    )
+
+
+def test_bench_direct_resolution(benchmark):
+    image = _image("i3")
+    lib = image.instance_of("Lib")
+    work = lib.module.procedure_named("work")
+    target = lib.code_base + work.direct_offset
+    benchmark(lambda: resolve_direct(image.code, target))
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module pairs a ``report()`` function — which regenerates
+one figure or quantitative claim of the paper and returns the
+paper-versus-measured table as text — with pytest-benchmark functions
+that time the mechanism under test.  ``python benchmarks/run_all.py``
+prints every report (that output is the source of EXPERIMENTS.md);
+``pytest benchmarks/ --benchmark-only`` times the hot paths.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `from benchmarks...` style imports when pytest rootdir varies.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.interp.machine import Machine
+from repro.interp.machineconfig import MachineConfig
+from repro.lang.compiler import CompileOptions, compile_program
+from repro.lang.linker import LinkOptions, link
+
+
+def build_machine(sources, config, entry=("Main", "main"), multi_instance=frozenset()):
+    options = CompileOptions.for_config(config, multi_instance=multi_instance)
+    modules = compile_program(list(sources), options)
+    image = link(modules, config, entry)
+    return Machine(image)
+
+
+def run_program(sources, preset, entry=("Main", "main"), args=(), **overrides):
+    machine = build_machine(sources, MachineConfig.preset(preset, **overrides), entry)
+    machine.start(entry[0], entry[1], *args)
+    results = machine.run()
+    return results, machine

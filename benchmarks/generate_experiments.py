@@ -1,0 +1,48 @@
+"""Regenerate EXPERIMENTS.md's harness section from a fresh run.
+
+Usage::
+
+    python benchmarks/generate_experiments.py
+
+Keeps the hand-written summary/commentary at the top of EXPERIMENTS.md
+and replaces everything under "## Full harness output" with the current
+``run_all`` output, so the recorded tables can never drift from what the
+code produces.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import run_all
+
+MARKER = "## Full harness output"
+
+
+def main() -> int:
+    experiments_path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    text = experiments_path.read_text()
+    head, separator, _ = text.partition(MARKER)
+    if not separator:
+        print(f"EXPERIMENTS.md has no '{MARKER}' section", file=sys.stderr)
+        return 2
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        status = run_all.main([])
+    if status != 0:
+        print("run_all failed; EXPERIMENTS.md left untouched", file=sys.stderr)
+        return status
+    experiments_path.write_text(
+        head + MARKER + "\n\n```text\n" + buffer.getvalue() + "```\n"
+    )
+    print(f"regenerated {experiments_path} ({len(buffer.getvalue())} chars of tables)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

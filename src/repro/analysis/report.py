@@ -1,0 +1,39 @@
+"""Plain-text tables for benchmark output.
+
+Every benchmark prints rows of "paper says / we measured"; this tiny
+formatter keeps them aligned and consistent.  No dependency on any
+plotting or tabulation library — the output is meant for terminals and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned monospace table with a header rule."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells)).rstrip()
+
+    rule = "  ".join("-" * width for width in widths)
+    body = [line(headers), rule]
+    body.extend(line(row) for row in materialized)
+    return "\n".join(body)
+
+
+def banner(title: str) -> str:
+    """A section banner for benchmark output."""
+    bar = "=" * len(title)
+    return f"\n{title}\n{bar}"

@@ -1,0 +1,202 @@
+"""Space accounting: T1, D1, and program censuses.
+
+Three layers of the paper's space story:
+
+* **T1 (section 5)** — the table-indirection model: replacing *n* uses of
+  an *f*-bit address with *n* *i*-bit indices plus one table entry
+  changes the space from ``n*f`` to ``n*i + f``.  The paper's example:
+  n=3, i=10, f=32 gives 96 - 62 = 34 bits saved, about one third.
+
+* **D1 (section 6)** — per-call-site space under each linkage.  An
+  EXTERNALCALL is 1-2 bytes plus a 2-byte LV entry shared by all sites
+  in the module; a DIRECTCALL is 4 bytes with no LV entry ("the space is
+  only 30% more if the procedure is called only once from the module");
+  a SHORTDIRECTCALL is 3 bytes ("the space is the same as in the current
+  scheme for a single call of p from a module, and 50% more (6 bytes
+  instead of 4) for two calls").
+
+* **censuses** — instruction-length histograms and whole-program code +
+  table sizes of actually compiled programs, per linkage (claims C2 and
+  C6 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interp.machineconfig import MachineConfig
+from repro.isa.disassembler import disassemble
+from repro.isa.program import EV_ENTRY_BYTES, ModuleCode
+
+
+# ---------------------------------------------------------------------------
+# T1: the indirection model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class T1Savings:
+    """Space with and without one level of table indirection, in bits."""
+
+    uses: int  # n
+    index_bits: int  # i
+    address_bits: int  # f
+
+    @property
+    def direct_bits(self) -> int:
+        """n full addresses inline: n * f."""
+        return self.uses * self.address_bits
+
+    @property
+    def indirect_bits(self) -> int:
+        """n indices plus one table entry: n * i + f."""
+        return self.uses * self.index_bits + self.address_bits
+
+    @property
+    def saved_bits(self) -> int:
+        return self.direct_bits - self.indirect_bits
+
+    @property
+    def saved_fraction(self) -> float:
+        if self.direct_bits == 0:
+            return 0.0
+        return self.saved_bits / self.direct_bits
+
+    @property
+    def break_even_uses(self) -> float:
+        """Uses above which indirection wins: n*(f-i) > f."""
+        if self.address_bits <= self.index_bits:
+            return float("inf")
+        return self.address_bits / (self.address_bits - self.index_bits)
+
+
+def t1_savings(uses: int, index_bits: int, address_bits: int) -> T1Savings:
+    """The T1 model; ``t1_savings(3, 10, 32)`` is the paper's example."""
+    return T1Savings(uses=uses, index_bits=index_bits, address_bits=address_bits)
+
+
+# ---------------------------------------------------------------------------
+# D1: call-site space per linkage
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class D1CallSpace:
+    """Bytes to call one external procedure *calls* times from a module."""
+
+    calls: int
+    #: EXTERNALCALL: per-site bytes (1 for EFC0-7, 2 for EFCB) plus the
+    #: shared 2-byte link vector entry.
+    external_bytes: int
+    #: DIRECTCALL: 4 bytes per site, no LV entry.
+    direct_bytes: int
+    #: SHORTDIRECTCALL: 3 bytes per site, no LV entry.
+    short_direct_bytes: int
+
+    @property
+    def direct_overhead(self) -> float:
+        """DFC space relative to EFC (the "only 30% more" number)."""
+        return self.direct_bytes / self.external_bytes - 1.0
+
+    @property
+    def short_direct_overhead(self) -> float:
+        """SDFC space relative to EFC (0% for one call, 50% for two)."""
+        return self.short_direct_bytes / self.external_bytes - 1.0
+
+
+def d1_call_space(calls: int, one_byte_opcode: bool = True) -> D1CallSpace:
+    """The D1 arithmetic for *calls* sites calling one external procedure.
+
+    ``one_byte_opcode`` models the hot targets that get EFC0-EFC7; cold
+    targets pay 2 bytes per site (EFCB n).
+    """
+    if calls < 1:
+        raise ValueError("at least one call site")
+    site = 1 if one_byte_opcode else 2
+    return D1CallSpace(
+        calls=calls,
+        external_bytes=calls * site + EV_ENTRY_BYTES,  # LV entry is 2 bytes
+        direct_bytes=calls * 4,
+        short_direct_bytes=calls * 3,
+    )
+
+
+def sdfc_reach_model(opcode_count: int = 16, operand_bits: int = 16) -> int:
+    """Bytes addressable PC-relative by a family of SDFC opcodes.
+
+    Section 6: "With 16 such SHORTDIRECTCALL opcodes, a three byte
+    instruction can address one megabyte around the instruction" — the
+    opcode contributes log2(16) = 4 extra displacement bits.
+    """
+    import math
+
+    return 2 ** (operand_bits + int(math.log2(opcode_count)))
+
+
+# ---------------------------------------------------------------------------
+# Program censuses
+# ---------------------------------------------------------------------------
+
+
+def byte_census(modules: list[ModuleCode]) -> dict[int, int]:
+    """Instruction-length histogram over all procedure bodies.
+
+    The modules must have built segments (so bodies are final).  Claim
+    C2: "about two-thirds of the instructions compiled for a large
+    sample of source programs occupy a single byte."
+    """
+    census: dict[int, int] = {}
+    for module in modules:
+        for procedure in module.procedures:
+            for item in disassemble(procedure.body):
+                census[item.length] = census.get(item.length, 0) + 1
+    return census
+
+
+def one_byte_fraction(census: dict[int, int]) -> float:
+    """Fraction of instructions that are a single byte."""
+    total = sum(census.values())
+    return census.get(1, 0) / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ProgramSpace:
+    """Whole-program space for one linkage choice."""
+
+    linkage: str
+    code_bytes: int
+    lv_words: int
+    gft_entries: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.code_bytes + 2 * self.lv_words + 2 * self.gft_entries
+
+
+def code_size_by_linkage(
+    sources: list[str], entry: tuple[str, str] = ("Main", "main")
+) -> list[ProgramSpace]:
+    """Compile + link the same program under each linkage; report space.
+
+    This is the measured version of the section 8 triangle's space axis:
+    I2 (MESA) minimizes it, I1 (SIMPLE) pays wide tables, I3 (DIRECT)
+    pays wide call sites and inline GF headers.
+    """
+    from repro.lang.compiler import CompileOptions, compile_program
+    from repro.lang.linker import link
+
+    results: list[ProgramSpace] = []
+    for config in (MachineConfig.i1(), MachineConfig.i2(), MachineConfig.i3()):
+        options = CompileOptions.for_config(config)
+        modules = compile_program(sources, options)
+        image = link(modules, config, entry)
+        tables = image.table_words()
+        results.append(
+            ProgramSpace(
+                linkage=config.linkage.value,
+                code_bytes=image.code_bytes(),
+                lv_words=tables["link_vectors"],
+                gft_entries=tables["gft"],
+            )
+        )
+    return results

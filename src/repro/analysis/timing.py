@@ -1,0 +1,129 @@
+"""Timing analyses: per-transfer event costs across the ladder.
+
+The paper's section 8 triangle — simplicity (I1), space (I2), speed
+(I3/I4) — is quantified here by running the *same source program* under
+each configuration and normalizing the meters by the number of
+transfers.  Nothing is asserted: the memory references, register
+accesses, and modelled cycles come off the shared counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.interp.machine import Machine
+from repro.interp.machineconfig import MachineConfig
+from repro.machine.costs import Event
+
+
+@dataclass(frozen=True)
+class TransferCosts:
+    """Whole-run meters normalized per call+return pair."""
+
+    label: str
+    results: tuple[int, ...]
+    steps: int
+    calls: int
+    returns: int
+    memory_refs: float  # per transfer
+    register_refs: float  # per transfer
+    cycles_per_transfer: float
+    jump_speed_fraction: float
+    total_cycles: int
+
+    @property
+    def transfers(self) -> int:
+        return self.calls + self.returns
+
+
+def measure_program(
+    sources: list[str],
+    config: MachineConfig,
+    label: str,
+    entry: tuple[str, str] = ("Main", "main"),
+    args: tuple[int, ...] = (),
+    multi_instance: frozenset[str] = frozenset(),
+) -> TransferCosts:
+    """Compile + link + run under *config*; return normalized meters.
+
+    The baseline (instruction execution that would happen regardless of
+    the transfer mechanism) is *not* subtracted: the comparison across
+    configurations of the same program isolates the mechanism because
+    everything else is identical code.
+    """
+    from repro.lang.compiler import CompileOptions, compile_program
+    from repro.lang.linker import link
+
+    options = CompileOptions.for_config(config, multi_instance=multi_instance)
+    modules = compile_program(sources, options)
+    image = link(modules, config, entry)
+    machine = Machine(image)
+    baseline = machine.counter.snapshot()
+    machine.start(entry[0], entry[1], *args)
+    results = tuple(machine.run())
+    delta = machine.counter.delta_since(baseline)
+
+    from repro.ifu.ifu import TransferKind
+
+    call_kinds = (
+        TransferKind.EXTERNAL_CALL,
+        TransferKind.LOCAL_CALL,
+        TransferKind.DIRECT_CALL,
+        TransferKind.SHORT_DIRECT_CALL,
+    )
+    calls = sum(machine.fetch.fast.get(kind, 0) for kind in call_kinds) + sum(
+        machine.fetch.slow.get(kind, 0) for kind in call_kinds
+    )
+    returns = machine.fetch.fast.get(TransferKind.RETURN, 0) + machine.fetch.slow.get(
+        TransferKind.RETURN, 0
+    )
+    transfers = max(1, calls + returns)
+    memory = delta[Event.MEMORY_READ.value] + delta[Event.MEMORY_WRITE.value]
+    registers = delta[Event.REGISTER_READ.value] + delta[Event.REGISTER_WRITE.value]
+    return TransferCosts(
+        label=label,
+        results=results,
+        steps=machine.steps,
+        calls=calls,
+        returns=returns,
+        memory_refs=memory / transfers,
+        register_refs=registers / transfers,
+        cycles_per_transfer=delta["cycles"] / transfers,
+        jump_speed_fraction=machine.fetch.call_return_jump_speed_fraction,
+        total_cycles=delta["cycles"],
+    )
+
+
+def transfer_cost_table(
+    sources: list[str],
+    entry: tuple[str, str] = ("Main", "main"),
+    args: tuple[int, ...] = (),
+    configs: list[tuple[str, MachineConfig]] | None = None,
+) -> list[TransferCosts]:
+    """Measure the same program under the whole implementation ladder."""
+    if configs is None:
+        configs = [
+            ("I1 simple", MachineConfig.i1()),
+            ("I2 mesa", MachineConfig.i2()),
+            ("I3 direct+rstack", MachineConfig.i3()),
+            ("I4 banks", MachineConfig.i4()),
+        ]
+    return [
+        measure_program(sources, config, label, entry=entry, args=args)
+        for label, config in configs
+    ]
+
+
+def call_density(sources: list[str], config: MachineConfig | None = None,
+                 entry: tuple[str, str] = ("Main", "main")) -> tuple[int, int, float]:
+    """(transfers, instructions, instructions-per-transfer) for claim C1.
+
+    Section 1: "one call or return for every 10 instructions executed is
+    not uncommon".
+    """
+    config = config or MachineConfig.i2()
+    costs = measure_program(sources, config, "density", entry=entry)
+    transfers = costs.calls + costs.returns
+    if transfers == 0:
+        return 0, costs.steps, float("inf")
+    return transfers, costs.steps, costs.steps / transfers

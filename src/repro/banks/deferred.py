@@ -1,0 +1,119 @@
+"""Fast frame allocation and deferred allocation (section 7.1).
+
+Two ideas, both implemented here:
+
+1. **The free-frame stack.**  "Since nearly all local frames are fairly
+   small, a reasonable strategy is to make the smallest frame size the 80
+   bytes just cited; hopefully this would handle 95% of all frame
+   allocations.  Now the processor can keep a stack of free frames of
+   this size, and allocation will be extremely fast; furthermore, it can
+   be done in parallel with the rest of an XFER operation."
+   :class:`FastFrameStack` keeps such a processor-register stack in front
+   of the AV heap; pops and pushes cost no memory references.
+
+2. **Deferred allocation.**  "An alternative strategy is to defer
+   allocating the frame until a register bank must be flushed out.  This
+   means that 95% of the time there will be no allocation at all.
+   Unfortunately, it also means that a local variable may have no
+   assigned memory address" — the section 7.4 consequence handled by
+   :mod:`repro.banks.pointers` and by ``LLA`` forcing materialization.
+   The deferral itself lives in :class:`repro.interp.frames.FrameState`
+   (a frame with ``address is None``); this module provides the backing
+   allocator both strategies share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloc.avheap import AVHeap
+from repro.errors import FrameSizeError
+
+
+@dataclass
+class FastFrameStats:
+    """How often allocation stayed on the fast path (benchmark C9)."""
+
+    fast_allocations: int = 0
+    slow_allocations: int = 0
+    fast_frees: int = 0
+    slow_frees: int = 0
+
+    @property
+    def fast_fraction(self) -> float:
+        total = self.fast_allocations + self.slow_allocations
+        return self.fast_allocations / total if total else 0.0
+
+
+class FastFrameStack:
+    """A processor-register stack of standard-size free frames.
+
+    Frames of the standard class (the paper's 80 bytes = 40 words) are
+    popped and pushed with zero memory references; anything larger, or a
+    pop from an empty stack, falls back to the AV heap's general path.
+    Section 7.1's arithmetic — "If the general scheme is five times more
+    costly and it is used 5% of the time, the effective speed of frame
+    allocation is .8 times the fast speed" — is reproduced by benchmark
+    C9 from these statistics plus the measured reference counts.
+    """
+
+    #: The paper's standard frame: "95% of all frames allocated are
+    #: smaller than 80 bytes" — 40 words.
+    STANDARD_WORDS = 40
+
+    def __init__(self, heap: AVHeap, depth: int = 8, standard_words: int | None = None) -> None:
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.heap = heap
+        self.depth = depth
+        self.standard_words = standard_words or self.STANDARD_WORDS
+        self.standard_fsi = heap.ladder.fsi_for(self.standard_words)
+        self.stats = FastFrameStats()
+        #: The register-resident stack of ready frame pointers.
+        self._stack: list[int] = []
+        self._prefill()
+
+    def _prefill(self) -> None:
+        """Fill the stack from the heap at startup (not counted as slow)."""
+        while len(self._stack) < self.depth:
+            self._stack.append(self.heap.allocate(self.standard_fsi))
+
+    def allocate(self, words: int) -> tuple[int, bool]:
+        """Allocate a frame of at least *words*; returns (pointer, fast).
+
+        Standard-size requests pop the register stack when possible — no
+        memory references at all; the frame never left the heap's books,
+        so only its fragmentation accounting is updated.  Larger requests,
+        or an empty stack, go to the AV heap (the general scheme).
+        """
+        if words <= self.standard_words and self._stack:
+            pointer = self._stack.pop()
+            self.heap.note_requested(pointer, words)
+            self.stats.fast_allocations += 1
+            return pointer, True
+        self.stats.slow_allocations += 1
+        if words > self.heap.ladder.max_words:
+            raise FrameSizeError(f"frame of {words} words exceeds the ladder")
+        fsi = self.heap.ladder.fsi_for(max(words, 1))
+        return self.heap.allocate(fsi, requested_words=words), False
+
+    def free(self, pointer: int) -> bool:
+        """Free a frame; returns True if it parked on the fast stack.
+
+        The fast path is a register push: zero memory references, the
+        frame stays allocated from the heap's point of view.  Non-standard
+        frames, or a full stack, take the general four-reference free.
+        """
+        fsi = self.heap.fsi_of(pointer)
+        if fsi == self.standard_fsi and len(self._stack) < self.depth:
+            self._stack.append(pointer)
+            self.stats.fast_frees += 1
+            return True
+        self.heap.free(pointer)
+        self.stats.slow_frees += 1
+        return False
+
+    @property
+    def available(self) -> int:
+        """Frames currently ready on the register stack."""
+        return len(self._stack)

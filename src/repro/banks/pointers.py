@@ -1,0 +1,91 @@
+"""Pointers to local variables (section 7.4).
+
+Shadowing frames in register banks creates the *multiple copy problem*:
+an ordinary storage reference through a pointer may address a word whose
+current value lives in a register, not in memory.  The paper's menu,
+all implemented here and selectable in the machine configuration:
+
+* **AVOID** — "The simplest solution is avoidance: outlaw pointers to
+  local variables or the local frame."  Taking a local's address
+  (``LLA``) is a trap under this policy.
+
+* **FLAG_FLUSH** — C2 "can be avoided in most languages by flagging local
+  frames to which pointers can exist ...  A flagged frame is flushed to
+  storage whenever control leaves its context; of course it must be
+  reloaded whenever control returns.  Now the frame can be correctly
+  referenced by ordinary storage instructions, except when control is in
+  its context."  (Good enough for Pascal; same-context aliasing through a
+  pointer is also handled because loads/stores inside the context go to
+  the bank, which is the single truth while control is there.)
+
+* **DIVERT** — "the reference can be diverted to read or write the proper
+  register.  ...  by confining frames to a fixed frame region of the
+  address space, we can be sure for most storage references that C2 has
+  not arisen; ...  An address in the frame region, however, must be
+  compared with the address assigned to each of the register banks."
+  :func:`divert_lookup` is that comparator bank.
+
+C1 (a local with *no* memory address, under deferred allocation) is
+handled where the address is created: the ``LLA`` instruction
+materializes the frame, exactly the paper's "if there is a special
+operation for generating a pointer to a local variable, this operation
+can do the allocation".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.banks.bankfile import Bank, BankFile, BankRole
+
+
+class PointerPolicy(enum.Enum):
+    """The section 7.4 alternatives for pointers to locals."""
+
+    AVOID = "avoid"
+    FLAG_FLUSH = "flag_flush"
+    DIVERT = "divert"
+
+
+@dataclass
+class DivertStats:
+    """How often the frame-region comparators fired (benchmark C14)."""
+
+    #: Storage references checked against the frame region.
+    references_checked: int = 0
+    #: References inside the frame region (comparators engaged).
+    region_hits: int = 0
+    #: References actually diverted to a register bank.
+    diversions: int = 0
+
+    @property
+    def diversion_rate(self) -> float:
+        if self.references_checked == 0:
+            return 0.0
+        return self.diversions / self.references_checked
+
+
+def divert_lookup(
+    banks: BankFile,
+    address: int,
+    shadow_base_of,
+) -> tuple[Bank, int] | None:
+    """Find the bank and register index shadowing memory word *address*.
+
+    *shadow_base_of* maps a LOCAL bank to the memory address of the first
+    word it shadows (None when the frame's allocation is deferred — such
+    a frame has no address, so no pointer can reach it).  Returns
+    ``(bank, index)`` when some bank currently holds the addressed word,
+    else None — the caller then lets the storage reference proceed
+    normally.
+    """
+    for bank in banks:
+        if bank.role is not BankRole.LOCAL:
+            continue
+        base = shadow_base_of(bank)
+        if base is None:
+            continue
+        if base <= address < base + bank.size:
+            return bank, address - base
+    return None

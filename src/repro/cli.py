@@ -1,0 +1,295 @@
+"""Command-line interface: run, disassemble, and measure mini-Mesa programs.
+
+Usage::
+
+    python -m repro run prog.mesa [lib.mesa ...] [--impl i4] [--args 1 2]
+    python -m repro disasm prog.mesa [--impl i2]
+    python -m repro measure prog.mesa [lib.mesa ...]
+
+``run`` executes a program on one implementation and prints its results,
+output channel, and meters.  ``disasm`` shows the compiled encoding
+(entry vectors, fsi bytes, calling sequences).  ``measure`` runs the
+whole I1-I4 ladder and prints the section 8 comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.analysis.report import format_table
+from repro.analysis.timing import transfer_cost_table
+from repro.interp.machine import Machine
+from repro.interp.machineconfig import MachineConfig
+from repro.isa.disassembler import format_listing
+from repro.lang.compiler import CompileOptions, compile_program
+from repro.lang.linker import link
+
+
+def _read_sources(paths: list[str]) -> list[str]:
+    return [Path(path).read_text() for path in paths]
+
+
+def _entry(text: str) -> tuple[str, str]:
+    module, _, proc = text.partition(".")
+    if not module or not proc:
+        raise argparse.ArgumentTypeError("entry must look like Module.proc")
+    return module, proc
+
+
+def _build(sources: list[str], preset: str, entry: tuple[str, str]) -> Machine:
+    from repro.lang.compiler import check_entry
+
+    config = MachineConfig.preset(preset)
+    modules = compile_program(sources, CompileOptions.for_config(config))
+    check_entry(modules, entry)  # friendlier message than a link error
+    image = link(modules, config, entry)
+    return Machine(image)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    machine = _build(_read_sources(args.files), args.impl, args.entry)
+    machine.start(args.entry[0], args.entry[1], *args.args)
+    results = machine.run()
+    print(f"results: {results}")
+    if machine.output:
+        print(f"output:  {machine.output}")
+    if args.stats:
+        report = machine.report()
+        print(f"\ninstructions: {report['steps']}")
+        print(f"memory refs:  {report['memory_references']}")
+        print(f"model cycles: {report['cycles']}")
+        fetch = report["fetch"]
+        print(f"jump-speed:   {fetch['call_return_jump_speed_fraction']:.1%}")
+        if "return_stack_hit_rate" in report:
+            print(f"return-stack: {report['return_stack_hit_rate']:.1%} hits")
+        if "bank_overflow_rate" in report:
+            print(f"bank rate:    {report['bank_overflow_rate']:.2%} overflow+underflow")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    config = MachineConfig.preset(args.impl)
+    sources = _read_sources(args.files)
+    modules = compile_program(sources, CompileOptions.for_config(config))
+    image = link(modules, config, args.entry)
+    for module in modules:
+        linked = image.instance_of(module.name)
+        print(f"MODULE {module.name}  (code base {linked.code_base:#06x}, "
+              f"gf {linked.gf_address:#06x})")
+        for target_index, target in enumerate(module.imports):
+            print(f"  LV[{target_index}] -> {target[0]}.{target[1]}")
+        for procedure in module.procedures:
+            entry = linked.code_base + procedure.entry_offset
+            fsi = image.code.fetch_byte(entry)
+            words = image.ladder.size_of(fsi)
+            print(f"\n  PROCEDURE {procedure.name}  "
+                  f"(entry {entry:#06x}, fsi {fsi} = {words} words)")
+            listing = format_listing(procedure.body)
+            print("    " + listing.replace("\n", "\n    "))
+        print()
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    sources = _read_sources(args.files)
+    rows = []
+    for cost in transfer_cost_table(sources, entry=args.entry, args=tuple(args.args)):
+        rows.append(
+            [
+                cost.label,
+                list(cost.results),
+                cost.transfers,
+                f"{cost.memory_refs:.2f}",
+                f"{cost.cycles_per_transfer:.1f}",
+                f"{cost.jump_speed_fraction:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            ["implementation", "results", "transfers", "mem refs/xfer", "cycles/xfer", "jump speed"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Fast, self-contained checks of the paper's headline claims.
+
+    A subset of the full benchmark harness (see ``benchmarks/run_all.py``)
+    that needs no source files and runs in a couple of seconds.
+    """
+    failures = 0
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        nonlocal failures
+        status = "PASS" if ok else "FAIL"
+        if not ok:
+            failures += 1
+        suffix = f"  ({detail})" if detail else ""
+        print(f"[{status}] {label}{suffix}")
+
+    # T1 (section 5): the 34-bit example.
+    from repro.analysis.space import d1_call_space, t1_savings
+
+    t1 = t1_savings(3, 10, 32)
+    check(
+        "T1 indirection example: 96 -> 62 bits, 34 saved",
+        (t1.direct_bits, t1.indirect_bits, t1.saved_bits) == (96, 62, 34),
+    )
+
+    # D1 (section 6): +30% / equal / +50%.
+    one, two = d1_call_space(1), d1_call_space(2)
+    check(
+        "D1 call-site space: DFC +33%, SDFC +0% (1 call), +50% (2 calls)",
+        abs(one.direct_overhead - 1 / 3) < 0.01
+        and one.short_direct_overhead == 0.0
+        and abs(two.short_direct_overhead - 0.5) < 0.01,
+    )
+
+    # Figure 2 (section 5.3): 3 references to allocate, 4 to free.
+    from repro.alloc.avheap import AVHeap
+    from repro.alloc.sizing import geometric_ladder
+    from repro.machine.memory import Memory
+
+    memory = Memory(1 << 16)
+    heap = AVHeap(memory, geometric_ladder(), 16, 64, 1 << 14)
+    heap.free(heap.allocate(2))
+    snap = memory.counter.snapshot()
+    pointer = heap.allocate(2)
+    alloc_refs = memory.counter.delta_since(snap)
+    snap = memory.counter.snapshot()
+    heap.free(pointer)
+    free_refs = memory.counter.delta_since(snap)
+    check(
+        "Figure 2 frame heap: 3 refs/allocate, 4 refs/free",
+        alloc_refs["memory_read"] + alloc_refs["memory_write"] == 3
+        and free_refs["memory_read"] + free_refs["memory_write"] == 4,
+    )
+
+    # Figure 3 (section 7.2): the exact bank-assignment trace.
+    from repro.banks.bankfile import BankFile
+    from repro.banks.renaming import BankManager
+
+    banks = BankFile(4, 16)
+    manager = BankManager(banks, spill=lambda b: None, fill=lambda b, f: None)
+    frames = {name: object() for name in "XABCD"}
+    manager.begin(frames["X"])
+    caller = manager.on_call(frames["A"])
+    manager.on_return(frames["X"], caller)
+    manager.on_call(frames["B"])
+    caller_c = manager.on_call(frames["C"])
+    manager.on_return(frames["B"], caller_c)
+    caller_d = manager.on_call(frames["D"])
+    manager.on_return(frames["B"], caller_d)
+    lbanks = [event.lbank + 1 for event in manager.trace]
+    sbanks = [event.sbank + 1 for event in manager.trace]
+    check(
+        "Figure 3 renaming trace: Lbank 1,2,1,3,2,3,4,3 / Sbank 2,3,3,2,4,4,2,2",
+        lbanks == [1, 2, 1, 3, 2, 3, 4, 3] and sbanks == [2, 3, 3, 2, 4, 4, 2, 2],
+    )
+
+    # Descriptor packing (section 5.1).
+    from repro.mesa.descriptor import MAX_BIASED_ENTRIES, pack_descriptor, unpack_descriptor
+
+    check(
+        "Packed descriptor: 16 bits, 1024 env, 32 code, 128 via bias",
+        unpack_descriptor(pack_descriptor(1023, 31)) == (1023, 31)
+        and MAX_BIASED_ENTRIES == 128,
+    )
+
+    # The ladder end to end: identical results, shrinking traffic, >=95%.
+    fib = """
+MODULE Main;
+PROCEDURE fib(n): INT;
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN fib(n - 1) + fib(n - 2);
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN fib(11);
+END;
+END.
+"""
+    meters = {}
+    for preset in ("i1", "i2", "i3", "i4"):
+        machine = _build([fib], preset, ("Main", "main"))
+        machine.start()
+        results = machine.run()
+        meters[preset] = (
+            results,
+            machine.counter.memory_references,
+            machine.fetch.call_return_jump_speed_fraction,
+        )
+    check(
+        "Ladder correctness: identical results on I1-I4",
+        len({tuple(values[0]) for values in meters.values()}) == 1,
+    )
+    check(
+        "Ladder shape: I4 memory refs < I3 < I2",
+        meters["i4"][1] < meters["i3"][1] < meters["i2"][1],
+        f"{meters['i2'][1]} -> {meters['i3'][1]} -> {meters['i4'][1]}",
+    )
+    check(
+        "Headline: >=95% of calls+returns at jump speed on I3/I4",
+        meters["i3"][2] >= 0.95 and meters["i4"][2] >= 0.95,
+        f"{meters['i3'][2]:.1%}",
+    )
+
+    print(
+        f"\n{8 - failures}/8 claims verified."
+        if not failures
+        else f"\n{failures} claim(s) FAILED."
+    )
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast Procedure Calls (ASPLOS 1982) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("files", nargs="+", help="module source files")
+        p.add_argument("--entry", type=_entry, default=("Main", "main"),
+                       help="entry procedure, Module.proc (default Main.main)")
+
+    run = sub.add_parser("run", help="compile and execute a program")
+    common(run)
+    run.add_argument("--impl", choices=["i1", "i2", "i3", "i4"], default="i2",
+                     help="implementation preset (default i2)")
+    run.add_argument("--args", type=int, nargs="*", default=[],
+                     help="integer arguments for the entry procedure")
+    run.add_argument("--stats", action="store_true", help="print the meters")
+    run.set_defaults(func=cmd_run)
+
+    disasm = sub.add_parser("disasm", help="show the compiled encoding")
+    common(disasm)
+    disasm.add_argument("--impl", choices=["i1", "i2", "i3", "i4"], default="i2")
+    disasm.set_defaults(func=cmd_disasm)
+
+    measure = sub.add_parser("measure", help="run the I1-I4 ladder comparison")
+    common(measure)
+    measure.add_argument("--args", type=int, nargs="*", default=[])
+    measure.set_defaults(func=cmd_measure)
+
+    verify = sub.add_parser(
+        "verify", help="fast checks of the paper's headline claims"
+    )
+    verify.set_defaults(func=cmd_verify)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""The control-transfer model (section 3) as an executable abstraction.
+
+This package is the paper's *model* level (section 2): the semantics a
+source-language programmer sees, independent of any encoding or
+interpreter.  It has exactly two elements:
+
+* **contexts** — "the entities among which control is transferred"; and
+* **XFER** — "the primitive operation for transferring control", working
+  with the two global registers ``returnContext`` and ``argumentRecord``.
+
+Context code is written as Python generator functions; an XFER suspends
+the running generator and resumes the destination's.  Procedure
+descriptors are the special *creation contexts* of section 3: an XFER to
+one runs the "WHILE TRUE DO new := CreateNewContext[...]; XFER[new]"
+loop, i.e. builds a fresh frame context and forwards control to it.
+
+The essential model features (F1-F4) hold by construction and are tested
+directly:
+
+* F1 — a context contains everything needed to resume it;
+* F2 — contexts are first-class, explicitly allocated and freed, not
+  necessarily LIFO;
+* F3 — any context may be the argument of any XFER — calls, coroutine
+  transfers, and process switches are the *destination's* choice;
+* F4 — arguments and results are handled symmetrically by XFER itself.
+"""
+
+from repro.core.context import AbstractContext, ProcedureValue
+from repro.core.model import AbstractMachine
+from repro.core.ports import Port, pipeline
+from repro.core.xfer import TraceEvent, XferEngine
+
+__all__ = [
+    "AbstractContext",
+    "AbstractMachine",
+    "Port",
+    "ProcedureValue",
+    "TraceEvent",
+    "XferEngine",
+    "pipeline",
+]

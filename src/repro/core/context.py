@@ -1,0 +1,116 @@
+"""Contexts and procedure descriptors at the model level (sections 3-4).
+
+A context "normally corresponds to the activation record or local frame
+of a procedure.  It contains the program counter for that activation; the
+arguments and local variables; references to any other environment
+information."  Here the Python generator *is* the program counter plus
+locals; the context object adds the return link, the environment
+reference, and the allocation state (live / freed / retained).
+
+A :class:`ProcedureValue` is the ``proc`` arm of section 4's variant
+record — "(pointer to procedure, pointer to environment)" — and behaves
+as the creation context of section 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator
+
+from repro.errors import DanglingFrame
+
+#: Monotonic ids for readable context names.
+_serial = itertools.count(1)
+
+
+class ProcedureValue:
+    """A procedure descriptor: (code, environment).
+
+    "all our implementations have a special kind of context called a
+    procedure descriptor, which consists of a pair (pointer to procedure,
+    pointer to environment).  An XFER to such a context results in the
+    actions described by the code above" — the creation-context loop.
+    """
+
+    def __init__(self, code: Callable[..., Generator], env: Any = None, name: str = "") -> None:
+        self.code = code
+        self.env = env
+        self.name = name or getattr(code, "__name__", "proc")
+
+    def __repr__(self) -> str:
+        return f"ProcedureValue({self.name})"
+
+
+class AbstractContext:
+    """A live activation: generator state plus linkage.
+
+    Created by the engine when a :class:`ProcedureValue` is the target of
+    an XFER (the creation context at work), or explicitly via
+    :meth:`repro.core.xfer.XferEngine.create` for coroutines.
+
+    The prologue behaviour of section 3 — "When the new procedure gets
+    control, it saves the returnContext in one of its local variables
+    called the returnLink, and it copies the arguments from the argument
+    record" — happens in :meth:`repro.core.xfer.XferEngine` when the
+    context first runs; the saved values land in :attr:`return_link` and
+    :attr:`args`.
+    """
+
+    def __init__(self, procedure: ProcedureValue, engine: "Any") -> None:
+        self.procedure = procedure
+        self.engine = engine
+        self.name = f"{procedure.name}#{next(_serial)}"
+        self.env = procedure.env
+        #: The saved returnContext (a context, or None before first run).
+        self.return_link: Any = None
+        #: The argument record copied at first entry.
+        self.args: tuple = ()
+        #: Whoever XFERed to us most recently (updated at every resume).
+        self.source: Any = None
+        self.freed = False
+        #: Retained frames may outlive a return (section 4): "Such frames
+        #: are called retained, and are distinguished by the possible
+        #: existence of multiple references."
+        self.retained = False
+        self._generator: Generator | None = None
+        self._started = False
+
+    # -- operations available to context code --------------------------------
+
+    def call(self, destination: Any, *args: Any):
+        """Procedure-call idiom: XFER with returnContext set to us.
+
+        A generator helper — use ``results = yield from ctx.call(p, x)``.
+        Returns the result record when control comes back.
+        """
+        return self.engine._call(self, destination, args)
+
+    def ret(self, *results: Any):
+        """RETURN: free this context (unless retained) and XFER to the
+        return link with *results* as the argument record.
+
+        Use ``yield from ctx.ret(value)``; code after it never runs
+        (returning from the return is an error, per section 4).
+        """
+        return self.engine._return(self, results)
+
+    def xfer(self, destination: Any, *args: Any):
+        """Raw symmetric XFER (coroutine idiom): transfer to *destination*
+        and return the argument record of whatever XFER eventually
+        resumes us.  ``ctx.source`` then says who resumed us."""
+        return self.engine._raw_xfer(self, destination, args)
+
+    def free(self) -> None:
+        """Explicitly free this context (F2: explicit allocation/freeing)."""
+        if self.freed:
+            raise DanglingFrame(f"{self.name} already freed")
+        self.freed = True
+
+    def check_live(self) -> None:
+        """Raise :class:`DanglingFrame` if this context has been freed."""
+        if self.freed:
+            raise DanglingFrame(f"transfer to freed context {self.name}")
+
+    def __repr__(self) -> str:
+        state = "freed" if self.freed else ("live" if self._started else "new")
+        return f"AbstractContext({self.name}, {state})"

@@ -1,0 +1,68 @@
+"""A friendly facade over the abstract model: :class:`AbstractMachine`.
+
+Most users of the model level want three things — define procedures, call
+them, and build coroutines — without touching the engine's registers.
+This facade packages those, and doubles as the reference semantics the
+machine-level implementations (I1-I4) are tested against: any program
+expressible at both levels must produce the same results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.context import AbstractContext, ProcedureValue
+from repro.core.xfer import XferEngine
+
+
+class AbstractMachine:
+    """The model level (section 2's RUN_S): procedures, calls, coroutines.
+
+    Example::
+
+        machine = AbstractMachine()
+
+        @machine.procedure
+        def fib(ctx):
+            (n,) = ctx.args
+            if n < 2:
+                yield from ctx.ret(n)
+            (a,) = yield from ctx.call(fib, n - 1)
+            (b,) = yield from ctx.call(fib, n - 2)
+            yield from ctx.ret(a + b)
+
+        (value,) = machine.call(fib, 10)   # value == 55
+    """
+
+    def __init__(self, trace: bool = False, max_transfers: int = 1_000_000) -> None:
+        self.engine = XferEngine(trace=trace, max_transfers=max_transfers)
+
+    def procedure(
+        self, code: Callable | None = None, *, env: Any = None, name: str = ""
+    ) -> ProcedureValue | Callable:
+        """Register a generator function as a procedure (usable as decorator)."""
+        if code is None:
+
+            def decorate(fn: Callable) -> ProcedureValue:
+                return self.engine.procedure(fn, env=env, name=name)
+
+            return decorate
+        return self.engine.procedure(code, env=env, name=name)
+
+    def call(self, procedure: ProcedureValue, *args: Any) -> tuple:
+        """Run *procedure* to completion; returns its result record."""
+        return self.engine.run(procedure, *args)
+
+    def create(self, procedure: ProcedureValue) -> AbstractContext:
+        """CreateNewContext without transferring (the coroutine first step)."""
+        return self.engine.create(procedure)
+
+    @property
+    def stats(self):
+        """Model-level counters: contexts created/freed, transfer mix."""
+        return self.engine.stats
+
+    @property
+    def trace(self):
+        """Recorded transfers (when constructed with ``trace=True``)."""
+        return self.engine.trace

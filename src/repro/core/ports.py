@@ -1,0 +1,98 @@
+"""Coroutine ports over raw XFER.
+
+Lampson's model paper ([3] in the references) links coroutines through
+*ports*: a port remembers the context at the other end, so each side just
+transfers to its port and the symmetric XFER discipline does the rest.
+F3 in action: "a choice between procedure call, coroutine transfer or
+some other discipline is made by the destination context, not the
+caller."
+
+:class:`Port` wraps the bookkeeping: ``send`` transfers a value record to
+the partner and suspends; when the partner (or anyone holding a port to
+us) transfers back, ``send`` returns the incoming record.  The partner
+reference is refreshed from ``ctx.source`` on every resume, so a port
+keeps working even if the peer context is recreated.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.context import AbstractContext
+from repro.errors import InvalidContext
+
+
+class Port:
+    """One end of a coroutine linkage: a named slot holding the peer."""
+
+    def __init__(self, name: str = "port") -> None:
+        self.name = name
+        self.peer: Any = None
+
+    def connect(self, peer: Any) -> None:
+        """Bind the far end (a context or procedure descriptor)."""
+        self.peer = peer
+
+    def send(self, ctx: AbstractContext, *values: Any):
+        """Transfer *values* through the port; return the incoming record.
+
+        Use ``record = yield from port.send(ctx, v)``.  After the resume
+        the port is re-pointed at whoever transferred control back, so
+        ping-pong loops need no manual rewiring.
+        """
+        if self.peer is None:
+            raise InvalidContext(f"port {self.name!r} is not connected")
+        record = yield from ctx.xfer(self.peer, *values)
+        if ctx.source is not None:
+            self.peer = ctx.source
+        return record
+
+    def receive(self, ctx: AbstractContext):
+        """Wait for the next record without sending one (pure consumer)."""
+        record = yield from ctx.xfer(self.peer) if self.peer is not None else self._fail()
+        if ctx.source is not None:
+            self.peer = ctx.source
+        return record
+
+    def _fail(self):
+        raise InvalidContext(f"port {self.name!r} is not connected")
+        yield  # pragma: no cover - makes this a generator
+
+    def __repr__(self) -> str:
+        return f"Port({self.name!r} -> {getattr(self.peer, 'name', self.peer)})"
+
+
+def pipeline(engine, stages, source_values):
+    """Run a coroutine pipeline and collect its outputs (a worked example).
+
+    Each stage is a context body of the shape::
+
+        def double(ctx):
+            record = ctx.args            # first record arrives as arguments
+            while record:                # empty record = end of stream
+                (value,) = record
+                record = yield from ctx.xfer(ctx.source, value * 2)
+            yield from ctx.ret()
+
+    A driver context feeds *source_values* through each stage in turn via
+    raw XFERs, collecting what falls out the end.  The transfer pattern is
+    deliberately non-LIFO — the coroutine motivation of section 1, which a
+    strict last-in first-out discipline cannot express.
+    """
+
+    def driver(ctx):
+        outputs = []
+        downstream = [engine.create(engine.procedure(stage)) for stage in stages]
+        for value in source_values:
+            record = (value,)
+            for stage_ctx in downstream:
+                record = yield from ctx.xfer(stage_ctx, *record)
+            outputs.extend(record)
+        # Tell every stage to finish (empty record means end of stream).
+        for stage_ctx in downstream:
+            if not stage_ctx.freed:
+                yield from ctx.xfer(stage_ctx)
+        yield from ctx.ret(tuple(outputs))
+
+    (result,) = engine.run(engine.procedure(driver, name="pipeline-driver"))
+    return list(result)

@@ -1,0 +1,226 @@
+"""XFER: the single control-transfer primitive (section 3).
+
+    "The XFER primitive takes a single argument, the destination context
+    where execution is to continue.  It works in conjunction with two
+    global variables: returnContext, which holds the context to which
+    control should return; and argumentRecord, which holds the arguments
+    being passed in the transfer.  The effect of XFER is to suspend
+    execution of the currently running context and begin execution of the
+    destination."
+
+:class:`XferEngine` is the trampoline that gives those words an
+operational meaning over generator-based contexts.  Procedure call,
+return, coroutine transfer and process switch are all the *same* yield of
+a ``_Transfer`` request — only the register discipline around them
+differs, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.context import AbstractContext, ProcedureValue
+from repro.errors import InvalidContext, ReturnFromReturn, StepLimitExceeded
+
+
+class _Root:
+    """The context that invoked ``run`` — transferring to it ends the run."""
+
+    name = "<root>"
+
+    def __repr__(self) -> str:
+        return "<root context>"
+
+
+@dataclass(frozen=True)
+class _Transfer:
+    """The request a context yields to the trampoline: XFER[destination]."""
+
+    destination: Any
+    kind: str  # "call" | "return" | "xfer"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded transfer, for tests, examples, and Figure-3-style traces."""
+
+    kind: str
+    source: str
+    destination: str
+
+
+@dataclass
+class EngineStats:
+    """Model-level counters (contexts created/freed, transfer mix)."""
+
+    contexts_created: int = 0
+    contexts_freed: int = 0
+    transfers: int = 0
+    calls: int = 0
+    returns: int = 0
+    raw_xfers: int = 0
+
+
+class XferEngine:
+    """The trampoline executing the control-transfer model.
+
+    Context code runs as generators; every ``yield`` (always via the
+    :class:`~repro.core.context.AbstractContext` helpers ``call``,
+    ``ret``, ``xfer``) hands a :class:`_Transfer` to this loop, which
+    suspends the generator and resumes the destination's — F3's point
+    that the transfer discipline is chosen by the destination, not the
+    primitive.
+    """
+
+    def __init__(self, trace: bool = False, max_transfers: int = 1_000_000) -> None:
+        self.return_context: Any = None  # NIL
+        self.argument_record: tuple = ()
+        self.stats = EngineStats()
+        self.trace_enabled = trace
+        self.trace: list[TraceEvent] = []
+        self.max_transfers = max_transfers
+        self._root = _Root()
+        self._running = False
+
+    # -- public API -----------------------------------------------------------
+
+    def procedure(self, code, env: Any = None, name: str = "") -> ProcedureValue:
+        """Wrap a generator function as a procedure descriptor."""
+        return ProcedureValue(code, env=env, name=name)
+
+    def create(self, procedure: ProcedureValue) -> AbstractContext:
+        """CreateNewContext: build a context without transferring to it.
+
+        The coroutine idiom — make the partner first, then XFER to it.
+        The context starts on its first transfer-in, receiving that
+        transfer's argument record as its arguments.
+        """
+        context = AbstractContext(procedure, self)
+        self.stats.contexts_created += 1
+        return context
+
+    def run(self, destination: Any, *args: Any) -> tuple:
+        """Drive transfers from a fresh root until control returns to it.
+
+        Returns the final argument record (the results of the outermost
+        return).  The root plays the part of the caller: its
+        ``returnContext`` is what the first procedure's RETURN targets.
+        """
+        if self._running:
+            raise InvalidContext("engine is already running; nested run() not allowed")
+        self._running = True
+        try:
+            self.argument_record = tuple(args)
+            self.return_context = self._root
+            current = self._resolve(destination, "call")
+            remaining = self.max_transfers
+            while True:
+                request = self._advance(current)
+                self.stats.transfers += 1
+                remaining -= 1
+                if remaining <= 0:
+                    raise StepLimitExceeded(self.max_transfers)
+                if self.trace_enabled:
+                    self.trace.append(
+                        TraceEvent(
+                            request.kind,
+                            current.name,
+                            getattr(request.destination, "name", repr(request.destination)),
+                        )
+                    )
+                if request.destination is self._root:
+                    return self.argument_record
+                current = self._resolve(request.destination, request.kind)
+        finally:
+            self._running = False
+
+    # -- helpers used by AbstractContext ---------------------------------------
+
+    def _call(self, source: AbstractContext, destination: Any, args: tuple):
+        """Generator: the call idiom (returnContext := caller)."""
+        self.argument_record = tuple(args)
+        self.return_context = source
+        self.stats.calls += 1
+        results = yield _Transfer(destination, "call")
+        return results
+
+    def _return(self, source: AbstractContext, results: tuple):
+        """Generator: RETURN (free, returnContext := NIL, XFER[returnLink])."""
+        link = source.return_link
+        if link is None:
+            raise ReturnFromReturn(f"{source.name} has no return link")
+        if not source.retained:
+            source.freed = True
+            self.stats.contexts_freed += 1
+        self.argument_record = tuple(results)
+        self.return_context = None  # NIL: returning from this return is an error
+        self.stats.returns += 1
+        yield _Transfer(link, "return")
+        raise ReturnFromReturn(f"{source.name} was resumed after returning")
+
+    def _raw_xfer(self, source: AbstractContext, destination: Any, args: tuple):
+        """Generator: symmetric XFER (coroutines, schedulers)."""
+        self.argument_record = tuple(args)
+        self.return_context = source
+        self.stats.raw_xfers += 1
+        record = yield _Transfer(destination, "xfer")
+        return record
+
+    # -- trampoline internals ------------------------------------------------------
+
+    def _resolve(self, destination: Any, kind: str) -> AbstractContext:
+        """Find or create the frame context a transfer lands in.
+
+        An XFER to a procedure descriptor runs the creation context: "on
+        each iteration it creates a new context for the procedure, and
+        forwards control to it ... note that returnContext and
+        argumentRecord are unchanged".
+        """
+        if destination is None:
+            raise InvalidContext("XFER to NIL")
+        if isinstance(destination, ProcedureValue):
+            context = AbstractContext(destination, self)
+            self.stats.contexts_created += 1
+            return context
+        if isinstance(destination, AbstractContext):
+            destination.check_live()
+            return destination
+        raise InvalidContext(f"XFER to non-context {destination!r}")
+
+    def _advance(self, context: AbstractContext) -> _Transfer:
+        """Start or resume one context until its next transfer request."""
+        try:
+            if not context._started:
+                # Prologue (section 3): save returnContext as the return
+                # link; copy the argument record.
+                context._started = True
+                context.return_link = self.return_context
+                context.args = self.argument_record
+                context.source = self.return_context
+                context._generator = context.procedure.code(context)
+                request = next(context._generator)
+            else:
+                context.source = self.return_context
+                request = context._generator.send(self.argument_record)
+        except StopIteration:
+            # The code fell off its end: treat as RETURN with no results.
+            return self._implicit_return(context)
+        if not isinstance(request, _Transfer):
+            raise InvalidContext(
+                f"{context.name} yielded {request!r}; context code must only "
+                "yield via ctx.call / ctx.ret / ctx.xfer"
+            )
+        return request
+
+    def _implicit_return(self, context: AbstractContext) -> _Transfer:
+        link = context.return_link
+        if link is None:
+            raise ReturnFromReturn(f"{context.name} ended with no return link")
+        if not context.retained:
+            context.freed = True
+            self.stats.contexts_freed += 1
+        self.argument_record = ()
+        self.return_context = None
+        self.stats.returns += 1
+        return _Transfer(link, "return")

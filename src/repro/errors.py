@@ -1,0 +1,200 @@
+"""Exception hierarchy for the Fast Procedure Calls reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type to handle anything that goes wrong in the
+simulator, the compiler, or the allocators.  The sub-hierarchies mirror the
+package layout: machine-level faults, encoding/assembly errors, allocation
+failures, transfer (XFER) errors, and compiler diagnostics.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Machine substrate
+# ---------------------------------------------------------------------------
+
+
+class MachineError(ReproError):
+    """Base class for faults raised by the simulated machine."""
+
+
+class MemoryFault(MachineError):
+    """An access touched an address outside the simulated memory."""
+
+    def __init__(self, address: int, size: int) -> None:
+        super().__init__(f"address {address:#x} outside memory of {size} words")
+        self.address = address
+        self.size = size
+
+
+class UnwritableMemory(MachineError):
+    """A write touched a region registered as read-only."""
+
+    def __init__(self, address: int, region: str) -> None:
+        super().__init__(f"write to {address:#x} in read-only region {region!r}")
+        self.address = address
+        self.region = region
+
+
+class WordRangeError(MachineError):
+    """A value did not fit in a 16-bit machine word."""
+
+    def __init__(self, value: int) -> None:
+        super().__init__(f"value {value} does not fit in a 16-bit word")
+        self.value = value
+
+
+class EvalStackOverflow(MachineError):
+    """The evaluation stack exceeded its configured depth.
+
+    The Mesa architecture keeps the evaluation stack small (it must fit in
+    processor registers); overflow is a hard fault the compiler must avoid
+    by spilling, so the simulator treats it as an error rather than growing
+    the stack.
+    """
+
+
+class EvalStackUnderflow(MachineError):
+    """A pop was attempted on an empty evaluation stack."""
+
+
+# ---------------------------------------------------------------------------
+# Encoding / ISA
+# ---------------------------------------------------------------------------
+
+
+class EncodingError(ReproError):
+    """Base class for errors in the instruction encoding layer."""
+
+
+class UnknownOpcode(EncodingError):
+    """Decode hit a byte that is not a defined opcode."""
+
+    def __init__(self, byte: int, pc: int) -> None:
+        super().__init__(f"unknown opcode {byte:#04x} at pc={pc:#x}")
+        self.byte = byte
+        self.pc = pc
+
+
+class OperandRangeError(EncodingError):
+    """An instruction operand does not fit its encoded field."""
+
+
+class AssemblyError(EncodingError):
+    """The assembler rejected a symbolic program (bad label, operand...)."""
+
+
+class LinkError(EncodingError):
+    """The linker could not bind an external reference."""
+
+
+# ---------------------------------------------------------------------------
+# Allocation
+# ---------------------------------------------------------------------------
+
+
+class AllocationError(ReproError):
+    """Base class for frame-heap failures."""
+
+
+class HeapExhausted(AllocationError):
+    """The heap (or the software allocator behind it) is out of space."""
+
+
+class FrameSizeError(AllocationError):
+    """A requested frame size has no size class, or an fsi is invalid."""
+
+
+class DoubleFree(AllocationError):
+    """A frame was freed twice, or a free hit an address never allocated."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(f"free of {address:#x} which is not allocated")
+        self.address = address
+
+
+# ---------------------------------------------------------------------------
+# Control transfer
+# ---------------------------------------------------------------------------
+
+
+class TransferError(ReproError):
+    """Base class for XFER-level errors."""
+
+
+class InvalidContext(TransferError):
+    """An XFER destination is not a valid context (NIL, freed, garbage)."""
+
+
+class ReturnFromReturn(TransferError):
+    """A RETURN executed while returnContext is NIL (paper section 4:
+    'an attempt to return from this return would be an error')."""
+
+
+class DanglingFrame(TransferError):
+    """A transfer targeted a frame that has already been freed."""
+
+
+# ---------------------------------------------------------------------------
+# Interpreter
+# ---------------------------------------------------------------------------
+
+
+class InterpreterError(ReproError):
+    """Base class for interpreter-loop failures."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """Execution ran past the configured instruction budget."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"execution exceeded step limit of {limit}")
+        self.limit = limit
+
+
+class MachineHalted(InterpreterError):
+    """An operation was attempted on a machine that has halted."""
+
+
+class TrapError(InterpreterError):
+    """A trap occurred with no registered handler for it."""
+
+    def __init__(self, trap: str, detail: str = "") -> None:
+        message = f"unhandled trap {trap!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.trap = trap
+        self.detail = detail
+
+
+# ---------------------------------------------------------------------------
+# Compiler
+# ---------------------------------------------------------------------------
+
+
+class CompileError(ReproError):
+    """Base class for compiler diagnostics; carries a source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LexError(CompileError):
+    """The lexer met a character it cannot tokenize."""
+
+
+class ParseError(CompileError):
+    """The parser met an unexpected token."""
+
+
+class SemanticError(CompileError):
+    """Name resolution or type checking failed."""

@@ -1,0 +1,28 @@
+"""Fast instruction fetching (section 6, implementation I3).
+
+The goal: "make a call or return as fast as an unconditional jump".  Two
+mechanisms deliver it:
+
+* the statically bound ``DIRECTCALL`` (its target is a literal operand, so
+  the instruction fetch unit follows it exactly like a jump), and
+* a small IFU **return stack** holding (frame pointer, global frame, PC)
+  for each call in flight, so returns need no memory read to find the
+  next instruction — as long as transfers stay last-in first-out.
+
+"When something unusual happens (e.g., any XFER other than a simple call
+or return, or running out of space in the return stack), fall back to the
+general scheme by flushing the return stack."  The flush writes the
+deferred linkage state (return links, saved PCs) into the frames, after
+which the section 5 machinery takes over seamlessly.
+"""
+
+from repro.ifu.ifu import FetchStats, TransferKind
+from repro.ifu.returnstack import OverflowPolicy, ReturnStack, ReturnStackEntry
+
+__all__ = [
+    "FetchStats",
+    "OverflowPolicy",
+    "ReturnStack",
+    "ReturnStackEntry",
+    "TransferKind",
+]

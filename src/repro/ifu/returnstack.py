@@ -1,0 +1,156 @@
+"""The IFU return stack (section 6).
+
+    "However, the IFU can keep a small stack of return information: frame
+    pointer, global frame pointer GF and PC.  As long as calls and returns
+    follow a LIFO discipline this allows returns to be handled as fast as
+    calls."
+
+An entry records a *suspended caller*: its frame, its global frame and
+code base (one read apart in the real machine; we keep both), the
+absolute PC to resume at, and — for implementation I4 — the register bank
+shadowing its frame (section 7.1: "The return stack discussed in section
+6 keeps track of the bank associated with each local frame").
+
+The stack itself is registers, so pushes and pops are not memory traffic.
+Memory is touched only by :meth:`flush`, which implements the paper's
+fallback rule: "the frame pointer LF goes into the returnLink component
+of the next higher frame, and the PC goes into the PC component of LF.
+The global frame pointer can be discarded, since it can be recovered from
+the local frame."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OverflowPolicy(enum.Enum):
+    """What to do when a push finds the stack full.
+
+    ``FULL_FLUSH`` is the paper's stated rule (overflow is listed among
+    the "something unusual" events that flush the whole stack);
+    ``SPILL_OLDEST`` writes out only the bottom entry, an ablation that
+    trades hardware complexity for hit rate (benchmark C12 compares
+    them).
+    """
+
+    FULL_FLUSH = "full_flush"
+    SPILL_OLDEST = "spill_oldest"
+
+
+@dataclass
+class ReturnStackEntry:
+    """One suspended caller: where to resume and what state to restore."""
+
+    frame: object  # the caller's FrameState (interp.frames)
+    pc: int  # absolute code address to resume at
+    #: The caller's code base (so a flush can store a CB-relative PC
+    #: without re-reading the global frame); -1 if never discovered.
+    cb: int = -1
+    #: The caller's register bank (section 7.1), or None (I1-I3, or the
+    #: bank was reclaimed).
+    bank: object | None = None
+
+
+@dataclass
+class ReturnStackStats:
+    """Counters for benchmark C12 and the C5 jump-speed claim."""
+
+    pushes: int = 0
+    #: Pops that found an entry (returns handled at jump speed).
+    hits: int = 0
+    #: Pops that found the stack empty (general-scheme returns).
+    misses: int = 0
+    #: Flush events, by reason string ("overflow", "xfer", "process", ...).
+    flushes: dict[str, int] = field(default_factory=dict)
+    #: Total entries written out by flushes.
+    entries_flushed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of returns served from the stack."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def on_flush(self, reason: str, entries: int) -> None:
+        self.flushes[reason] = self.flushes.get(reason, 0) + 1
+        self.entries_flushed += entries
+
+
+class ReturnStack:
+    """A bounded LIFO of :class:`ReturnStackEntry`.
+
+    The stack does not know how to write frames to memory — the machine
+    does — so :meth:`take_for_flush` hands entries back (oldest first,
+    paired with each entry's *callee* frame, which is where the return
+    link must be written) and the interpreter performs the stores.
+    """
+
+    def __init__(
+        self,
+        depth: int = 8,
+        policy: OverflowPolicy = OverflowPolicy.FULL_FLUSH,
+    ) -> None:
+        if depth <= 0:
+            raise ValueError(f"return stack depth must be positive, got {depth}")
+        self.depth = depth
+        self.policy = policy
+        self.stats = ReturnStackStats()
+        self._entries: list[ReturnStackEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, entry: ReturnStackEntry) -> None:
+        """Record a caller.  The machine must handle overflow *before*
+        pushing (it owns the memory writes); pushing onto a full stack is
+        a programming error here."""
+        if self.full:
+            raise OverflowError("push onto full return stack; flush first")
+        self._entries.append(entry)
+        self.stats.pushes += 1
+
+    def pop(self) -> ReturnStackEntry | None:
+        """Pop the most recent caller, or None on a miss (empty stack)."""
+        if self._entries:
+            self.stats.hits += 1
+            return self._entries.pop()
+        self.stats.misses += 1
+        return None
+
+    def peek(self) -> ReturnStackEntry | None:
+        """The entry a return would use, without popping."""
+        return self._entries[-1] if self._entries else None
+
+    def overflow_victims(self) -> list[ReturnStackEntry]:
+        """Remove and return the entries to write out before a push.
+
+        Under ``FULL_FLUSH`` that is every entry; under ``SPILL_OLDEST``
+        just the bottom one.  Oldest first, so the machine can chain the
+        return links correctly.
+        """
+        if self.policy is OverflowPolicy.FULL_FLUSH:
+            victims = self._entries
+            self._entries = []
+        else:
+            victims = [self._entries.pop(0)]
+        return victims
+
+    def take_all(self) -> list[ReturnStackEntry]:
+        """Remove and return all entries, oldest first (for full flushes)."""
+        victims = self._entries
+        self._entries = []
+        return victims
+
+    def entries(self) -> tuple[ReturnStackEntry, ...]:
+        """Snapshot, oldest first (diagnostics and tests)."""
+        return tuple(self._entries)

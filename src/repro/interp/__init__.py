@@ -1,0 +1,48 @@
+"""The interpreter (the paper's RUN_E): a machine that executes the encoding.
+
+One :class:`~repro.interp.machine.Machine` class executes every
+implementation in the paper's ladder; a
+:class:`~repro.interp.machineconfig.MachineConfig` selects the point in
+the design space:
+
+=====  ==============================================================
+I1     ``MachineConfig.i1()`` — wide link vectors, first-fit heap,
+       no tables, no IFU help, no banks (section 4)
+I2     ``MachineConfig.i2()`` — packed descriptors, GFT/EV, AV frame
+       heap (section 5)
+I3     ``MachineConfig.i3()`` — I2 plus DIRECTCALL linkage and the IFU
+       return stack (section 6)
+I4     ``MachineConfig.i4()`` — I3 plus register banks, stack-bank
+       renaming, the free-frame stack, and deferred allocation
+       (section 7)
+=====  ==============================================================
+
+All four run the *same* source programs (recompiled/relinked per the
+paper's section 2 rules) and produce identical results; only the space
+and event counts differ — which is the experiment.
+"""
+
+from repro.interp.frames import FRAME_GLOBAL, FRAME_PC, FRAME_RETURN_LINK, LOCALS_BASE, FrameState
+from repro.interp.machine import Machine
+from repro.interp.machineconfig import (
+    ArgConvention,
+    FrameAllocatorKind,
+    LinkageKind,
+    MachineConfig,
+)
+from repro.interp.processes import Process, Scheduler
+
+__all__ = [
+    "ArgConvention",
+    "FRAME_GLOBAL",
+    "FRAME_PC",
+    "FRAME_RETURN_LINK",
+    "FrameAllocatorKind",
+    "FrameState",
+    "LOCALS_BASE",
+    "LinkageKind",
+    "Machine",
+    "MachineConfig",
+    "Process",
+    "Scheduler",
+]

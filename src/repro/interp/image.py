@@ -1,0 +1,93 @@
+"""The linked program image: everything a Machine needs to run.
+
+Produced by :func:`repro.lang.linker.link` from compiled (or
+hand-assembled) modules plus a :class:`~repro.interp.machineconfig.
+MachineConfig`.  The image owns the simulated memory with all tables
+populated — GFT, link vectors, global frames, allocation vector — the
+code space with all segments placed and direct-call fixups applied, and
+the frame allocator appropriate to the configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.alloc.avheap import AVHeap
+from repro.alloc.simpleheap import SimpleHeap
+from repro.alloc.sizing import SizeLadder
+from repro.interp.frames import ProcMeta
+from repro.interp.machineconfig import MachineConfig
+from repro.isa.program import CodeSpace, ModuleCode
+from repro.machine.costs import CycleCounter
+from repro.machine.memory import Memory, Region
+from repro.mesa.tables import GlobalFrameTable, LinkVector, WideLinkVector
+
+
+@dataclass
+class LinkedModule:
+    """One placed module instance and its table coordinates."""
+
+    module: ModuleCode
+    instance: int
+    code_base: int
+    gf_address: int
+    lv_base: int
+    lv: LinkVector | WideLinkVector
+    #: GFT indices for this instance, one per bias slot in use (I2/I3);
+    #: empty under SIMPLE linkage, which has no GFT.
+    env_indices: list[int] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+    def key(self) -> tuple[str, int]:
+        return (self.module.name, self.instance)
+
+
+@dataclass
+class ProgramImage:
+    """The loaded program: memory, code, tables, allocators, symbols."""
+
+    config: MachineConfig
+    counter: CycleCounter
+    memory: Memory
+    code: CodeSpace
+    ladder: SizeLadder
+    gft: GlobalFrameTable | None
+    #: The frame allocator: exactly one is non-None, per the config.
+    av_heap: AVHeap | None
+    first_fit: SimpleHeap | None
+    frame_region: Region
+    #: (module name, instance) -> placed module.
+    instances: dict[tuple[str, int], LinkedModule]
+    #: gf address -> placed module (the machine's module-context lookup).
+    by_gf: dict[int, LinkedModule]
+    #: absolute entry (fsi byte) address -> procedure metadata.
+    procs_by_entry: dict[int, ProcMeta]
+    #: The designated main procedure.
+    entry: ProcMeta
+
+    def instance_of(self, module_name: str, instance: int = 0) -> LinkedModule:
+        """Look up a placed module instance."""
+        return self.instances[(module_name, instance)]
+
+    def proc_meta(self, module_name: str, proc_name: str, instance: int = 0) -> ProcMeta:
+        """Metadata of a procedure by qualified name."""
+        linked = self.instance_of(module_name, instance)
+        procedure = linked.module.procedure_named(proc_name)
+        return self.procs_by_entry[linked.code_base + procedure.entry_offset]
+
+    def code_bytes(self) -> int:
+        """Total code-space size (for the space benchmarks)."""
+        return self.code.size
+
+    def table_words(self) -> dict[str, int]:
+        """Words spent on each table kind (benchmark C6's denominators)."""
+        lv_words = sum(
+            linked.lv.words()
+            for (name, instance), linked in self.instances.items()
+            if instance == 0  # link vectors are shared across instances
+        )
+        gft_words = len(self.gft) if self.gft is not None else 0
+        return {"link_vectors": lv_words, "gft": gft_words}

@@ -1,0 +1,172 @@
+"""Machine configuration: one knob per design decision in the paper.
+
+The presets ``i1()``-``i4()`` pin the four implementations; everything is
+also individually adjustable for the ablation benchmarks (return-stack
+depth, bank count, pointer policy, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.banks.pointers import PointerPolicy
+from repro.ifu.returnstack import OverflowPolicy
+from repro.machine.costs import CostModel
+
+
+class LinkageKind(enum.Enum):
+    """How external calls are bound (the I1 / I2 / I3 axis)."""
+
+    #: Wide link vectors with full addresses (section 4).
+    SIMPLE = "simple"
+    #: Packed descriptors through LV/GFT/EV (section 5).
+    MESA = "mesa"
+    #: DIRECTCALL/SHORTDIRECTCALL where the linker can bind statically,
+    #: falling back to MESA for multi-instance modules (section 6).
+    DIRECT = "direct"
+
+
+class ArgConvention(enum.Enum):
+    """How arguments move from the caller's stack into callee locals."""
+
+    #: Section 5.2: the callee stores them with ordinary STORE
+    #: instructions (the compiler emits a prologue of SLn).
+    COPY = "copy"
+    #: Section 7.2: the stack bank is renamed; arguments *are* the first
+    #: locals, no prologue, no data movement.
+    RENAME = "rename"
+
+
+class FrameAllocatorKind(enum.Enum):
+    """Where local frames come from."""
+
+    #: First-fit heap (section 4).
+    FIRST_FIT = "first_fit"
+    #: The allocation-vector free-list heap (section 5.3, Figure 2).
+    AV_HEAP = "av_heap"
+    #: AV heap fronted by the processor's free-frame stack (section 7.1).
+    FAST_STACK = "fast_stack"
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Every design decision the benchmarks vary, in one value object."""
+
+    linkage: LinkageKind = LinkageKind.MESA
+    arg_convention: ArgConvention = ArgConvention.COPY
+    allocator: FrameAllocatorKind = FrameAllocatorKind.AV_HEAP
+
+    #: IFU return stack (section 6); depth 0 disables it.
+    return_stack_depth: int = 0
+    return_stack_policy: OverflowPolicy = OverflowPolicy.FULL_FLUSH
+
+    #: Register banks (section 7); 0 banks disables them.
+    bank_count: int = 0
+    bank_words: int = 16
+    #: Dirty-word tracking on spills (the section 7.1 aside).
+    track_dirty: bool = True
+
+    #: Defer frame allocation until a flush forces it (section 7.1).
+    deferred_allocation: bool = False
+
+    #: Pointers-to-locals handling (section 7.4).
+    pointer_policy: PointerPolicy = PointerPolicy.FLAG_FLUSH
+
+    #: Evaluation stack depth (must not exceed bank_words when banks are
+    #: on — the stack lives in a bank).
+    eval_stack_depth: int = 16
+
+    #: Cost model for the cycle counter.
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    #: Execution budget (instructions) before StepLimitExceeded.
+    step_limit: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.bank_count and self.bank_count < 3:
+            raise ValueError("bank_count must be 0 (off) or at least 3")
+        if self.bank_count and self.eval_stack_depth > self.bank_words:
+            raise ValueError(
+                "with banks on, the eval stack lives in a bank: "
+                f"eval_stack_depth {self.eval_stack_depth} > bank_words "
+                f"{self.bank_words}"
+            )
+        if self.deferred_allocation and not self.bank_count:
+            raise ValueError("deferred allocation requires register banks")
+        if self.deferred_allocation and self.return_stack_depth == 0:
+            raise ValueError(
+                "deferred allocation requires the IFU return stack: without "
+                "one, every call writes its return link to memory, which "
+                "needs an allocated frame"
+            )
+        if self.arg_convention is ArgConvention.RENAME and not self.bank_count:
+            raise ValueError("the RENAME convention requires register banks")
+
+    @property
+    def use_return_stack(self) -> bool:
+        return self.return_stack_depth > 0
+
+    @property
+    def use_banks(self) -> bool:
+        return self.bank_count > 0
+
+    def but(self, **changes) -> "MachineConfig":
+        """A copy with the given fields replaced (ablation helper)."""
+        return replace(self, **changes)
+
+    # -- the paper's four implementations -----------------------------------------
+
+    @classmethod
+    def i1(cls, **overrides) -> "MachineConfig":
+        """Section 4: the very straightforward implementation."""
+        base = cls(
+            linkage=LinkageKind.SIMPLE,
+            arg_convention=ArgConvention.COPY,
+            allocator=FrameAllocatorKind.FIRST_FIT,
+        )
+        return base.but(**overrides) if overrides else base
+
+    @classmethod
+    def i2(cls, **overrides) -> "MachineConfig":
+        """Section 5: the Mesa implementation (minimum space)."""
+        base = cls(
+            linkage=LinkageKind.MESA,
+            arg_convention=ArgConvention.COPY,
+            allocator=FrameAllocatorKind.AV_HEAP,
+        )
+        return base.but(**overrides) if overrides else base
+
+    @classmethod
+    def i3(cls, **overrides) -> "MachineConfig":
+        """Section 6: DIRECTCALL plus the IFU return stack."""
+        base = cls(
+            linkage=LinkageKind.DIRECT,
+            arg_convention=ArgConvention.COPY,
+            allocator=FrameAllocatorKind.AV_HEAP,
+            return_stack_depth=8,
+        )
+        return base.but(**overrides) if overrides else base
+
+    @classmethod
+    def i4(cls, **overrides) -> "MachineConfig":
+        """Section 7: banks, renaming, fast frames, deferred allocation."""
+        base = cls(
+            linkage=LinkageKind.DIRECT,
+            arg_convention=ArgConvention.RENAME,
+            allocator=FrameAllocatorKind.FAST_STACK,
+            return_stack_depth=8,
+            bank_count=4,
+            bank_words=16,
+            deferred_allocation=True,
+        )
+        return base.but(**overrides) if overrides else base
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "MachineConfig":
+        """Look up a preset by name: "i1".."i4"."""
+        presets = {"i1": cls.i1, "i2": cls.i2, "i3": cls.i3, "i4": cls.i4}
+        try:
+            return presets[name](**overrides)
+        except KeyError:
+            raise ValueError(f"unknown preset {name!r}; use i1..i4") from None

@@ -1,0 +1,233 @@
+"""Multiple processes over one machine (sections 1, 3, 6, 7).
+
+The paper's model needs no special cases for processes: each process is
+just a chain of contexts, and a process switch is an XFER that happens to
+land in another chain.  What the *implementations* owe processes is the
+fallback discipline: a switch is one of the "unusual" events, so the
+return stack is flushed and "all the banks are flushed into storage"
+(section 7.1) before the other process's state is loaded.
+
+:class:`Scheduler` is a cooperative round-robin scheduler with optional
+preemption by instruction quantum.  A process yields explicitly with the
+``YIELD`` instruction, or is preempted when its quantum expires; its full
+machine state (frame, PC, evaluation stack) is saved to a process record
+(charged as memory traffic — the state vector lives in storage), and the
+next runnable process is restored.
+
+Because frames live in a heap rather than a stack, every process's
+frames share one arena with no per-process reservation — exactly the
+storage-allocation advantage the introduction claims over contiguous-
+stack architectures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import InterpreterError, StepLimitExceeded
+from repro.interp.frames import FrameState, FRAME_PC
+from repro.interp.machine import Machine
+from repro.machine.costs import Event
+from repro.machine.memory import to_word
+
+
+class ProcessStatus(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class Process:
+    """One process: an entry point plus saved machine state."""
+
+    pid: int
+    module: str
+    proc: str
+    args: tuple[int, ...]
+    status: ProcessStatus = ProcessStatus.READY
+    started: bool = False
+    #: Saved state while not running.
+    frame: FrameState | None = None
+    pc: int = 0
+    gf: int = 0
+    cb: int = -1
+    stack: tuple[int, ...] = ()
+    #: Result stack after completion.
+    results: list[int] = field(default_factory=list)
+    #: Instructions executed by this process.
+    steps: int = 0
+
+
+@dataclass
+class SwitchStats:
+    """Process-switch accounting (they are XFERs, and slow ones)."""
+
+    switches: int = 0
+    preemptions: int = 0
+    yields: int = 0
+
+
+class Scheduler:
+    """Round-robin over processes sharing one machine.
+
+    Parameters
+    ----------
+    machine:
+        The machine to schedule on.  The scheduler takes over its run
+        loop; use :meth:`run` instead of ``machine.run``.
+    quantum:
+        Instructions per time slice; 0 disables preemption (switches
+        happen only on YIELD and process completion).
+    """
+
+    def __init__(self, machine: Machine, quantum: int = 0) -> None:
+        self.machine = machine
+        self.quantum = quantum
+        self.processes: list[Process] = []
+        self.current: Process | None = None
+        self.stats = SwitchStats()
+        self._rotor = 0  # round-robin position
+
+    def spawn(self, module: str, proc: str, *args: int) -> Process:
+        """Create a READY process running ``module.proc(*args)``."""
+        process = Process(
+            pid=len(self.processes), module=module, proc=proc, args=tuple(args)
+        )
+        self.processes.append(process)
+        return process
+
+    def run(self, max_steps: int = 10_000_000) -> list[Process]:
+        """Run all processes to completion; returns them with results."""
+        machine = self.machine
+        machine.on_halt = self._on_halt
+        total = 0
+        try:
+            while True:
+                process = self._next_ready()
+                if process is None:
+                    break
+                self._switch_in(process)
+                while not machine.halted and self.current is process:
+                    machine.step()
+                    process.steps += 1
+                    total += 1
+                    if total > max_steps:
+                        raise StepLimitExceeded(max_steps)
+                    if machine.halted or self.current is not process:
+                        break  # the step completed the process
+                    if machine.yield_requested:
+                        machine.yield_requested = False
+                        self.stats.yields += 1
+                        self._switch_out(process)
+                        break
+                    if self.quantum and process.steps % self.quantum == 0:
+                        if self._another_ready(process):
+                            self.stats.preemptions += 1
+                            self._switch_out(process)
+                            break
+                if machine.halted and self.current is process:
+                    # _on_halt marked it DONE and captured results.
+                    machine.halted = False
+                    self.current = None
+        finally:
+            machine.on_halt = None
+            machine.halted = True
+        return self.processes
+
+    # -- internals ------------------------------------------------------------
+
+    def _next_ready(self) -> Process | None:
+        """Round-robin: scan from just past the last scheduled process."""
+        count = len(self.processes)
+        for offset in range(count):
+            process = self.processes[(self._rotor + offset) % count]
+            if process.status is ProcessStatus.READY:
+                self._rotor = (process.pid + 1) % count
+                return process
+        return None
+
+    def _another_ready(self, current: Process) -> bool:
+        return any(
+            p is not current and p.status is ProcessStatus.READY for p in self.processes
+        )
+
+    def _switch_in(self, process: Process) -> None:
+        machine = self.machine
+        self.stats.switches += 1
+        self.current = process
+        process.status = ProcessStatus.RUNNING
+        if not process.started:
+            process.started = True
+            machine.start(process.module, process.proc, *process.args)
+            process.frame = machine.frame
+            return
+        # Restore: the state vector is read back from storage.
+        machine.counter.record(Event.MEMORY_READ, len(process.stack) + 2)
+        machine.stack.load(process.stack)
+        machine.frame = process.frame
+        machine.gf = process.gf
+        machine.cb = process.cb
+        machine.pc = process.pc
+        machine.return_context = None
+        machine.halted = False
+        if machine.banks is not None:
+            machine.banks.on_resume(process.frame, event=f"switch-in p{process.pid}")
+
+    def _switch_out(self, process: Process) -> None:
+        """Suspend: flush everything, save the state vector to storage.
+
+        "As usual, when life gets complicated because of a process
+        switch, trap or whatever, we fall back to the general scheme:
+        all the banks are flushed into storage."
+        """
+        machine = self.machine
+        if machine.rstack is not None and len(machine.rstack):
+            machine._flush_return_stack("process", machine.rstack.take_all())
+        if machine.banks is not None:
+            machine.banks.flush_all(event=f"switch-out p{process.pid}")
+        current = machine.frame
+        machine._materialize(current)
+        cb = machine._current_code_base()
+        machine.memory.write(current.address + FRAME_PC, to_word(machine.pc - cb))
+        # The state vector (stack contents + registers) goes to storage.
+        stack = machine.stack.contents()
+        machine.counter.record(Event.MEMORY_WRITE, len(stack) + 2)
+        machine.stack.clear()
+        process.frame = current
+        process.pc = machine.pc
+        process.gf = machine.gf
+        process.cb = machine.cb
+        process.stack = stack
+        process.status = ProcessStatus.READY
+        self.current = None
+
+    def _on_halt(self, machine: Machine) -> bool:
+        """A process's outermost RETURN: record results, mark DONE."""
+        process = self.current
+        if process is None:
+            return False
+        process.status = ProcessStatus.DONE
+        process.results = machine.results()
+        machine.stack.clear()
+        if machine.banks is not None:
+            # The dead process's chain is gone; release any banks still
+            # bound to freed frames.
+            for bank in machine.bankfile:
+                frame = bank.frame
+                if isinstance(frame, FrameState) and frame.freed:
+                    bank.release()
+        return False  # let machine.halted go True; run() rotates
+
+
+def run_processes(machine: Machine, specs: list[tuple[str, str, tuple[int, ...]]], quantum: int = 0) -> list[Process]:
+    """Convenience: spawn and run a list of (module, proc, args) processes."""
+    scheduler = Scheduler(machine, quantum=quantum)
+    for module, proc, args in specs:
+        scheduler.spawn(module, proc, *args)
+    return scheduler.run()
+
+
+class SchedulerError(InterpreterError):
+    """Raised for inconsistent scheduler usage."""

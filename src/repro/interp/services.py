@@ -1,0 +1,198 @@
+"""Runtime services: code swapping, relocation, procedure replacement.
+
+Section 5.1 lists what each level of indirection buys in mobility:
+
+* "The global frame permits the code segment to be moved.  This is very
+  important in versions of Mesa without paging, since it allows a simple
+  and efficient implementation of code swapping and relocation."
+  (:func:`relocate_module`)
+
+* "EV permits a procedure to be moved in the code segment.  This allows
+  a procedure to be dynamically replaced by another of a different size,
+  without any loss of efficient packing."  (:func:`replace_procedure`)
+
+Both services work because the machine keeps only *relative* PCs in
+frames (section 5.3) and reaches code through the global frame's code
+base: updating one word per instance re-binds every suspended
+activation.  The IFU return stack holds absolute PCs, so it is flushed
+first — another "unusual event" using the standard fallback.
+
+Direct call sites hold absolute (or PC-relative) addresses, so anything
+they reference is pinned — exactly trade-off D3 ("Linking to p requires
+fixing up addresses throughout the code ...  This is especially
+inconvenient if the linkage has to be changed").  The guards below state
+D3 precisely: a module relocates unless another module direct-calls into
+it, and a procedure is EV-replaceable unless *any* direct site targets
+it.  Modules compiled behind the flexible EXTERNALCALL binding (the
+section 6/8 hybrid) therefore stay swappable inside an otherwise
+direct-bound program.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError, LinkError
+from repro.interp.frames import ProcMeta
+from repro.interp.machine import Machine
+from repro.isa.program import EV_ENTRY_BYTES
+
+
+def _require_relocatable(machine: Machine, module_name: str) -> None:
+    """D3, stated precisely: a segment can move unless some *other*
+    module holds a direct (absolute or PC-relative) reference into it.
+    Intra-module SHORTDIRECTCALLs move with their targets, so they do
+    not pin the segment."""
+    for linked in machine.image.instances.values():
+        for fixup in linked.module.fixups:
+            if fixup.kind not in ("dfc", "sdfc"):
+                continue
+            if fixup.target_module == module_name and linked.name != module_name:
+                raise LinkError(
+                    f"module {module_name!r} is pinned by a direct call from "
+                    f"{linked.name}.{fixup.procedure} (trade-off D3)"
+                )
+
+
+def _require_replaceable(machine: Machine, module_name: str, proc_name: str) -> None:
+    """A procedure is replaceable through its EV slot only if *no* direct
+    call site targets it — direct callers keep their old operands and
+    would silently run the old code."""
+    for linked in machine.image.instances.values():
+        for fixup in linked.module.fixups:
+            if (
+                fixup.kind in ("dfc", "sdfc")
+                and fixup.target_module == module_name
+                and fixup.target_procedure == proc_name
+            ):
+                raise LinkError(
+                    f"{module_name}.{proc_name} is direct-called from "
+                    f"{linked.name}.{fixup.procedure}; replacing it needs "
+                    "relinking (trade-off D3)"
+                )
+
+
+def relocate_module(machine: Machine, module_name: str) -> int:
+    """Move *module_name*'s code segment to the end of the code space.
+
+    Returns the new code base.  Every instance's global frame is updated
+    (one counted write per instance — that is the whole point of T2);
+    suspended activations resume correctly because their saved PCs are
+    code-base-relative.  The running context may be inside the module:
+    its PC and CB registers are rebased too.
+    """
+    _require_relocatable(machine, module_name)
+    image = machine.image
+    code = image.code
+    linked_instances = [
+        linked for linked in image.instances.values() if linked.name == module_name
+    ]
+    if not linked_instances:
+        raise LinkError(f"unknown module {module_name!r}")
+    old_base = linked_instances[0].code_base
+    # Copy the *live* bytes (link-time fixups such as descriptor literals
+    # were patched into the code space, not the module's pristine segment).
+    segment_length = len(linked_instances[0].module.segment)
+    segment = bytes(code.buffer[old_base : old_base + segment_length])
+    if machine.rstack is not None and len(machine.rstack):
+        machine._flush_return_stack("relocation", machine.rstack.take_all())
+
+    new_base = code.size
+    _append_segment(code, segment)
+
+    # Rebind: one word per instance (the GFT entries are untouched).
+    for linked in linked_instances:
+        machine.memory.write(linked.gf_address, new_base)  # GF[code base]
+        linked.code_base = new_base
+
+    # Rebase procedure metadata (simulation bookkeeping, not machine state).
+    delta = new_base - old_base
+    for entry_address in list(image.procs_by_entry):
+        meta = image.procs_by_entry[entry_address]
+        if meta.module == module_name:
+            moved = ProcMeta(
+                module=meta.module,
+                name=meta.name,
+                entry_address=meta.entry_address + delta,
+                arg_count=meta.arg_count,
+                result_count=meta.result_count,
+                frame_words=meta.frame_words,
+                fsi=meta.fsi,
+                ev_index=meta.ev_index,
+            )
+            del image.procs_by_entry[entry_address]
+            image.procs_by_entry[moved.entry_address] = moved
+    if image.entry.module == module_name:
+        image.entry = image.proc_meta(module_name, image.entry.name)
+
+    # The running context: cached code-base registers are stale.  (A
+    # deferred frame is reachable only as the running frame or through
+    # the just-flushed return stack, so this covers every live state.)
+    if machine.frame is not None and machine.frame.proc.module == module_name:
+        machine.pc += delta
+        machine.cb = new_base
+    stale = list(machine.frames.by_address.values())
+    if machine.frame is not None and not any(
+        state is machine.frame for state in stale
+    ):
+        stale.append(machine.frame)
+    for state in stale:
+        if state.proc.module == module_name:
+            state.code_base = new_base
+            state.proc = image.procs_by_entry[state.proc.entry_address + delta]
+    return new_base
+
+
+def replace_procedure(
+    machine: Machine, module_name: str, proc_name: str, new_body: bytes
+) -> int:
+    """Replace one procedure's code via its entry-vector slot.
+
+    The new body (possibly "of a different size") is appended to the
+    code space within reach of the module's 16-bit EV offsets, and the
+    EV entry is repointed — one counted write.  Activations already
+    running the old body keep doing so (their relative PCs address the
+    old bytes, which stay in place); *new* calls get the new code.
+    Returns the new entry offset.
+    """
+    _require_replaceable(machine, module_name, proc_name)
+    image = machine.image
+    linked = image.instance_of(module_name)
+    procedure = linked.module.procedure_named(proc_name)
+    old_entry = linked.code_base + procedure.entry_offset
+    old_meta = image.procs_by_entry[old_entry]
+
+    new_entry_abs = image.code.size
+    offset = new_entry_abs - linked.code_base
+    if not 0 <= offset <= 0xFFFF:
+        raise EncodingError(
+            f"replacement for {module_name}.{proc_name} lands {offset} bytes "
+            "from the code base, beyond the 16-bit entry-vector reach"
+        )
+    _append_segment(image.code, bytes([old_meta.fsi]) + new_body)
+
+    # Repoint the EV entry (one counted write at the machine level; we
+    # use the patch interface as the paper's loader would).
+    ev_address = linked.code_base + procedure.ev_index * EV_ENTRY_BYTES
+    image.code.patch_word(ev_address, offset)
+
+    new_meta = ProcMeta(
+        module=old_meta.module,
+        name=old_meta.name,
+        entry_address=new_entry_abs,
+        arg_count=old_meta.arg_count,
+        result_count=old_meta.result_count,
+        frame_words=old_meta.frame_words,
+        fsi=old_meta.fsi,
+        ev_index=old_meta.ev_index,
+    )
+    image.procs_by_entry[new_entry_abs] = new_meta
+    # The old metadata stays: in-flight activations still reference it.
+    return offset
+
+
+def _append_segment(code, segment: bytes) -> None:
+    """Grow the code space in place (the loader side of code swapping)."""
+    buffer = code.buffer
+    if len(buffer) + len(segment) > code.LIMIT:
+        raise EncodingError("code space exceeds the 24-bit address limit")
+    buffer.extend(segment)
+    code.epoch += 1

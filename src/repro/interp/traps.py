@@ -1,0 +1,50 @@
+"""Trap kinds and helpers.
+
+The paper treats traps as just another XFER ("several other instructions
+which combine an XFER with other operations, to support traps, coroutine
+linkages, and multiple processes").  Two trap mechanisms exist in this
+reproduction:
+
+* the **software allocator trap** of section 5.3 is internal to the AV
+  heap (an empty free list replenishes itself and charges an
+  ``ALLOCATOR_TRAP`` event) — the common case, fully modelled;
+* *machine* traps (divide by zero, breakpoint, outlawed pointer) surface
+  through :meth:`repro.interp.machine.Machine.trap`, which dispatches to
+  a registered host-level handler or raises
+  :class:`~repro.errors.TrapError`.  Handlers get the machine and may fix
+  the state and continue — the same power a trap context would have,
+  without forcing every unit test to assemble one.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TrapKind(enum.Enum):
+    """The conditions that trap."""
+
+    BREAKPOINT = "breakpoint"
+    DIVIDE_BY_ZERO = "divide_by_zero"
+    #: LLA under the AVOID pointer policy (section 7.4: "outlaw pointers
+    #: to local variables or the local frame").
+    POINTER_TO_LOCAL = "pointer_to_local"
+    #: Eval-stack overflow (compiler bug: expressions must fit).
+    STACK_OVERFLOW = "stack_overflow"
+
+
+#: The code word a trap context receives as its argument record.
+TRAP_CODES: dict[TrapKind, int] = {
+    TrapKind.BREAKPOINT: 1,
+    TrapKind.DIVIDE_BY_ZERO: 2,
+    TrapKind.POINTER_TO_LOCAL: 3,
+    TrapKind.STACK_OVERFLOW: 4,
+}
+
+
+class TrapTransfer(Exception):
+    """Internal: a trap was dispatched as an XFER to a trap context.
+
+    Raised to abandon the faulting instruction's handler; the machine's
+    step loop absorbs it (control is already in the trap context).
+    """

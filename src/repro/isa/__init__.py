@@ -1,0 +1,50 @@
+"""The instruction encoding (the paper's "encoding" level, section 2).
+
+A Mesa-flavoured stack bytecode with one-, two-, three- and four-byte
+instructions.  The design criteria follow section 5: economy of space, a
+stack rather than registers for working storage, heavy optimization of
+local-variable references, and one-byte opcodes for the statically most
+frequent external calls.
+
+Call instructions cover the whole implementation ladder:
+
+* ``EFC0``-``EFC7`` / ``EFCB`` — external call through the link vector
+  (I1 uses wide LV entries, I2 the packed descriptors of section 5.1);
+* ``LFC`` — same-module call through the entry vector only;
+* ``DFC`` — the statically bound DIRECTCALL of section 6 (4 bytes,
+  24-bit code address, GF and fsi stored at the target);
+* ``SDFC`` — the PC-relative SHORTDIRECTCALL (3 bytes);
+* ``RET`` — free the frame and XFER to the return link;
+* ``XF`` — the fully general transfer, for coroutines and anything else.
+"""
+
+from repro.isa.assembler import Assembler
+from repro.isa.disassembler import disassemble, format_listing
+from repro.isa.instruction import Instruction, decode, encode
+from repro.isa.opcodes import (
+    OPERAND_KINDS,
+    Op,
+    OperandKind,
+    instruction_length,
+    is_call,
+    is_transfer,
+)
+from repro.isa.program import CodeSpace, Procedure, ModuleCode
+
+__all__ = [
+    "Assembler",
+    "CodeSpace",
+    "Instruction",
+    "ModuleCode",
+    "OPERAND_KINDS",
+    "Op",
+    "OperandKind",
+    "Procedure",
+    "decode",
+    "disassemble",
+    "encode",
+    "format_listing",
+    "instruction_length",
+    "is_call",
+    "is_transfer",
+]

@@ -1,0 +1,87 @@
+"""Disassembly of procedure bodies and whole code spaces.
+
+Used by the compiler's ``--listing`` output, by tests that check code
+generation, and by the space-analysis benchmarks that need a per-
+instruction census of a compiled program (claim C2: two-thirds of
+instructions are one byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction, decode
+from repro.isa.opcodes import DESCRIPTIONS, JUMP_OPS, OperandKind, OPERAND_KINDS
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """One instruction with its position: ``(offset, instruction)``."""
+
+    offset: int
+    instruction: Instruction
+
+    @property
+    def length(self) -> int:
+        return self.instruction.length
+
+    def target(self) -> int | None:
+        """Absolute offset a jump lands on, or None for non-jumps."""
+        if self.instruction.op in JUMP_OPS:
+            return self.offset + self.length + self.instruction.operand
+        return None
+
+
+def disassemble(body: bytes, start: int = 0, end: int | None = None) -> list[DecodedInstruction]:
+    """Linearly decode ``body[start:end]`` into positioned instructions.
+
+    The decoder assumes the range contains instructions only (no embedded
+    data); procedure bodies produced by the assembler satisfy that.
+    """
+    if end is None:
+        end = len(body)
+    result: list[DecodedInstruction] = []
+    offset = start
+    while offset < end:
+        instruction = decode(body, offset)
+        result.append(DecodedInstruction(offset, instruction))
+        offset += instruction.length
+    return result
+
+
+def format_listing(body: bytes, start: int = 0, end: int | None = None) -> str:
+    """Human-readable listing with offsets, bytes, mnemonics, and jump targets."""
+    lines: list[str] = []
+    for item in disassemble(body, start, end):
+        raw = body[item.offset : item.offset + item.length].hex(" ")
+        text = str(item.instruction)
+        target = item.target()
+        if target is not None:
+            text += f"  ; -> {target:#06x}"
+        lines.append(f"{item.offset:#06x}  {raw:<12} {text}")
+    return "\n".join(lines)
+
+
+def length_census(body: bytes, start: int = 0, end: int | None = None) -> dict[int, int]:
+    """Histogram of instruction lengths in bytes — the C2 measurement.
+
+    Returns ``{1: n1, 2: n2, 3: n3, 4: n4}`` counts for the decoded range.
+    """
+    census: dict[int, int] = {}
+    for item in disassemble(body, start, end):
+        census[item.length] = census.get(item.length, 0) + 1
+    return census
+
+
+def describe(op_name: str) -> str:
+    """One-line description of an opcode by name (documentation helper)."""
+    from repro.isa.opcodes import Op
+
+    return DESCRIPTIONS[Op[op_name]]
+
+
+def operand_kind(op_name: str) -> OperandKind:
+    """Operand kind of an opcode by name (documentation helper)."""
+    from repro.isa.opcodes import Op
+
+    return OPERAND_KINDS[Op[op_name]]

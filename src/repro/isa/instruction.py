@@ -1,0 +1,109 @@
+"""Instruction values and their byte-level encode/decode.
+
+An :class:`Instruction` is an opcode plus an optional integer operand; the
+module knows how to serialize it to the 1-4 byte wire form and back.
+Multi-byte operands are big-endian.  Signed operands (jump displacements,
+``SDFC``) are two's complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OperandRangeError, UnknownOpcode
+from repro.isa.opcodes import OPERAND_KINDS, Op, OperandKind, instruction_length
+
+#: Valid operand ranges per kind (inclusive).
+_RANGES: dict[OperandKind, tuple[int, int]] = {
+    OperandKind.NONE: (0, 0),
+    OperandKind.U8: (0, 0xFF),
+    OperandKind.S8: (-0x80, 0x7F),
+    OperandKind.U16: (0, 0xFFFF),
+    OperandKind.S16: (-0x8000, 0x7FFF),
+    OperandKind.A24: (0, 0xFFFFFF),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction: opcode plus operand (0 when none)."""
+
+    op: Op
+    operand: int = 0
+
+    def __post_init__(self) -> None:
+        kind = OPERAND_KINDS[self.op]
+        low, high = _RANGES[kind]
+        if not low <= self.operand <= high:
+            raise OperandRangeError(
+                f"{self.op.name} operand {self.operand} outside [{low}, {high}]"
+            )
+
+    @property
+    def length(self) -> int:
+        """Encoded length in bytes."""
+        return instruction_length(self.op)
+
+    def __str__(self) -> str:
+        if OPERAND_KINDS[self.op] is OperandKind.NONE:
+            return self.op.name
+        return f"{self.op.name} {self.operand}"
+
+
+def encode(instruction: Instruction) -> bytes:
+    """Serialize one instruction to its wire bytes."""
+    kind = OPERAND_KINDS[instruction.op]
+    operand = instruction.operand
+    if kind is OperandKind.NONE:
+        return bytes([int(instruction.op)])
+    if kind is OperandKind.U8:
+        return bytes([int(instruction.op), operand])
+    if kind is OperandKind.S8:
+        return bytes([int(instruction.op), operand & 0xFF])
+    if kind is OperandKind.U16:
+        return bytes([int(instruction.op), (operand >> 8) & 0xFF, operand & 0xFF])
+    if kind is OperandKind.S16:
+        raw = operand & 0xFFFF
+        return bytes([int(instruction.op), (raw >> 8) & 0xFF, raw & 0xFF])
+    # A24
+    return bytes(
+        [
+            int(instruction.op),
+            (operand >> 16) & 0xFF,
+            (operand >> 8) & 0xFF,
+            operand & 0xFF,
+        ]
+    )
+
+
+def decode(code: bytes | bytearray, pc: int) -> Instruction:
+    """Decode the instruction starting at byte offset *pc* of *code*.
+
+    Raises :class:`UnknownOpcode` for undefined bytes and
+    :class:`OperandRangeError` if the code is truncated mid-operand.
+    """
+    if not 0 <= pc < len(code):
+        raise UnknownOpcode(-1, pc)
+    byte = code[pc]
+    try:
+        op = Op(byte)
+    except ValueError:
+        raise UnknownOpcode(byte, pc) from None
+    kind = OPERAND_KINDS[op]
+    needed = instruction_length(op)
+    if pc + needed > len(code):
+        raise OperandRangeError(f"{op.name} at pc={pc:#x} runs off the code end")
+    if kind is OperandKind.NONE:
+        return Instruction(op)
+    if kind is OperandKind.U8:
+        return Instruction(op, code[pc + 1])
+    if kind is OperandKind.S8:
+        raw = code[pc + 1]
+        return Instruction(op, raw - 0x100 if raw >= 0x80 else raw)
+    if kind is OperandKind.U16:
+        return Instruction(op, (code[pc + 1] << 8) | code[pc + 2])
+    if kind is OperandKind.S16:
+        raw = (code[pc + 1] << 8) | code[pc + 2]
+        return Instruction(op, raw - 0x10000 if raw >= 0x8000 else raw)
+    # A24
+    return Instruction(op, (code[pc + 1] << 16) | (code[pc + 2] << 8) | code[pc + 3])

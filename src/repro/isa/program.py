@@ -1,0 +1,275 @@
+"""Program structure: procedures, module code segments, the code space.
+
+Section 5 fixes the geography this module reproduces:
+
+* "The code for all the procedures is collected in a *code segment*; the
+  base address of this segment is called the *code base*."
+* "An entry vector EV associated with a module, with a 16 bit entry for
+  each procedure in the module which holds the address of the procedure's
+  first byte (relative to the code base).  This first byte gives the size
+  of the procedure's frame (see section 5.3), and the procedure's code
+  starts at the following byte.  EV starts at the code base."
+
+So a module's segment is laid out as ``[EV entries][fsi byte, body]*`` and
+the whole program's segments are concatenated into one byte-addressed
+:class:`CodeSpace` (giving DIRECTCALL its flat 24-bit program address
+space).  Data-dependent reads of code (EV entries, fsi bytes, the GF/fsi
+words a DIRECTCALL target carries) are *counted* memory references;
+ordinary instruction fetch is the IFU's business and is charged as decode
+events by the interpreter instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EncodingError
+from repro.machine.costs import CycleCounter, Event
+
+#: Bytes per entry-vector entry (16-bit offsets, as in the paper).
+EV_ENTRY_BYTES = 2
+
+#: Frame header words preceding the locals: returnLink, globalFrame, savedPC.
+FRAME_HEADER_WORDS = 3
+
+#: Words a DIRECTCALL target carries before its first instruction:
+#: the global frame address (one word = two bytes) and the fsi (one byte).
+#: Section 6: "at p is stored the global frame address GF and the frame
+#: size fsi, immediately followed by the first instruction".
+DFC_HEADER_BYTES = 3
+
+
+@dataclass
+class Procedure:
+    """One procedure's compiled body, before linking.
+
+    ``frame_words`` is the full frame size in words including the
+    :data:`FRAME_HEADER_WORDS` header (return link, global frame, saved
+    PC); the compiler computes it from the argument/local/temporary count.
+    ``body`` holds the instruction bytes only — the fsi byte that precedes
+    them in the segment is chosen at link time, when the size-class ladder
+    is known.
+    """
+
+    name: str
+    ev_index: int
+    arg_count: int
+    result_count: int
+    frame_words: int
+    body: bytes
+    #: True if callers outside the module may call it (affects LV layout).
+    exported: bool = True
+    #: Filled in when the module segment is built: offset of the fsi byte
+    #: relative to the code base.
+    entry_offset: int = -1
+    #: Offset of the DIRECTCALL header (the inline GF word) relative to the
+    #: code base, or -1 when the segment was built without direct headers.
+    direct_offset: int = -1
+
+    @property
+    def local_words(self) -> int:
+        """Words of arguments + locals + temporaries (frame minus header)."""
+        return self.frame_words - FRAME_HEADER_WORDS
+
+
+@dataclass(frozen=True)
+class CallFixup:
+    """A direct-call site the linker must patch (section 6, D3).
+
+    ``site_offset`` is the offset of the call opcode byte within the
+    procedure *body* (after the fsi byte).  ``kind`` is ``"dfc"`` (24-bit
+    absolute operand) or ``"sdfc"`` (16-bit PC-relative operand).  The
+    target names a procedure, possibly in another module; the linker
+    resolves it to that procedure's DIRECTCALL header address.
+    """
+
+    procedure: str
+    site_offset: int
+    kind: str
+    target_module: str
+    target_procedure: str
+
+
+@dataclass
+class ModuleCode:
+    """A compiled module: its procedures, globals, and external references.
+
+    ``imports`` lists the qualified names this module calls externally, in
+    link-vector order; the linker resolves each to a procedure descriptor
+    (I2) or wide address pair (I1).  ``global_words`` is the number of
+    global variable words its global frame needs beyond the frame header.
+    ``fixups`` are direct-call sites to patch at link time.
+    """
+
+    name: str
+    procedures: list[Procedure] = field(default_factory=list)
+    imports: list[tuple[str, str]] = field(default_factory=list)
+    global_words: int = 0
+    fixups: list[CallFixup] = field(default_factory=list)
+    #: Built by :meth:`build_segment`.
+    segment: bytes = b""
+
+    def procedure_named(self, name: str) -> Procedure:
+        """Look up a procedure by name; raises :class:`EncodingError`."""
+        for procedure in self.procedures:
+            if procedure.name == name:
+                return procedure
+        raise EncodingError(f"module {self.name!r} has no procedure {name!r}")
+
+    def import_index(self, module: str, procedure: str) -> int:
+        """Link-vector index of an external reference, adding it if new."""
+        key = (module, procedure)
+        try:
+            return self.imports.index(key)
+        except ValueError:
+            self.imports.append(key)
+            return len(self.imports) - 1
+
+    def build_segment(
+        self, fsi_of_procedure: dict[str, int], direct_headers: bool = False
+    ) -> bytes:
+        """Lay out ``[EV][(GF word,) fsi byte, body]*`` and record offsets.
+
+        *fsi_of_procedure* maps procedure name to its frame-size index
+        (assigned by the linker from the ladder).  With *direct_headers*
+        each procedure is preceded by a two-byte slot for its global frame
+        address, making it a valid DIRECTCALL target (section 6); the
+        linker patches the actual GF value in once global frames are
+        placed.  The entry-vector offsets always address the fsi byte, so
+        EXTERNALCALL/LOCALCALL work unchanged either way — that is the
+        paper's fallback compatibility (D2).  Returns the segment bytes
+        and caches them in :attr:`segment`.
+        """
+        if len(self.procedures) == 0:
+            raise EncodingError(f"module {self.name!r} has no procedures")
+        ev_bytes = len(self.procedures) * EV_ENTRY_BYTES
+        offset = ev_bytes
+        entries: list[int] = []
+        bodies = bytearray()
+        for procedure in sorted(self.procedures, key=lambda p: p.ev_index):
+            fsi = fsi_of_procedure[procedure.name]
+            if not 0 <= fsi <= 0xFF:
+                raise EncodingError(f"fsi {fsi} does not fit the frame-size byte")
+            if direct_headers:
+                procedure.direct_offset = offset
+                bodies.extend(b"\x00\x00")  # GF slot, patched at link time
+                offset += 2
+            else:
+                procedure.direct_offset = -1
+            procedure.entry_offset = offset
+            entries.append(offset)
+            bodies.append(fsi)
+            bodies.extend(procedure.body)
+            offset += 1 + len(procedure.body)
+        if offset > 0xFFFF:
+            raise EncodingError(
+                f"module {self.name!r} segment of {offset} bytes exceeds the "
+                "16-bit entry-vector offset range"
+            )
+        ev = bytearray()
+        for entry in entries:
+            ev.append((entry >> 8) & 0xFF)
+            ev.append(entry & 0xFF)
+        self.segment = bytes(ev) + bytes(bodies)
+        return self.segment
+
+
+class CodeSpace:
+    """The program's flat, byte-addressed code store.
+
+    Module segments are appended with :meth:`place`; each placement
+    returns the module's *code base*.  ``fetch_byte`` is the IFU's
+    (uncounted) instruction fetch; the ``read_*`` methods are counted data
+    references used when the machine consults code-resident tables (entry
+    vectors, fsi bytes, DIRECTCALL headers).
+    """
+
+    #: DIRECTCALL carries a 24-bit address (section 6, D1).
+    LIMIT = 1 << 24
+
+    def __init__(self, counter: CycleCounter | None = None) -> None:
+        self.counter = counter or CycleCounter()
+        self._bytes = bytearray()
+        self._bases: dict[str, int] = {}
+        #: Bumped on every mutation (placement, patch, append) so that
+        #: interpreters can invalidate their decode caches.
+        self.epoch = 0
+
+    def place(self, module: ModuleCode) -> int:
+        """Append *module*'s built segment; return its code base."""
+        if not module.segment:
+            raise EncodingError(f"module {module.name!r} segment not built")
+        if module.name in self._bases:
+            raise EncodingError(f"module {module.name!r} placed twice")
+        base = len(self._bytes)
+        if base + len(module.segment) > self.LIMIT:
+            raise EncodingError("code space exceeds the 24-bit address limit")
+        self._bases[module.name] = base
+        self._bytes.extend(module.segment)
+        self.epoch += 1
+        return base
+
+    def base_of(self, module_name: str) -> int:
+        """Code base of a placed module."""
+        return self._bases[module_name]
+
+    @property
+    def size(self) -> int:
+        """Total code bytes placed."""
+        return len(self._bytes)
+
+    @property
+    def raw(self) -> bytes:
+        """The code bytes (for the disassembler and analyses)."""
+        return bytes(self._bytes)
+
+    # -- IFU fetch (uncounted data traffic; charged as decode events) -------
+
+    def fetch_byte(self, address: int) -> int:
+        """Instruction-stream byte fetch."""
+        self._check(address)
+        return self._bytes[address]
+
+    @property
+    def buffer(self) -> bytearray:
+        """The live code buffer (no copy) — the interpreter decodes from it."""
+        return self._bytes
+
+    # -- counted data references into code -----------------------------------
+
+    def read_word(self, address: int) -> int:
+        """Counted 16-bit big-endian read (one memory reference)."""
+        self._check(address + 1)
+        self.counter.record(Event.MEMORY_READ)
+        return (self._bytes[address] << 8) | self._bytes[address + 1]
+
+    def read_byte(self, address: int) -> int:
+        """Counted byte read (one memory reference)."""
+        self._check(address)
+        self.counter.record(Event.MEMORY_READ)
+        return self._bytes[address]
+
+    def read_ev_entry(self, code_base: int, index: int) -> int:
+        """Counted entry-vector read: byte offset of procedure *index*."""
+        return self.read_word(code_base + index * EV_ENTRY_BYTES)
+
+    # -- link-time fixups ------------------------------------------------------
+
+    def patch_word(self, address: int, value: int) -> None:
+        """Uncounted 16-bit store, for the linker's DIRECTCALL GF fixups.
+
+        This is D3's 'fixing up addresses throughout the code, as is
+        traditional in conventional linkers' — a link-time operation, so
+        it does not appear in the run-time reference counts.
+        """
+        self._check(address + 1)
+        self._bytes[address] = (value >> 8) & 0xFF
+        self._bytes[address + 1] = value & 0xFF
+        self.epoch += 1
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < len(self._bytes):
+            raise EncodingError(
+                f"code address {address:#x} outside code space of "
+                f"{len(self._bytes)} bytes"
+            )

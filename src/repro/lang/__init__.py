@@ -1,0 +1,34 @@
+"""The compiler and linker (the paper's TRANSLATE_S).
+
+A small Algol/Mesa-like source language — modules, procedures, integer
+variables, VAR parameters, control flow — compiled to the stack bytecode
+of :mod:`repro.isa`.  The pieces:
+
+* :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` — source text to AST;
+* :mod:`repro.lang.analysis` — scopes, symbol tables, frame layout;
+* :mod:`repro.lang.codegen` — AST to procedure bodies, with the calling
+  sequence chosen by the target linkage (EXTERNALCALL for I1/I2,
+  DIRECTCALL/SHORTDIRECTCALL for I3/I4, COPY or RENAME argument
+  convention);
+* :mod:`repro.lang.compiler` — the driver: source to
+  :class:`~repro.isa.program.ModuleCode`;
+* :mod:`repro.lang.linker` — modules to a runnable
+  :class:`~repro.interp.image.ProgramImage` (tables built, direct calls
+  patched).
+
+Changing the linkage means recompiling, exactly as section 2 prescribes:
+"Changing the encoding affects the compiler and the encoded programs, and
+hence requires recompilation.  If done correctly, it does not affect the
+source programs."
+"""
+
+from repro.lang.compiler import CompileOptions, compile_module, compile_program
+from repro.lang.linker import LinkOptions, link
+
+__all__ = [
+    "CompileOptions",
+    "LinkOptions",
+    "compile_module",
+    "compile_program",
+    "link",
+]

@@ -1,0 +1,217 @@
+"""Abstract syntax for the mini-Mesa language.
+
+The language is deliberately small — integers, procedures, modules,
+structured control flow, explicit pointers (``@x`` / ``^p``), and the
+control-transfer builtins — but it is enough to express every workload
+the paper's statistics describe: call-heavy numeric code, recursion,
+module-crossing calls, VAR-parameter pointer passing (section 7.4), and
+coroutines over raw XFER.
+
+A program is a set of ``MODULE``\\ s.  Procedures return at most one INT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Position:
+    line: int
+    column: int
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    pos: Position
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A variable use (local, parameter, or module global)."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class Deref(Expr):
+    """``^p`` — read through a pointer."""
+
+    pointer: Expr
+
+
+@dataclass(frozen=True)
+class AddrOf(Expr):
+    """``@x`` — the address of a local or global (section 7.4's hazard)."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # + - * DIV MOD AND OR  = # < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str  # - NOT
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A procedure call; ``module`` is None for same-module calls."""
+
+    module: str | None
+    proc: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class XferExpr(Expr):
+    """``XFER(dest, value...)`` — raw transfer; evaluates to the first
+    word of the record that eventually transfers back in."""
+
+    dest: Expr
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class MyContext(Expr):
+    """``MYCONTEXT()`` — the running frame's context word (LLC)."""
+
+
+@dataclass(frozen=True)
+class SourceCtx(Expr):
+    """``SOURCE()`` — the returnContext register (LRC): who last
+    transferred to us."""
+
+
+@dataclass(frozen=True)
+class ProcLiteral(Expr):
+    """``PROC(Mod.p)`` — the packed procedure descriptor as a value
+    (section 4: "LOADLITERAL f; XFER")."""
+
+    module: str | None
+    proc: str
+
+
+@dataclass(frozen=True)
+class Allocate(Expr):
+    """``ALLOCATE(n)`` — an n-word record from the frame heap (the long
+    argument records of section 4)."""
+
+    words: Expr
+
+
+# -- statements ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    pos: Position
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class StoreThrough(Stmt):
+    """``^p := e`` — write through a pointer."""
+
+    pointer: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    condition: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Expr | None
+
+
+@dataclass(frozen=True)
+class Output(Stmt):
+    """``OUTPUT e`` — append a value to the machine's output channel."""
+
+    value: Expr
+
+
+@dataclass(frozen=True)
+class YieldStmt(Stmt):
+    """``YIELD`` — voluntary process switch."""
+
+
+@dataclass(frozen=True)
+class Dispose(Stmt):
+    """``DISPOSE p`` — free a record or retained frame by pointer."""
+
+    pointer: Expr
+
+
+@dataclass(frozen=True)
+class RetainStmt(Stmt):
+    """``RETAIN`` — mark the current frame retained (section 4)."""
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """A call (or XFER) in statement position; any result is discarded."""
+
+    expr: Expr
+
+
+# -- declarations ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+    pos: Position
+
+
+@dataclass(frozen=True)
+class ProcDecl:
+    name: str
+    params: tuple[Param, ...]
+    returns_value: bool
+    locals: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    pos: Position
+
+
+@dataclass
+class ModuleDecl:
+    name: str
+    globals: list[str] = field(default_factory=list)
+    procedures: list[ProcDecl] = field(default_factory=list)
+
+    def procedure(self, name: str) -> ProcDecl:
+        for procedure in self.procedures:
+            if procedure.name == name:
+                return procedure
+        raise KeyError(name)

@@ -1,0 +1,497 @@
+"""Code generation: AST to procedure bodies, per linkage and convention.
+
+The calling sequence is where the implementations differ, so the
+generator is parameterized by the target:
+
+* **linkage** — same-module calls become ``LFC`` (I1/I2) or the
+  PC-relative ``SDFC`` (I3/I4, jump-speed fetch); cross-module calls
+  become ``EFC*`` through the link vector, or ``DFC`` with a link-time
+  fixup — unless the target module is multi-instance, in which case the
+  generator falls back to ``EFC`` exactly as D2 prescribes;
+* **argument convention** — under COPY the callee gets a prologue of
+  store-local instructions popping its arguments (section 5.2); under
+  RENAME there is no prologue at all, because the stack bank becomes the
+  frame bank and "the arguments will automatically appear as the first
+  few local variables" (section 7.2).
+
+Expression evaluation keeps the section 5.2 invariant that a transfer
+happens only when the evaluation stack holds exactly the outgoing
+argument record: operands alive across a call are spilled to frame
+temporaries first (the measured cost of ``f[g[], h[]]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SemanticError
+from repro.interp.frames import LOCALS_BASE
+from repro.interp.machineconfig import ArgConvention, LinkageKind
+from repro.isa.assembler import (
+    Assembler,
+    Label,
+    external_call,
+    load_immediate,
+    load_local,
+    store_local,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import CallFixup, ModuleCode, Procedure
+from repro.lang import ast
+from repro.lang.analysis import (
+    ProgramInfo,
+    Scope,
+    Signature,
+    build_scope,
+    contains_call,
+    external_call_frequencies,
+)
+
+_BINARY_OPS = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MUL,
+    "DIV": Op.DIV,
+    "MOD": Op.MOD,
+    "AND": Op.AND,
+    "OR": Op.OR,
+    "=": Op.EQ,
+    "#": Op.NE,
+    "<": Op.LT,
+    "<=": Op.LE,
+    ">": Op.GT,
+    ">=": Op.GE,
+}
+
+
+@dataclass
+class CodegenOptions:
+    """The target the generator compiles for."""
+
+    linkage: LinkageKind = LinkageKind.MESA
+    arg_convention: ArgConvention = ArgConvention.COPY
+    #: Modules linked with more than one instance: direct calls to them
+    #: are impossible (D2) and same-module calls must stay LOCALCALL.
+    multi_instance: frozenset[str] = frozenset()
+    #: Under DIRECT linkage: modules whose procedures should stay behind
+    #: the flexible EXTERNALCALL binding anyway.  Section 6: "If there is
+    #: uncertainty about the procedure, it is best to stay with the more
+    #: costly but flexible scheme" — the paper's hybrid (section 8: "an
+    #: encoding which allows both the generality of §5 and the early
+    #: binding of §6 is attractive").
+    flexible_modules: frozenset[str] = frozenset()
+
+
+@dataclass
+class _PendingFixup:
+    label: Label
+    kind: str
+    target_module: str
+    target_procedure: str
+
+
+class ProcedureGenerator:
+    """Generates one procedure's body."""
+
+    def __init__(
+        self,
+        module: ast.ModuleDecl,
+        procedure: ast.ProcDecl,
+        info: ProgramInfo,
+        options: CodegenOptions,
+        module_code: ModuleCode,
+    ) -> None:
+        self.module = module
+        self.procedure = procedure
+        self.info = info
+        self.options = options
+        self.module_code = module_code
+        self.scope: Scope = build_scope(module, procedure)
+        self.asm = Assembler()
+        self._fixups: list[_PendingFixup] = []
+        self._temp_base = len(self.scope.locals)
+        self._temp_depth = 0
+        self._max_temps = 0
+        #: Statically tracked evaluation-stack depth, to enforce the
+        #: empty-stack-at-transfer invariant.
+        self._depth = 0
+
+    # -- driver ---------------------------------------------------------------
+
+    def generate(self) -> tuple[Procedure, list[CallFixup]]:
+        if self.options.arg_convention is ArgConvention.COPY:
+            # Prologue: pop the arguments into their parameter slots
+            # (last argument is on top).  Section 5.2: "When a procedure
+            # is entered after a call, it stores the arguments into local
+            # variables with ordinary STORE instructions."
+            for index in reversed(range(len(self.procedure.params))):
+                self.asm.emit_instruction(store_local(index))
+        # Under RENAME there is no prologue: the arguments are already
+        # the first locals (section 7.2).
+        for statement in self.procedure.body:
+            self._stmt(statement)
+        if not self.procedure.body or not isinstance(self.procedure.body[-1], ast.Return):
+            self._check_falls_off_end()
+            self.asm.emit(Op.RET)
+        body = self.asm.assemble()
+        frame_words = LOCALS_BASE + len(self.scope.locals) + self._max_temps
+        compiled = Procedure(
+            name=self.procedure.name,
+            ev_index=-1,  # assigned by the module generator
+            arg_count=len(self.procedure.params),
+            result_count=1 if self.procedure.returns_value else 0,
+            frame_words=frame_words,
+            body=body,
+        )
+        fixups = [
+            CallFixup(
+                procedure=self.procedure.name,
+                site_offset=pending.label.offset,
+                kind=pending.kind,
+                target_module=pending.target_module,
+                target_procedure=pending.target_procedure,
+            )
+            for pending in self._fixups
+        ]
+        return compiled, fixups
+
+    def _check_falls_off_end(self) -> None:
+        if self.procedure.returns_value:
+            raise SemanticError(
+                f"{self.module.name}.{self.procedure.name} returns INT but "
+                "can fall off its end",
+                self.procedure.pos.line,
+                self.procedure.pos.column,
+            )
+
+    # -- temporaries ---------------------------------------------------------------
+
+    def _take_temp(self) -> int:
+        slot = self._temp_base + self._temp_depth
+        self._temp_depth += 1
+        self._max_temps = max(self._max_temps, self._temp_depth)
+        return slot
+
+    def _drop_temp(self) -> None:
+        self._temp_depth -= 1
+
+    # -- statements -------------------------------------------------------------------
+
+    def _stmt(self, node: ast.Stmt) -> None:
+        assert self._depth == 0, "statements start with an empty stack"
+        if isinstance(node, ast.Assign):
+            self._expr(node.value)
+            kind, slot = self.scope.resolve(node.target, node.pos)
+            if kind == "local":
+                self.asm.emit_instruction(store_local(slot))
+            else:
+                self.asm.emit(Op.SG, slot)
+            self._depth -= 1
+        elif isinstance(node, ast.StoreThrough):
+            # WR pops address then value: push value first, then address.
+            self._spill_aware_pair(node.value, node.pointer)
+            self.asm.emit(Op.WR)
+            self._depth -= 2
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.Return):
+            self._return(node)
+        elif isinstance(node, ast.Output):
+            self._expr(node.value)
+            self.asm.emit(Op.OUT)
+            self._depth -= 1
+        elif isinstance(node, ast.YieldStmt):
+            self.asm.emit(Op.YIELD)
+        elif isinstance(node, ast.RetainStmt):
+            self.asm.emit(Op.RETAIN)
+        elif isinstance(node, ast.Dispose):
+            self._expr(node.pointer)
+            self.asm.emit(Op.FREE)
+            self._depth -= 1
+        elif isinstance(node, ast.ExprStmt):
+            produced = self._expr_statement(node.expr)
+            if produced:
+                self.asm.emit(Op.POP)
+                self._depth -= 1
+        else:  # pragma: no cover - parser produces no other statements
+            raise SemanticError(f"unhandled statement {node!r}")
+        assert self._depth == 0, "statements end with an empty stack"
+
+    def _if(self, node: ast.If) -> None:
+        self._expr(node.condition)
+        self._depth -= 1
+        else_label = self.asm.new_label("else")
+        self.asm.jump(Op.JZB, else_label)
+        for child in node.then_body:
+            self._stmt(child)
+        if node.else_body:
+            end_label = self.asm.new_label("endif")
+            self.asm.jump(Op.JB, end_label)
+            self.asm.bind(else_label)
+            for child in node.else_body:
+                self._stmt(child)
+            self.asm.bind(end_label)
+        else:
+            self.asm.bind(else_label)
+
+    def _while(self, node: ast.While) -> None:
+        top = self.asm.new_label("while")
+        exit_label = self.asm.new_label("endwhile")
+        self.asm.bind(top)
+        self._expr(node.condition)
+        self._depth -= 1
+        self.asm.jump(Op.JZB, exit_label)
+        for child in node.body:
+            self._stmt(child)
+        self.asm.jump(Op.JB, top)
+        self.asm.bind(exit_label)
+
+    def _return(self, node: ast.Return) -> None:
+        if self.procedure.returns_value:
+            if node.value is None:
+                raise SemanticError(
+                    f"{self.procedure.name} must return a value",
+                    node.pos.line,
+                    node.pos.column,
+                )
+            self._expr(node.value)
+            self._depth -= 1
+        elif node.value is not None:
+            raise SemanticError(
+                f"{self.procedure.name} returns nothing", node.pos.line, node.pos.column
+            )
+        self.asm.emit(Op.RET)
+
+    def _expr_statement(self, node: ast.Expr) -> bool:
+        """Generate a call/XFER in statement position; True if it left a value."""
+        if isinstance(node, ast.Call):
+            signature = self._signature_of(node)
+            self._call(node, signature)
+            return signature.returns_value
+        if isinstance(node, ast.XferExpr):
+            self._xfer(node)
+            return True  # the incoming record's one word
+        raise SemanticError(
+            "only calls and XFER may stand as statements",
+            node.pos.line,
+            node.pos.column,
+        )
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def _expr(self, node: ast.Expr) -> None:
+        """Generate code leaving exactly one value on the stack."""
+        if isinstance(node, ast.Num):
+            if not 0 <= node.value <= 0xFFFF:
+                raise SemanticError(
+                    f"literal {node.value} outside 16 bits", node.pos.line, node.pos.column
+                )
+            self.asm.emit_instruction(load_immediate(node.value))
+            self._depth += 1
+        elif isinstance(node, ast.Name):
+            kind, slot = self.scope.resolve(node.ident, node.pos)
+            if kind == "local":
+                self.asm.emit_instruction(load_local(slot))
+            else:
+                self.asm.emit(Op.LG, slot)
+            self._depth += 1
+        elif isinstance(node, ast.AddrOf):
+            kind, slot = self.scope.resolve(node.ident, node.pos)
+            if kind == "local":
+                self.asm.emit(Op.LLA, slot)
+            else:
+                self.asm.emit(Op.LGA, slot)
+            self._depth += 1
+        elif isinstance(node, ast.Deref):
+            self._expr(node.pointer)
+            self.asm.emit(Op.RD)
+        elif isinstance(node, ast.UnOp):
+            self._expr(node.operand)
+            if node.op == "-":
+                self.asm.emit(Op.NEG)
+            else:  # logical NOT: x = 0
+                self.asm.emit(Op.LI0)
+                self.asm.emit(Op.EQ)
+        elif isinstance(node, ast.BinOp):
+            self._spill_aware_pair(node.left, node.right)
+            self.asm.emit(_BINARY_OPS[node.op])
+            self._depth -= 1
+        elif isinstance(node, ast.Call):
+            signature = self._signature_of(node)
+            if not signature.returns_value:
+                raise SemanticError(
+                    f"{signature.module}.{signature.name} returns no value",
+                    node.pos.line,
+                    node.pos.column,
+                )
+            self._call(node, signature)
+            self._depth += 1
+        elif isinstance(node, ast.XferExpr):
+            self._xfer(node)
+            self._depth += 1
+        elif isinstance(node, ast.MyContext):
+            self.asm.emit(Op.LLC)
+            self._depth += 1
+        elif isinstance(node, ast.SourceCtx):
+            self.asm.emit(Op.LRC)
+            self._depth += 1
+        elif isinstance(node, ast.ProcLiteral):
+            self._proc_literal(node)
+            self._depth += 1
+        elif isinstance(node, ast.Allocate):
+            self._expr(node.words)
+            self.asm.emit(Op.ALOC)
+        else:  # pragma: no cover - parser produces no other expressions
+            raise SemanticError(f"unhandled expression {node!r}")
+
+    def _spill_aware_pair(self, first: ast.Expr, second: ast.Expr) -> None:
+        """Evaluate two operands, spilling across any transfer in the second.
+
+        Leaves first below second on the stack.  If *second* transfers
+        control, the first operand is parked in a frame temporary so the
+        transfer sees only its own argument record (section 5.2).
+        """
+        if contains_call(second):
+            self._expr(first)
+            temp = self._take_temp()
+            self.asm.emit_instruction(store_local(temp))
+            self._depth -= 1
+            self._expr(second)
+            second_temp = self._take_temp()
+            self.asm.emit_instruction(store_local(second_temp))
+            self._depth -= 1
+            self.asm.emit_instruction(load_local(temp))
+            self.asm.emit_instruction(load_local(second_temp))
+            self._depth += 2
+            self._drop_temp()
+            self._drop_temp()
+        else:
+            self._expr(first)
+            self._expr(second)
+
+    # -- transfers -------------------------------------------------------------------------------
+
+    def _signature_of(self, node: ast.Call) -> Signature:
+        module_name = node.module or self.module.name
+        signature = self.info.lookup(module_name, node.proc, node.pos)
+        if len(node.args) != signature.arg_count:
+            raise SemanticError(
+                f"{module_name}.{node.proc} takes {signature.arg_count} "
+                f"argument(s), got {len(node.args)}",
+                node.pos.line,
+                node.pos.column,
+            )
+        return signature
+
+    def _push_arguments(self, args: tuple[ast.Expr, ...], pos: ast.Position) -> None:
+        """Load an argument record, spilling nested transfers to temps.
+
+        After this, the stack holds exactly the record (plus whatever was
+        below, which the caller guarantees is nothing).
+        """
+        if self._depth != 0:
+            raise SemanticError(
+                "internal: transfer with a non-empty stack", pos.line, pos.column
+            )
+        # Only a transfer in a *later* argument endangers earlier results.
+        nested = any(contains_call(argument) for argument in args[1:])
+        if nested:
+            # Evaluate every argument to a temporary first — "the results
+            # of g to be saved before h is called, and then retrieved".
+            temps: list[int] = []
+            for argument in args:
+                self._expr(argument)
+                temp = self._take_temp()
+                self.asm.emit_instruction(store_local(temp))
+                self._depth -= 1
+                temps.append(temp)
+            for temp in temps:
+                self.asm.emit_instruction(load_local(temp))
+                self._depth += 1
+            for _ in temps:
+                self._drop_temp()
+        else:
+            for argument in args:
+                self._expr(argument)
+
+    def _call(self, node: ast.Call, signature: Signature) -> None:
+        """Emit the record load and the call instruction for the linkage."""
+        self._push_arguments(node.args, node.pos)
+        external = signature.module != self.module.name
+        direct = self.options.linkage is LinkageKind.DIRECT
+        flexible = signature.module in self.options.flexible_modules
+        if not external:
+            own_multi = self.module.name in self.options.multi_instance
+            if direct and not own_multi and not flexible:
+                self._emit_direct("sdfc", signature)
+            else:
+                target = self.module.procedure(signature.name)
+                ev_index = self.module.procedures.index(target)
+                self.asm.emit(Op.LFC, ev_index)
+        else:
+            target_multi = signature.module in self.options.multi_instance
+            if direct and not target_multi and not flexible:
+                self._emit_direct("dfc", signature)
+            else:
+                lv_index = self.module_code.import_index(signature.module, signature.name)
+                self.asm.emit_instruction(external_call(lv_index))
+        self._depth -= len(node.args)
+
+    def _emit_direct(self, kind: str, signature: Signature) -> None:
+        label = self.asm.new_label(f"{kind}:{signature.module}.{signature.name}")
+        self.asm.bind(label)
+        if kind == "dfc":
+            self.asm.emit(Op.DFC, 0)
+        else:
+            self.asm.emit_instruction(Instruction(Op.SDFC, 0))
+        self._fixups.append(
+            _PendingFixup(label, kind, signature.module, signature.name)
+        )
+
+    def _xfer(self, node: ast.XferExpr) -> None:
+        """``XFER(dest, values...)``: record then destination word, then XF."""
+        if self._depth != 0:
+            raise SemanticError(
+                "XFER with operands still on the stack", node.pos.line, node.pos.column
+            )
+        self._push_arguments(node.args, node.pos)
+        if contains_call(node.dest):
+            raise SemanticError(
+                "the XFER destination may not itself transfer",
+                node.pos.line,
+                node.pos.column,
+            )
+        self._expr(node.dest)
+        self.asm.emit(Op.XF)
+        # The outgoing record and destination are consumed; the incoming
+        # record (one word by convention) replaces them.
+        self._depth -= len(node.args) + 1
+
+    def _proc_literal(self, node: ast.ProcLiteral) -> None:
+        module_name = node.module or self.module.name
+        self.info.lookup(module_name, node.proc, node.pos)  # existence check
+        label = self.asm.new_label(f"desc:{module_name}.{node.proc}")
+        self.asm.bind(label)
+        self.asm.emit(Op.LIW, 0)
+        self._fixups.append(_PendingFixup(label, "desc", module_name, node.proc))
+
+
+def generate_module(
+    module: ast.ModuleDecl, info: ProgramInfo, options: CodegenOptions
+) -> ModuleCode:
+    """Compile every procedure of *module* into a :class:`ModuleCode`."""
+    code = ModuleCode(name=module.name, global_words=len(module.globals))
+    # Pre-populate imports in static-frequency order so that indices 0-7
+    # get the one-byte call opcodes.
+    for key in external_call_frequencies(module):
+        code.import_index(*key)
+    for ev_index, procedure in enumerate(module.procedures):
+        generator = ProcedureGenerator(module, procedure, info, options, code)
+        compiled, fixups = generator.generate()
+        compiled.ev_index = ev_index
+        code.procedures.append(compiled)
+        code.fixups.extend(fixups)
+    return code

@@ -1,0 +1,76 @@
+"""Lexer: source text to tokens.
+
+Comments are Pascal-style ``(* ... *)`` and nest, as in Mesa.
+Identifiers are case-sensitive; keywords are upper-case.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, SYMBOLS, Token, TokenKind
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*; raises :class:`LexError` with position on junk."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("(*", index):
+            depth = 1
+            start_line, start_col = line, column
+            advance(2)
+            while index < length and depth:
+                if source.startswith("(*", index):
+                    depth += 1
+                    advance(2)
+                elif source.startswith("*)", index):
+                    depth -= 1
+                    advance(2)
+                else:
+                    advance(1)
+            if depth:
+                raise LexError("unterminated comment", start_line, start_col)
+            continue
+        if char.isdigit():
+            start = index
+            start_line, start_col = line, column
+            while index < length and source[index].isdigit():
+                advance(1)
+            tokens.append(Token(TokenKind.NUMBER, source[start:index], start_line, start_col))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            start_line, start_col = line, column
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                advance(1)
+            text = source[start:index]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, index):
+                tokens.append(Token(TokenKind.SYMBOL, symbol, line, column))
+                advance(len(symbol))
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line, column)
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,351 @@
+"""Recursive-descent parser for the mini-Mesa language.
+
+Grammar (EBNF, ``{}`` = repetition, ``[]`` = option)::
+
+    module     = "MODULE" ident ";" {globals} {procedure} "END" "."
+    globals    = "VAR" identlist ":" "INT" ";"
+    procedure  = "PROCEDURE" ident "(" [identlist] ")" [":" "INT"] ";"
+                 {locals} "BEGIN" stmts "END" ";"
+    locals     = "VAR" identlist ":" "INT" ";"
+    stmts      = {stmt ";"}
+    stmt       = assign | storethrough | if | while | return
+               | "OUTPUT" expr | "YIELD" | call-or-xfer
+    assign     = ident ":=" expr
+    storethrough = "^" factor ":=" expr
+    if         = "IF" expr "THEN" stmts ["ELSE" stmts] "END"
+    while      = "WHILE" expr "DO" stmts "END"
+    return     = "RETURN" [expr]
+    expr       = simple [("="|"#"|"<"|"<="|">"|">=") simple]
+    simple     = ["-"] term {("+"|"-"|"OR") term}
+    term       = factor {("*"|"DIV"|"MOD"|"AND") factor}
+    factor     = number | designator | call | "(" expr ")" | "NOT" factor
+               | "@" ident | "^" factor
+               | "XFER" "(" expr {"," expr} ")"
+               | "MYCONTEXT" "(" ")" | "SOURCE" "(" ")"
+               | "PROC" "(" [ident "."] ident ")"
+    call       = [ident "."] ident "(" [expr {"," expr}] ")"
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind
+
+_RELOPS = {"=", "#", "<", "<=", ">", ">="}
+_ADDOPS = {"+", "-"}
+_MULOPS = {"*"}
+
+
+class Parser:
+    """One-token-lookahead recursive descent."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _pos(self) -> ast.Position:
+        return ast.Position(self.current.line, self.current.column)
+
+    def _error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(f"{message}, found {token}", token.line, token.column)
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        if not self.current.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self._error(f"expected {word}")
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        if self.current.kind is not TokenKind.IDENT:
+            raise self._error("expected an identifier")
+        return self._advance().text
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self.current.is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # -- declarations -------------------------------------------------------------
+
+    def parse_module(self) -> ast.ModuleDecl:
+        self._expect_keyword("MODULE")
+        name = self._expect_ident()
+        self._expect_symbol(";")
+        module = ast.ModuleDecl(name=name)
+        while self.current.is_keyword("VAR"):
+            module.globals.extend(self._var_decl())
+        while self.current.is_keyword("PROCEDURE"):
+            module.procedures.append(self._procedure())
+        self._expect_keyword("END")
+        self._expect_symbol(".")
+        if self.current.kind is not TokenKind.EOF:
+            raise self._error("trailing text after module end")
+        return module
+
+    def _var_decl(self) -> list[str]:
+        self._expect_keyword("VAR")
+        names = [self._expect_ident()]
+        while self._accept_symbol(","):
+            names.append(self._expect_ident())
+        self._expect_symbol(":")
+        self._expect_keyword("INT")
+        self._expect_symbol(";")
+        return names
+
+    def _procedure(self) -> ast.ProcDecl:
+        pos = self._pos()
+        self._expect_keyword("PROCEDURE")
+        name = self._expect_ident()
+        self._expect_symbol("(")
+        params: list[ast.Param] = []
+        if not self.current.is_symbol(")"):
+            params.append(ast.Param(self._expect_ident(), self._pos()))
+            while self._accept_symbol(","):
+                params.append(ast.Param(self._expect_ident(), self._pos()))
+        self._expect_symbol(")")
+        returns_value = False
+        if self._accept_symbol(":"):
+            self._expect_keyword("INT")
+            returns_value = True
+        self._expect_symbol(";")
+        local_names: list[str] = []
+        while self.current.is_keyword("VAR"):
+            local_names.extend(self._var_decl())
+        self._expect_keyword("BEGIN")
+        body = self._statements()
+        self._expect_keyword("END")
+        self._expect_symbol(";")
+        return ast.ProcDecl(
+            name=name,
+            params=tuple(params),
+            returns_value=returns_value,
+            locals=tuple(local_names),
+            body=body,
+            pos=pos,
+        )
+
+    # -- statements --------------------------------------------------------------------
+
+    def _statements(self) -> tuple[ast.Stmt, ...]:
+        body: list[ast.Stmt] = []
+        while not (
+            self.current.is_keyword("END") or self.current.is_keyword("ELSE")
+        ):
+            body.append(self._statement())
+            self._expect_symbol(";")
+        return tuple(body)
+
+    def _statement(self) -> ast.Stmt:
+        pos = self._pos()
+        if self.current.is_keyword("IF"):
+            return self._if_statement()
+        if self.current.is_keyword("WHILE"):
+            return self._while_statement()
+        if self.current.is_keyword("RETURN"):
+            self._advance()
+            if self.current.is_symbol(";"):
+                return ast.Return(pos, None)
+            return ast.Return(pos, self._expression())
+        if self.current.is_keyword("OUTPUT"):
+            self._advance()
+            return ast.Output(pos, self._expression())
+        if self.current.is_keyword("YIELD"):
+            self._advance()
+            return ast.YieldStmt(pos)
+        if self.current.is_keyword("RETAIN"):
+            self._advance()
+            return ast.RetainStmt(pos)
+        if self.current.is_keyword("DISPOSE"):
+            self._advance()
+            return ast.Dispose(pos, self._expression())
+        if self.current.is_keyword("XFER"):
+            return ast.ExprStmt(pos, self._factor())
+        if self.current.is_symbol("^"):
+            self._advance()
+            pointer = self._factor()
+            self._expect_symbol(":=")
+            return ast.StoreThrough(pos, pointer, self._expression())
+        if self.current.kind is TokenKind.IDENT:
+            # assignment, or a call in statement position
+            name = self._advance().text
+            if self._accept_symbol(":="):
+                return ast.Assign(pos, name, self._expression())
+            return ast.ExprStmt(pos, self._call_tail(pos, name))
+        raise self._error("expected a statement")
+
+    def _if_statement(self) -> ast.Stmt:
+        pos = self._pos()
+        self._expect_keyword("IF")
+        condition = self._expression()
+        self._expect_keyword("THEN")
+        then_body = self._statements()
+        else_body: tuple[ast.Stmt, ...] = ()
+        if self._accept_keyword("ELSE"):
+            else_body = self._statements()
+        self._expect_keyword("END")
+        return ast.If(pos, condition, then_body, else_body)
+
+    def _while_statement(self) -> ast.Stmt:
+        pos = self._pos()
+        self._expect_keyword("WHILE")
+        condition = self._expression()
+        self._expect_keyword("DO")
+        body = self._statements()
+        self._expect_keyword("END")
+        return ast.While(pos, condition, body)
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        pos = self._pos()
+        left = self._simple()
+        if self.current.kind is TokenKind.SYMBOL and self.current.text in _RELOPS:
+            op = self._advance().text
+            right = self._simple()
+            return ast.BinOp(pos, op, left, right)
+        return left
+
+    def _simple(self) -> ast.Expr:
+        pos = self._pos()
+        if self._accept_symbol("-"):
+            left: ast.Expr = ast.UnOp(pos, "-", self._term())
+        else:
+            left = self._term()
+        while True:
+            if self.current.kind is TokenKind.SYMBOL and self.current.text in _ADDOPS:
+                op = self._advance().text
+            elif self.current.is_keyword("OR"):
+                self._advance()
+                op = "OR"
+            else:
+                return left
+            left = ast.BinOp(pos, op, left, self._term())
+
+    def _term(self) -> ast.Expr:
+        pos = self._pos()
+        left = self._factor()
+        while True:
+            if self.current.kind is TokenKind.SYMBOL and self.current.text in _MULOPS:
+                op = self._advance().text
+            elif self.current.is_keyword("DIV"):
+                self._advance()
+                op = "DIV"
+            elif self.current.is_keyword("MOD"):
+                self._advance()
+                op = "MOD"
+            elif self.current.is_keyword("AND"):
+                self._advance()
+                op = "AND"
+            else:
+                return left
+            left = ast.BinOp(pos, op, left, self._factor())
+
+    def _factor(self) -> ast.Expr:
+        pos = self._pos()
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return ast.Num(pos, int(token.text))
+        if token.is_symbol("("):
+            self._advance()
+            inner = self._expression()
+            self._expect_symbol(")")
+            return inner
+        if token.is_keyword("NOT"):
+            self._advance()
+            return ast.UnOp(pos, "NOT", self._factor())
+        if token.is_symbol("@"):
+            self._advance()
+            return ast.AddrOf(pos, self._expect_ident())
+        if token.is_symbol("^"):
+            self._advance()
+            return ast.Deref(pos, self._factor())
+        if token.is_keyword("XFER"):
+            self._advance()
+            self._expect_symbol("(")
+            dest = self._expression()
+            args: list[ast.Expr] = []
+            while self._accept_symbol(","):
+                args.append(self._expression())
+            self._expect_symbol(")")
+            return ast.XferExpr(pos, dest, tuple(args))
+        if token.is_keyword("MYCONTEXT"):
+            self._advance()
+            self._expect_symbol("(")
+            self._expect_symbol(")")
+            return ast.MyContext(pos)
+        if token.is_keyword("SOURCE"):
+            self._advance()
+            self._expect_symbol("(")
+            self._expect_symbol(")")
+            return ast.SourceCtx(pos)
+        if token.is_keyword("ALLOCATE"):
+            self._advance()
+            self._expect_symbol("(")
+            words = self._expression()
+            self._expect_symbol(")")
+            return ast.Allocate(pos, words)
+        if token.is_keyword("PROC"):
+            self._advance()
+            self._expect_symbol("(")
+            first = self._expect_ident()
+            module: str | None = None
+            proc = first
+            if self._accept_symbol("."):
+                module = first
+                proc = self._expect_ident()
+            self._expect_symbol(")")
+            return ast.ProcLiteral(pos, module, proc)
+        if token.kind is TokenKind.IDENT:
+            name = self._advance().text
+            if self.current.is_symbol("(") or self.current.is_symbol("."):
+                return self._call_tail(pos, name)
+            return ast.Name(pos, name)
+        raise self._error("expected an expression")
+
+    def _call_tail(self, pos: ast.Position, first: str) -> ast.Expr:
+        """Parse the rest of a call after its leading identifier."""
+        module: str | None = None
+        proc = first
+        if self._accept_symbol("."):
+            module = first
+            proc = self._expect_ident()
+        self._expect_symbol("(")
+        args: list[ast.Expr] = []
+        if not self.current.is_symbol(")"):
+            args.append(self._expression())
+            while self._accept_symbol(","):
+                args.append(self._expression())
+        self._expect_symbol(")")
+        return ast.Call(pos, module, proc, tuple(args))
+
+
+def parse_module(source: str) -> ast.ModuleDecl:
+    """Parse one module's source text."""
+    return Parser(tokenize(source)).parse_module()

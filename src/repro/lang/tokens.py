@@ -1,0 +1,92 @@
+"""Token kinds for the mini-Mesa source language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+#: Reserved words.  ``DIV``/``MOD``/``AND``/``OR``/``NOT`` are operators;
+#: ``XFER``/``MYCONTEXT``/``SOURCE``/``PROC`` are the control-transfer
+#: builtins that expose the model's XFER primitive to source programs.
+KEYWORDS = frozenset(
+    {
+        "MODULE",
+        "PROCEDURE",
+        "VAR",
+        "INT",
+        "BEGIN",
+        "END",
+        "IF",
+        "THEN",
+        "ELSE",
+        "WHILE",
+        "DO",
+        "RETURN",
+        "OUTPUT",
+        "YIELD",
+        "DIV",
+        "MOD",
+        "AND",
+        "OR",
+        "NOT",
+        "XFER",
+        "MYCONTEXT",
+        "SOURCE",
+        "PROC",
+        "ALLOCATE",
+        "DISPOSE",
+        "RETAIN",
+    }
+)
+
+#: Multi-character symbols first (the lexer tries longest match).
+SYMBOLS = (
+    ":=",
+    "<=",
+    ">=",
+    ";",
+    ":",
+    ",",
+    ".",
+    "(",
+    ")",
+    "=",
+    "#",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "@",
+    "^",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token with its source position (1-based line and column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind is TokenKind.SYMBOL and self.text == symbol
+
+    def __str__(self) -> str:
+        return f"{self.text!r}" if self.text else "<eof>"

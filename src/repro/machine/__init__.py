@@ -1,0 +1,29 @@
+"""Machine substrate: word-addressed memory, cost accounting, eval stack.
+
+The paper's performance arguments are counting arguments — memory references
+per call, register accesses versus cache accesses, levels of indirection.
+This package provides the primitives that make those counts observable:
+
+* :class:`~repro.machine.memory.Memory` — a 16-bit word-addressed store that
+  counts every read and write, with named regions (global-frame segment,
+  frame heap, tables) so analyses can attribute traffic.
+* :class:`~repro.machine.costs.CostModel` / ``CycleCounter`` — the event
+  taxonomy (register access, memory access, decode, ...) and the cycle
+  charges used to compare implementations I1-I4.
+* :class:`~repro.machine.evalstack.EvalStack` — the bounded evaluation stack
+  Mesa uses for expression evaluation and argument passing.
+"""
+
+from repro.machine.costs import CostModel, CycleCounter, Event
+from repro.machine.evalstack import EvalStack
+from repro.machine.memory import MDS_WORDS, Memory, Region
+
+__all__ = [
+    "CostModel",
+    "CycleCounter",
+    "Event",
+    "EvalStack",
+    "MDS_WORDS",
+    "Memory",
+    "Region",
+]

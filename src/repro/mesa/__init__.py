@@ -1,0 +1,53 @@
+"""The Mesa implementation's data structures (section 5, I2).
+
+Everything here embodies one idea (the paper's T1-T3): "changing a full
+memory address to an index into a table, and storing the original address
+in the table entry".  The four tables, in the order an EXTERNALCALL meets
+them (Figure 1):
+
+1. the **link vector** LV — one entry per procedure called statically from
+   a module, holding a procedure descriptor;
+2. the **global frame table** GFT — one entry per module instance, holding
+   the (quad-aligned) global frame address plus a 2-bit entry-point bias;
+3. the **global frame** — globals plus the *code base* of the module's
+   code segment;
+4. the **entry vector** EV — at the code base, one 16-bit entry per
+   procedure giving its first byte (the fsi byte) relative to the code
+   base.
+
+The packed 16-bit procedure descriptor (1 tag + 10 env + 5 code bits) and
+its bias escape hatch live in :mod:`repro.mesa.descriptor`.
+"""
+
+from repro.mesa.descriptor import (
+    NIL,
+    ContextKind,
+    context_kind,
+    frame_context,
+    is_descriptor,
+    is_frame,
+    pack_descriptor,
+    unpack_descriptor,
+)
+from repro.mesa.globalframe import GF_HEADER_WORDS, GlobalFrameBuilder
+from repro.mesa.linkage import ResolvedTarget, resolve_descriptor, resolve_local
+from repro.mesa.tables import GlobalFrameTable, LinkVector, WideLinkVector
+
+__all__ = [
+    "NIL",
+    "ContextKind",
+    "GF_HEADER_WORDS",
+    "GlobalFrameBuilder",
+    "GlobalFrameTable",
+    "LinkVector",
+    "ResolvedTarget",
+    "WideLinkVector",
+    "context_kind",
+    "frame_context",
+    "is_descriptor",
+    "is_frame",
+    "pack_descriptor",
+    "resolve_descriptor",
+    "resolve_local",
+    "unpack_descriptor",
+]

@@ -1,0 +1,112 @@
+"""Context words and the packed procedure descriptor (sections 4-5).
+
+A *context* in the machine encoding is one 16-bit word, the variant record
+of section 4::
+
+    Context: TYPE = RECORD [
+      CASE tag: {frame, proc} OF
+        frame => [ FramePointer ];
+        proc  => [ code: ProcPointer, env: EnvPointer ]
+      ENDCASE]
+
+Section 5.1 gives the Mesa packing: "It is packed into a 16 bit word, with
+a one bit tag, a ten bit env field, and a five bit code field."  We use
+the low bit as the tag.  Frame pointers are always even (the allocators
+guarantee it), so:
+
+* ``0`` is NIL;
+* an even nonzero word is a frame pointer;
+* an odd word is a procedure descriptor: ``env`` (a GFT index) in bits
+  15..6 and ``code`` (an EV index) in bits 5..1.
+
+The five-bit code field caps a module at 32 entry points; the 2 spare
+bits of a GFT entry supply a *bias* in multiples of 32, so "a single
+module instance may have up to four GFT entries, all pointing to the same
+global frame, but with different biases, for a total of 128 entries" —
+:func:`effective_entry_index` implements that arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import InvalidContext, OperandRangeError
+
+#: The NIL context ("returnContext is set to NIL by a return").
+NIL = 0
+
+#: Field widths of the packed descriptor.
+ENV_BITS = 10
+CODE_BITS = 5
+
+#: Limits implied by the widths.
+MAX_ENV = (1 << ENV_BITS) - 1  # 1023: the GFT can index 1024 instances
+MAX_CODE = (1 << CODE_BITS) - 1  # 31: entry points per GFT entry
+ENTRIES_PER_BIAS = 1 << CODE_BITS  # 32
+MAX_BIAS = 3  # two spare GFT bits
+MAX_BIASED_ENTRIES = ENTRIES_PER_BIAS * (MAX_BIAS + 1)  # 128
+
+
+class ContextKind(enum.Enum):
+    """The three shapes a context word can take."""
+
+    NIL = "nil"
+    FRAME = "frame"
+    PROCEDURE = "procedure"
+
+
+def pack_descriptor(env: int, code: int) -> int:
+    """Pack (GFT index, EV index) into a 16-bit procedure descriptor."""
+    if not 0 <= env <= MAX_ENV:
+        raise OperandRangeError(f"env {env} exceeds {ENV_BITS}-bit GFT index")
+    if not 0 <= code <= MAX_CODE:
+        raise OperandRangeError(f"code {code} exceeds {CODE_BITS}-bit EV index")
+    return (env << (CODE_BITS + 1)) | (code << 1) | 1
+
+
+def unpack_descriptor(word: int) -> tuple[int, int]:
+    """Unpack a descriptor word to (env, code); raises on non-descriptors."""
+    if not is_descriptor(word):
+        raise InvalidContext(f"word {word:#06x} is not a procedure descriptor")
+    return (word >> (CODE_BITS + 1)) & MAX_ENV, (word >> 1) & MAX_CODE
+
+
+def frame_context(frame_pointer: int) -> int:
+    """The context word for an existing frame (the frame case)."""
+    if frame_pointer == NIL:
+        raise InvalidContext("NIL is not a frame")
+    if frame_pointer % 2 != 0:
+        raise InvalidContext(f"frame pointer {frame_pointer:#x} is not even")
+    return frame_pointer
+
+
+def is_descriptor(word: int) -> bool:
+    """True if the word's tag bit marks a procedure descriptor."""
+    return word % 2 == 1
+
+
+def is_frame(word: int) -> bool:
+    """True if the word is a (non-NIL) frame pointer."""
+    return word != NIL and word % 2 == 0
+
+
+def context_kind(word: int) -> ContextKind:
+    """Classify a context word."""
+    if word == NIL:
+        return ContextKind.NIL
+    if is_descriptor(word):
+        return ContextKind.PROCEDURE
+    return ContextKind.FRAME
+
+
+def effective_entry_index(code: int, bias: int) -> int:
+    """The EV index a descriptor reaches through a biased GFT entry.
+
+    Section 5.1: "The two spare bits in a GFT entry are used to specify a
+    bias for the entry point, in multiples of 32."
+    """
+    if not 0 <= bias <= MAX_BIAS:
+        raise OperandRangeError(f"bias {bias} exceeds 2 bits")
+    if not 0 <= code <= MAX_CODE:
+        raise OperandRangeError(f"code {code} exceeds {CODE_BITS}-bit EV index")
+    return code + ENTRIES_PER_BIAS * bias

@@ -1,0 +1,174 @@
+"""Call-target resolution: the indirection chains of Figure 1.
+
+Each function here performs one linkage discipline's run-time lookups,
+through the *counted* memory interfaces, and reports how many levels of
+table indirection it traversed.  The F1 benchmark calls these directly to
+regenerate Figure 1's accounting; the interpreter calls them to execute
+calls.
+
+The chains:
+
+========================  =============================================
+discipline                levels (reads)
+========================  =============================================
+EXTERNALCALL (I2, §5.1)   LV -> GFT -> GF(code base) -> EV      (4)
+LOCALCALL   (I2, §5.1)    EV                                    (1)
+EXTERNALCALL (I1, §4)     wide LV (entry, gf)                   (2)
+DIRECTCALL  (I3, §6)      none - GF and fsi are at the target   (0)
+========================  =============================================
+
+Every discipline then reads the frame-size byte at the procedure's entry
+(it is the first byte of the procedure, section 5.1) before allocating
+the frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.program import CodeSpace, DFC_HEADER_BYTES
+from repro.machine.memory import Memory
+from repro.mesa.descriptor import effective_entry_index, unpack_descriptor
+from repro.mesa.globalframe import read_code_base
+from repro.mesa.tables import GlobalFrameTable, LinkVector, WideLinkVector
+
+
+@dataclass(frozen=True)
+class ResolvedTarget:
+    """Everything a call needs about its destination procedure.
+
+    ``entry_address`` is the absolute code address of the procedure's fsi
+    byte; execution starts at ``entry_address + 1``.  ``code_base`` is -1
+    when the discipline did not need to discover it (DIRECTCALL leaves it
+    to be fetched lazily from the global frame if the context is ever
+    suspended).  ``levels`` counts table indirections, the Figure 1
+    metric.
+    """
+
+    gf_address: int
+    code_base: int
+    entry_address: int
+    fsi: int
+    levels: int
+
+    @property
+    def first_instruction(self) -> int:
+        """Absolute code address of the procedure's first instruction."""
+        return self.entry_address + 1
+
+
+def resolve_descriptor(
+    memory: Memory,
+    code: CodeSpace,
+    gft: GlobalFrameTable,
+    descriptor: int,
+) -> ResolvedTarget:
+    """Resolve a packed procedure descriptor (I2): GFT -> GF -> EV.
+
+    Three counted reads plus the fsi byte; callers that fetched the
+    descriptor from a link vector add one more level (Figure 1's four).
+    """
+    env, code_index = unpack_descriptor(descriptor)
+    gf_address, bias = gft.read_entry(env)  # read 1: GFT entry
+    code_base = read_code_base(memory, gf_address)  # read 2: code base in GF
+    ev_index = effective_entry_index(code_index, bias)
+    offset = code.read_ev_entry(code_base, ev_index)  # read 3: EV entry
+    entry = code_base + offset
+    fsi = code.read_byte(entry)  # the frame-size byte (section 5.3)
+    return ResolvedTarget(
+        gf_address=gf_address,
+        code_base=code_base,
+        entry_address=entry,
+        fsi=fsi,
+        levels=3,
+    )
+
+
+def resolve_external_mesa(
+    memory: Memory,
+    code: CodeSpace,
+    gft: GlobalFrameTable,
+    lv: LinkVector,
+    index: int,
+) -> ResolvedTarget:
+    """The full EXTERNALCALL chain of Figure 1: LV -> GFT -> GF -> EV."""
+    descriptor = lv.read_entry(index)  # read 0: the link vector
+    target = resolve_descriptor(memory, code, gft, descriptor)
+    return ResolvedTarget(
+        gf_address=target.gf_address,
+        code_base=target.code_base,
+        entry_address=target.entry_address,
+        fsi=target.fsi,
+        levels=target.levels + 1,
+    )
+
+
+def resolve_local(
+    memory: Memory,
+    code: CodeSpace,
+    gf_address: int,
+    code_base: int,
+    ev_index: int,
+) -> ResolvedTarget:
+    """LOCALCALL (section 5.1): same environment, one EV indirection.
+
+    "A call to a procedure in the same module is handled by a LOCALCALL n
+    instruction ... it keeps the same environment and code base, and has
+    only one level of indirection."
+    """
+    offset = code.read_ev_entry(code_base, ev_index)
+    entry = code_base + offset
+    fsi = code.read_byte(entry)
+    return ResolvedTarget(
+        gf_address=gf_address,
+        code_base=code_base,
+        entry_address=entry,
+        fsi=fsi,
+        levels=1,
+    )
+
+
+def resolve_external_wide(
+    memory: Memory,
+    code: CodeSpace,
+    lv: WideLinkVector,
+    index: int,
+) -> ResolvedTarget:
+    """I1's external call: the wide link vector holds full addresses."""
+    entry, gf_address = lv.read_entry(index)  # two counted reads
+    fsi = code.read_byte(entry)
+    return ResolvedTarget(
+        gf_address=gf_address,
+        code_base=-1,  # I1 keeps absolute PCs; no code base needed
+        entry_address=entry,
+        fsi=fsi,
+        levels=2,
+    )
+
+
+def resolve_direct(code: CodeSpace, target_address: int, counted: bool = False) -> ResolvedTarget:
+    """DIRECTCALL (section 6): GF and fsi are stored at the target.
+
+    "at p is stored the global frame address GF and the frame size fsi,
+    immediately followed by the first instruction" — zero table levels.
+    The IFU streams over the header exactly as it streams instructions
+    ("it converts GF and fsi into instructions of the form
+    SETGLOBALFRAME GF and ALLOCATEFRAME fsi"), so by default the header
+    bytes are *uncounted* IFU fetches, not data references; pass
+    ``counted=True`` to model a machine without that IFU trick.
+    """
+    if counted:
+        gf_address = code.read_word(target_address)
+        fsi = code.read_byte(target_address + 2)
+    else:
+        high = code.fetch_byte(target_address)
+        low = code.fetch_byte(target_address + 1)
+        gf_address = (high << 8) | low
+        fsi = code.fetch_byte(target_address + 2)
+    return ResolvedTarget(
+        gf_address=gf_address,
+        code_base=-1,  # fetched lazily from the GF only if ever suspended
+        entry_address=target_address + DFC_HEADER_BYTES - 1,
+        fsi=fsi,
+        levels=0,
+    )

@@ -1,0 +1,146 @@
+"""The link vector and global frame table (section 5.1).
+
+Both tables live inside the simulated memory, so every run-time lookup is
+a counted memory reference — the levels of indirection in Figure 1 are
+measured, not asserted.  Link-time population uses the uncounted loader
+interface.
+
+Two link-vector flavours exist because implementations I1 and I2 differ
+exactly here:
+
+* :class:`LinkVector` (I2) — one word per import, holding a packed 16-bit
+  procedure descriptor; one read resolves it to (env, code) indices that
+  then chain through the GFT and EV.
+* :class:`WideLinkVector` (I1) — two words per import, holding the full
+  entry address and full global frame address; no further tables needed.
+  This is the "very straightforward" representation whose space cost
+  motivates the whole of section 5 (point T1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LinkError, OperandRangeError
+from repro.machine.memory import Memory
+from repro.mesa.descriptor import MAX_BIAS
+
+#: Global frames are quad-aligned, so a GFT entry's low 2 bits are free
+#: for the entry-point bias (section 5.1).
+GF_ALIGNMENT = 4
+
+
+class GlobalFrameTable:
+    """The GFT: one word per module instance, ``gf_address | bias``.
+
+    "A global frame table GFT with a 16 bit entry for each module
+    instance; the entry holds the address of the global frame for the
+    instance.  ...  they are limited to a 64k segment of the address
+    space and are quad-aligned; hence 14 bits is enough to address a
+    global frame."
+    """
+
+    def __init__(self, memory: Memory, base: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"GFT capacity must be positive, got {capacity}")
+        self.memory = memory
+        self.base = base
+        self.capacity = capacity
+        self._next_index = 0
+
+    def add_entry(self, gf_address: int, bias: int = 0) -> int:
+        """Link-time: append an entry; returns its GFT index (the env field)."""
+        if gf_address % GF_ALIGNMENT != 0:
+            raise LinkError(f"global frame {gf_address:#x} is not quad-aligned")
+        if not 0 <= bias <= MAX_BIAS:
+            raise OperandRangeError(f"bias {bias} exceeds 2 bits")
+        if self._next_index >= self.capacity:
+            raise LinkError(f"GFT full at {self.capacity} entries")
+        index = self._next_index
+        self._next_index += 1
+        self.memory.poke(self.base + index, gf_address | bias)
+        return index
+
+    def read_entry(self, index: int) -> tuple[int, int]:
+        """Run-time: one counted read; returns (gf_address, bias)."""
+        if not 0 <= index < self._next_index:
+            raise LinkError(f"GFT index {index} not populated")
+        word = self.memory.read(self.base + index)
+        return word & ~(GF_ALIGNMENT - 1), word & (GF_ALIGNMENT - 1)
+
+    def peek_entry(self, index: int) -> tuple[int, int]:
+        """Uncounted read, for analyses and dumps."""
+        word = self.memory.peek(self.base + index)
+        return word & ~(GF_ALIGNMENT - 1), word & (GF_ALIGNMENT - 1)
+
+    def __len__(self) -> int:
+        return self._next_index
+
+
+class LinkVector:
+    """A module's packed link vector (I2): one descriptor word per import.
+
+    "A link vector LV associated with a module, with a 16 bit entry for
+    each procedure called statically from the module; the entry holds the
+    procedure descriptor."
+    """
+
+    WORDS_PER_ENTRY = 1
+
+    def __init__(self, memory: Memory, base: int, capacity: int) -> None:
+        self.memory = memory
+        self.base = base
+        self.capacity = capacity
+
+    def set_entry(self, index: int, descriptor: int) -> None:
+        """Link-time: store a packed descriptor at *index*."""
+        self._check(index)
+        self.memory.poke(self.base + index, descriptor)
+
+    def read_entry(self, index: int) -> int:
+        """Run-time: one counted read returning the descriptor word."""
+        self._check(index)
+        return self.memory.read(self.base + index)
+
+    def words(self) -> int:
+        """Table size in words (for space accounting)."""
+        return self.capacity * self.WORDS_PER_ENTRY
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise LinkError(f"link vector index {index} outside 0..{self.capacity - 1}")
+
+
+class WideLinkVector:
+    """I1's link vector: full (entry address, global frame address) pairs.
+
+    The simple implementation of section 4 keeps complete addresses
+    everywhere: resolving an external call costs two reads but no further
+    indirection.  Space per entry doubles — the trade T1 quantifies.
+    """
+
+    WORDS_PER_ENTRY = 2
+
+    def __init__(self, memory: Memory, base: int, capacity: int) -> None:
+        self.memory = memory
+        self.base = base
+        self.capacity = capacity
+
+    def set_entry(self, index: int, entry_address: int, gf_address: int) -> None:
+        """Link-time: store the full address pair at *index*."""
+        self._check(index)
+        self.memory.poke(self.base + 2 * index, entry_address)
+        self.memory.poke(self.base + 2 * index + 1, gf_address)
+
+    def read_entry(self, index: int) -> tuple[int, int]:
+        """Run-time: two counted reads returning (entry_address, gf_address)."""
+        self._check(index)
+        entry = self.memory.read(self.base + 2 * index)
+        gf = self.memory.read(self.base + 2 * index + 1)
+        return entry, gf
+
+    def words(self) -> int:
+        """Table size in words (for space accounting)."""
+        return self.capacity * self.WORDS_PER_ENTRY
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise LinkError(f"link vector index {index} outside 0..{self.capacity - 1}")

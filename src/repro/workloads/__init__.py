@@ -1,0 +1,47 @@
+"""Workloads: the programs and traces behind every measurement.
+
+Two kinds of input feed the benchmarks:
+
+* **compiled programs** (:mod:`repro.workloads.programs`) — a corpus of
+  mini-Mesa sources spanning the behaviours the paper's statistics
+  describe: call-dense structured code, recursion, cross-module calls,
+  VAR-parameter pointers, coroutines, and multiple processes;
+* **synthetic traces** (:mod:`repro.workloads.synthetic`) — call/return/
+  transfer sequences and frame-size samples calibrated to the paper's
+  published statistics ("one call or return for every 10 instructions",
+  "95% of all frames allocated are smaller than 80 bytes", "long runs of
+  calls nearly uninterrupted by returns ... are quite rare"), replayed
+  onto individual mechanisms (:mod:`repro.workloads.traces`) so the bank
+  file, return stack, and frame heap can be measured in isolation and at
+  scale.
+"""
+
+from repro.workloads.programs import CORPUS, corpus_sources, program
+from repro.workloads.synthetic import (
+    FrameSizeModel,
+    TraceConfig,
+    frame_size_samples,
+    call_return_trace,
+)
+from repro.workloads.traces import (
+    TraceOp,
+    TraceEvent,
+    replay_on_banks,
+    replay_on_heap,
+    replay_on_return_stack,
+)
+
+__all__ = [
+    "CORPUS",
+    "FrameSizeModel",
+    "TraceConfig",
+    "TraceEvent",
+    "TraceOp",
+    "call_return_trace",
+    "corpus_sources",
+    "frame_size_samples",
+    "program",
+    "replay_on_banks",
+    "replay_on_heap",
+    "replay_on_return_stack",
+]

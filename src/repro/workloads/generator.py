@@ -1,0 +1,249 @@
+"""Random program generation: a "large sample of source programs".
+
+The paper's static statistics (two-thirds one-byte instructions, hot
+targets behind one-byte call opcodes) and dynamic statistics (call
+density, bank behaviour) were gathered over a large Mesa corpus.  The
+hand-written corpus in :mod:`repro.workloads.programs` is necessarily
+small; this generator produces arbitrarily many well-formed multi-module
+programs with a skewed cross-module call graph, *together with the
+expected result*, computed by a Python mirror with identical 16-bit
+semantics — so generated programs double as differential tests.
+
+Generation guarantees termination: the procedure call graph is a DAG
+(procedure *i* only calls procedures with larger indices), and the only
+loop is the driver's bounded accumulation loop in ``main``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+_WORD = 0xFFFF
+
+
+def _wrap(value: int) -> int:
+    return value & _WORD
+
+
+def _signed(value: int) -> int:
+    value &= _WORD
+    return value - 0x10000 if value >= 0x8000 else value
+
+
+#: An expression is rendered source text plus its Python mirror.
+_Expr = tuple[str, Callable[[dict[str, int]], int]]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size and shape of the generated program."""
+
+    modules: int = 4
+    procs_per_module: int = 5
+    max_args: int = 3
+    #: Iterations of main's driver loop (dynamic workload size).
+    loop_iterations: int = 25
+    #: Zipf-ish skew: lower = flatter call-target distribution.
+    hot_target_bias: float = 2.0
+    seed: int = 1982
+
+
+@dataclass
+class GeneratedProgram:
+    """Sources plus the independently computed expected result."""
+
+    sources: list[str]
+    expected: int
+    entry: tuple[str, str] = ("M0", "main")
+    config: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+
+@dataclass
+class _Proc:
+    index: int
+    module: int
+    name: str
+    params: list[str]
+    body_text: str = ""
+    mirror: Callable[..., int] | None = None
+
+
+def generate_program(config: GeneratorConfig | None = None) -> GeneratedProgram:
+    """Build one random program and evaluate its expected result."""
+    config = config or GeneratorConfig()
+    rng = random.Random(config.seed)
+    total = config.modules * config.procs_per_module
+    procs = [
+        _Proc(
+            index=index,
+            module=index % config.modules,
+            name=f"p{index}",
+            params=[f"a{j}" for j in range(rng.randint(1, config.max_args))],
+        )
+        for index in range(total)
+    ]
+
+    # Build bodies leaf-first so every callee's mirror already exists.
+    for proc in reversed(procs):
+        _build_body(proc, procs, config, rng)
+
+    sources = _render_modules(procs, config)
+    expected = _run_mirror(procs[0], config)
+    return GeneratedProgram(sources=sources, expected=expected, config=config)
+
+
+# -- body construction --------------------------------------------------------
+
+
+def _build_body(proc: _Proc, procs: list[_Proc], config: GeneratorConfig, rng: random.Random) -> None:
+    callees = _pick_callees(proc, procs, config, rng)
+    lines: list[str] = []
+    locals_used: list[str] = []
+    steps: list[Callable[[dict[str, int]], None]] = []
+
+    def add_assignment(name: str, expr: _Expr) -> None:
+        text, fn = expr
+        lines.append(f"  {name} := {text};")
+        steps.append(lambda env, fn=fn, name=name: env.__setitem__(name, fn(env)))
+
+    available = list(proc.params)
+    scratch = f"t{proc.index}"
+    locals_used.append(scratch)
+    add_assignment(scratch, _arith_expr(available, rng, depth=2))
+    available.append(scratch)
+
+    # Optionally a conditional re-assignment, to put real branches in the
+    # instruction stream (signed comparison, like the machine's).
+    if rng.random() < 0.5:
+        left, left_fn = _arith_expr(available, rng, depth=1)
+        right, right_fn = _arith_expr(available, rng, depth=1)
+        then_text, then_fn = _arith_expr(available, rng, depth=1)
+        else_text, else_fn = _arith_expr(available, rng, depth=1)
+        op = rng.choice(["<", ">", "=", "#"])
+        lines.append(
+            f"  IF {left} {op} {right} THEN\n"
+            f"    {scratch} := {then_text};\n"
+            f"  ELSE\n"
+            f"    {scratch} := {else_text};\n"
+            f"  END;"
+        )
+
+        def branch(env, op=op, lf=left_fn, rf=right_fn, tf=then_fn, ef=else_fn, name=scratch):
+            a, b = _signed(lf(env)), _signed(rf(env))
+            taken = {
+                "<": a < b,
+                ">": a > b,
+                "=": a == b,
+                "#": a != b,
+            }[op]
+            env[name] = (tf if taken else ef)(env)
+
+        steps.append(branch)
+
+    for slot, callee in enumerate(callees):
+        arg_exprs = [_arith_expr(available, rng, depth=1) for _ in callee.params]
+        qualified = (
+            callee.name if callee.module == proc.module else f"M{callee.module}.{callee.name}"
+        )
+        call_text = f"{qualified}({', '.join(text for text, _ in arg_exprs)})"
+        result_name = f"r{proc.index}_{slot}"
+        locals_used.append(result_name)
+        lines.append(f"  {result_name} := {call_text};")
+
+        def do_call(env, callee=callee, arg_exprs=arg_exprs, result_name=result_name):
+            values = [fn(env) for _, fn in arg_exprs]
+            env[result_name] = callee.mirror(*values)
+
+        steps.append(do_call)
+        available.append(result_name)
+
+    final = _arith_expr(available, rng, depth=2)
+    lines.append(f"  RETURN {final[0]};")
+
+    param_list = ", ".join(proc.params)
+    var_line = f"VAR {', '.join(locals_used)}: INT;\n" if locals_used else ""
+    proc.body_text = (
+        f"PROCEDURE {proc.name}({param_list}): INT;\n{var_line}BEGIN\n"
+        + "\n".join(lines)
+        + "\nEND;"
+    )
+
+    def mirror(*args: int) -> int:
+        env = {name: _wrap(value) for name, value in zip(proc.params, args)}
+        for step in steps:
+            step(env)
+        return final[1](env)
+
+    proc.mirror = mirror
+
+
+def _pick_callees(proc: _Proc, procs: list[_Proc], config: GeneratorConfig, rng: random.Random) -> list[_Proc]:
+    candidates = procs[proc.index + 1 :]
+    if not candidates:
+        return []
+    count = rng.randint(0, min(3, len(candidates)))
+    chosen = []
+    for _ in range(count):
+        # Skewed choice: early candidates (hot procedures) preferred.
+        weight = rng.random() ** config.hot_target_bias
+        chosen.append(candidates[int(weight * len(candidates))])
+    return chosen
+
+
+def _arith_expr(names: list[str], rng: random.Random, depth: int) -> _Expr:
+    kind = rng.random()
+    if depth <= 0 or kind < 0.35:
+        if names and rng.random() < 0.7:
+            name = rng.choice(names)
+            return name, lambda env, name=name: env[name]
+        literal = rng.randint(0, 99)
+        return str(literal), lambda env, literal=literal: literal
+    left = _arith_expr(names, rng, depth - 1)
+    right = _arith_expr(names, rng, depth - 1)
+    op = rng.choice(["+", "-", "*"])
+    if op == "+":
+        fn = lambda env, l=left[1], r=right[1]: _wrap(l(env) + r(env))
+    elif op == "-":
+        fn = lambda env, l=left[1], r=right[1]: _wrap(l(env) - r(env))
+    else:
+        fn = lambda env, l=left[1], r=right[1]: _wrap(l(env) * r(env))
+    return f"({left[0]} {op} {right[0]})", fn
+
+
+# -- rendering and mirroring ----------------------------------------------------
+
+
+def _render_modules(procs: list[_Proc], config: GeneratorConfig) -> list[str]:
+    sources = []
+    for module_index in range(config.modules):
+        bodies = [proc.body_text for proc in procs if proc.module == module_index]
+        if module_index == 0:
+            root = procs[0]
+            driver_args = ", ".join(
+                f"(i + {j})" for j in range(len(root.params))
+            )
+            bodies.append(
+                f"""PROCEDURE main(): INT;
+VAR i, acc: INT;
+BEGIN
+  acc := 0;
+  i := 0;
+  WHILE i < {config.loop_iterations} DO
+    acc := acc + {root.name}({driver_args});
+    i := i + 1;
+  END;
+  RETURN acc;
+END;"""
+            )
+        sources.append(f"MODULE M{module_index};\n" + "\n".join(bodies) + "\nEND.")
+    return sources
+
+
+def _run_mirror(root: _Proc, config: GeneratorConfig) -> int:
+    acc = 0
+    for i in range(config.loop_iterations):
+        args = [_wrap(i + j) for j in range(len(root.params))]
+        acc = _wrap(acc + root.mirror(*args))
+    return acc - 0x10000 if acc >= 0x8000 else acc

@@ -1,0 +1,509 @@
+"""The program corpus: mini-Mesa sources for the dynamic measurements.
+
+Each entry is a complete program (one or more modules) with a designated
+entry point and its expected output, so the corpus doubles as an
+integration-test suite: every benchmark first asserts the program
+computes the right answer on the configuration under test, then reads
+the meters.
+
+The mix is chosen to cover the paper's statistical claims:
+
+* ``calls``, ``pipeline`` — call-dense structured code ("one call or
+  return for every 10 instructions"), shallow depth oscillation ("long
+  runs of calls nearly uninterrupted by returns ... are quite rare");
+* ``fib``, ``ackermann`` — recursion, deep depth excursions (the
+  adversarial case for the return stack and the bank file);
+* ``mathlib`` — cross-module traffic through the link vector /
+  DIRECTCALL;
+* ``sort`` — pointer-based array code over the global frame (section
+  7.4 traffic through RD/WR);
+* ``varparams`` — pointers to locals passed as VAR parameters;
+* ``coroutine`` — non-LIFO transfers through raw XFER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Program:
+    """One corpus entry: sources, entry point, expected results/output."""
+
+    name: str
+    sources: tuple[str, ...]
+    entry: tuple[str, str] = ("Main", "main")
+    args: tuple[int, ...] = ()
+    expect_results: tuple[int, ...] = ()
+    expect_output: tuple[int, ...] = ()
+    #: Programs using XFER cannot run under SIMPLE linkage (no packed
+    #: descriptors), and process programs need a scheduler.
+    needs_descriptors: bool = False
+
+
+_FIB = """
+MODULE Main;
+PROCEDURE fib(n): INT;
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN fib(n - 1) + fib(n - 2);
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN fib(11);
+END;
+END.
+"""
+
+_ACKERMANN = """
+MODULE Main;
+PROCEDURE ack(m, n): INT;
+BEGIN
+  IF m = 0 THEN RETURN n + 1; END;
+  IF n = 0 THEN RETURN ack(m - 1, 1); END;
+  RETURN ack(m - 1, ack(m, n - 1));
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN ack(2, 3);
+END;
+END.
+"""
+
+# Call-dense, shallow: lots of little leaf procedures, the structured-
+# programming style the introduction describes.
+_CALLS = """
+MODULE Main;
+VAR acc: INT;
+PROCEDURE inc(x): INT;
+BEGIN
+  RETURN x + 1;
+END;
+PROCEDURE double(x): INT;
+BEGIN
+  RETURN x + x;
+END;
+PROCEDURE combine(a, b): INT;
+BEGIN
+  RETURN inc(a) + double(b);
+END;
+PROCEDURE step(x): INT;
+BEGIN
+  RETURN combine(inc(x), double(x));
+END;
+PROCEDURE main(): INT;
+VAR i: INT;
+BEGIN
+  acc := 0;
+  i := 0;
+  WHILE i < 40 DO
+    acc := acc + step(i);
+    i := i + 1;
+  END;
+  RETURN acc;
+END;
+END.
+"""
+
+# fib(11)=89; ack(2,3)=9; calls: sum over i<40 of (i+2 + 4i) = 5*780+80=3980
+
+
+_MATHLIB = (
+    """
+MODULE Main;
+PROCEDURE main(): INT;
+VAR i, acc: INT;
+BEGIN
+  acc := 0;
+  i := 1;
+  WHILE i <= 10 DO
+    acc := acc + Math.gcd(i * 12, 18) + Math.power(2, Math.mod3(i));
+    i := i + 1;
+  END;
+  RETURN acc;
+END;
+END.
+""",
+    """
+MODULE Math;
+PROCEDURE gcd(a, b): INT;
+BEGIN
+  WHILE b # 0 DO
+    a := a MOD b;
+    IF a = 0 THEN RETURN b; END;
+    b := b MOD a;
+  END;
+  RETURN a;
+END;
+PROCEDURE power(base, exponent): INT;
+VAR result: INT;
+BEGIN
+  result := 1;
+  WHILE exponent > 0 DO
+    result := result * base;
+    exponent := exponent - 1;
+  END;
+  RETURN result;
+END;
+PROCEDURE mod3(x): INT;
+BEGIN
+  RETURN x MOD 3;
+END;
+END.
+""",
+)
+
+# Pointer-based insertion sort over a pseudo-array of module globals.
+_SORT = """
+MODULE Main;
+VAR a0, a1, a2, a3, a4, a5, a6, a7: INT;
+PROCEDURE put(base, i, v);
+BEGIN
+  ^(base + i) := v;
+END;
+PROCEDURE get(base, i): INT;
+BEGIN
+  RETURN ^(base + i);
+END;
+PROCEDURE sort(base, n);
+VAR i, j, key: INT;
+BEGIN
+  i := 1;
+  WHILE i < n DO
+    key := get(base, i);
+    j := i - 1;
+    WHILE (j >= 0) AND (get(base, j) > key) DO
+      put(base, j + 1, get(base, j));
+      j := j - 1;
+    END;
+    put(base, j + 1, key);
+    i := i + 1;
+  END;
+END;
+PROCEDURE main(): INT;
+VAR base, i, acc: INT;
+BEGIN
+  base := @a0;
+  put(base, 0, 31); put(base, 1, 4); put(base, 2, 15); put(base, 3, 9);
+  put(base, 4, 26); put(base, 5, 5); put(base, 6, 3); put(base, 7, 58);
+  sort(base, 8);
+  i := 0;
+  acc := 0;
+  WHILE i < 8 DO
+    OUTPUT get(base, i);
+    acc := acc * 2 + get(base, i);
+    i := i + 1;
+  END;
+  RETURN acc;
+END;
+END.
+"""
+
+_VARPARAMS = """
+MODULE Main;
+PROCEDURE swap(p, q);
+VAR t: INT;
+BEGIN
+  t := ^p;
+  ^p := ^q;
+  ^q := t;
+END;
+PROCEDURE minmax(a, b, lo, hi);
+BEGIN
+  IF a > b THEN
+    ^lo := b; ^hi := a;
+  ELSE
+    ^lo := a; ^hi := b;
+  END;
+END;
+PROCEDURE main(): INT;
+VAR x, y, lo, hi: INT;
+BEGIN
+  x := 3;
+  y := 8;
+  swap(@x, @y);
+  minmax(x, y, @lo, @hi);
+  RETURN x * 1000 + y * 100 + lo * 10 + hi;
+END;
+END.
+"""
+# x=8,y=3 -> minmax(8,3): lo=3,hi=8 -> 8*1000+3*100+3*10+8 = 8338
+
+_COROUTINE = """
+MODULE Main;
+PROCEDURE squares(seed): INT;
+VAR who, v: INT;
+BEGIN
+  who := SOURCE();
+  v := seed;
+  WHILE 1 DO
+    who := XFER(who, v * v);
+    who := SOURCE();
+    v := v + 1;
+  END;
+  RETURN 0;
+END;
+PROCEDURE main(): INT;
+VAR co, acc, i, v: INT;
+BEGIN
+  v := XFER(PROC(squares), 1);
+  co := SOURCE();
+  acc := v;
+  i := 0;
+  WHILE i < 4 DO
+    v := XFER(co, 0);
+    co := SOURCE();
+    acc := acc + v;
+    i := i + 1;
+  END;
+  RETURN acc;
+END;
+END.
+"""
+# 1 + 4 + 9 + 16 + 25 = 55
+
+# A two-stage pipeline of tiny procedures, call-dense and shallow, with
+# a second module in the loop.
+_PIPELINE = (
+    """
+MODULE Main;
+PROCEDURE stage1(x): INT;
+BEGIN
+  RETURN Filter.clip(x + 3);
+END;
+PROCEDURE stage2(x): INT;
+BEGIN
+  RETURN Filter.scale(stage1(x));
+END;
+PROCEDURE main(): INT;
+VAR i, acc: INT;
+BEGIN
+  acc := 0;
+  i := 0;
+  WHILE i < 30 DO
+    acc := acc + stage2(i);
+    i := i + 1;
+  END;
+  RETURN acc;
+END;
+END.
+""",
+    """
+MODULE Filter;
+PROCEDURE clip(x): INT;
+BEGIN
+  IF x > 20 THEN RETURN 20; END;
+  RETURN x;
+END;
+PROCEDURE scale(x): INT;
+BEGIN
+  RETURN x * 3;
+END;
+END.
+""",
+)
+
+
+# N-queens (n=5): pointer-array board over globals, recursive backtracking.
+_QUEENS = """
+MODULE Main;
+VAR c0, c1, c2, c3, c4: INT;
+PROCEDURE ok(base, row, col): INT;
+VAR i, c: INT;
+BEGIN
+  i := 0;
+  WHILE i < row DO
+    c := ^(base + i);
+    IF c = col THEN RETURN 0; END;
+    IF c - col = row - i THEN RETURN 0; END;
+    IF col - c = row - i THEN RETURN 0; END;
+    i := i + 1;
+  END;
+  RETURN 1;
+END;
+PROCEDURE solve(base, row, n): INT;
+VAR col, count: INT;
+BEGIN
+  IF row = n THEN RETURN 1; END;
+  count := 0;
+  col := 0;
+  WHILE col < n DO
+    IF ok(base, row, col) THEN
+      ^(base + row) := col;
+      count := count + solve(base, row + 1, n);
+    END;
+    col := col + 1;
+  END;
+  RETURN count;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN solve(@c0, 0, 5);
+END;
+END.
+"""
+
+# Sieve of Eratosthenes below 30, OUTPUTting each prime.
+_SIEVE_GLOBALS = ", ".join(f"f{i}" for i in range(30))
+_SIEVE = f"""
+MODULE Main;
+VAR {_SIEVE_GLOBALS}: INT;
+PROCEDURE main(): INT;
+VAR base, i, j, count: INT;
+BEGIN
+  base := @f0;
+  i := 0;
+  WHILE i < 30 DO
+    ^(base + i) := 1;
+    i := i + 1;
+  END;
+  count := 0;
+  i := 2;
+  WHILE i < 30 DO
+    IF ^(base + i) THEN
+      count := count + 1;
+      OUTPUT i;
+      j := i + i;
+      WHILE j < 30 DO
+        ^(base + j) := 0;
+        j := j + i;
+      END;
+    END;
+    i := i + 1;
+  END;
+  RETURN count;
+END;
+END.
+"""
+
+# Mutual recursion across modules: every call is an EXTERNALCALL.
+_MUTUAL = (
+    """
+MODULE Main;
+PROCEDURE iseven(n): INT;
+BEGIN
+  IF n = 0 THEN RETURN 1; END;
+  RETURN Other.isodd(n - 1);
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN iseven(20) * 10 + Other.isodd(13);
+END;
+END.
+""",
+    """
+MODULE Other;
+PROCEDURE isodd(n): INT;
+BEGIN
+  IF n = 0 THEN RETURN 0; END;
+  RETURN Main.iseven(n - 1);
+END;
+END.
+""",
+)
+
+# Dynamic dispatch through an interface record of procedure descriptors
+# (sections 3-4: "LOADLITERAL i; READFIELD f; XFER").
+_DISPATCH = """
+MODULE Main;
+VAR slot0, slot1: INT;
+PROCEDURE inc(x): INT;
+BEGIN
+  RETURN x + 1;
+END;
+PROCEDURE dec(x): INT;
+BEGIN
+  RETURN x - 1;
+END;
+PROCEDURE apply(iface, index, x): INT;
+VAR r: INT;
+BEGIN
+  r := XFER(^(iface + index), x);
+  RETURN r;
+END;
+PROCEDURE main(): INT;
+VAR iface, i, v: INT;
+BEGIN
+  iface := @slot0;
+  ^(iface + 0) := PROC(inc);
+  ^(iface + 1) := PROC(dec);
+  v := 50;
+  i := 0;
+  WHILE i < 6 DO
+    v := apply(iface, i MOD 2, v);
+    i := i + 1;
+  END;
+  RETURN v + apply(iface, 0, 0);
+END;
+END.
+"""
+
+
+def _pipeline_expected() -> int:
+    return sum(3 * min(i + 3, 20) for i in range(30))
+
+
+def _calls_expected() -> int:
+    return sum((i + 1 + 1) + 2 * (2 * i) for i in range(40))
+
+
+def _sort_expected() -> int:
+    values = sorted([31, 4, 15, 9, 26, 5, 3, 58])
+    acc = 0
+    for value in values:
+        acc = (acc * 2 + value) & 0xFFFF
+    return acc
+
+
+def _mathlib_expected() -> int:
+    from math import gcd
+
+    return sum(gcd(i * 12, 18) + 2 ** (i % 3) for i in range(1, 11))
+
+
+#: The corpus, keyed by name.
+CORPUS: dict[str, Program] = {
+    "fib": Program("fib", (_FIB,), expect_results=(89,)),
+    "ackermann": Program("ackermann", (_ACKERMANN,), expect_results=(9,)),
+    "calls": Program("calls", (_CALLS,), expect_results=(_calls_expected(),)),
+    "mathlib": Program("mathlib", _MATHLIB, expect_results=(_mathlib_expected(),)),
+    "sort": Program(
+        "sort",
+        (_SORT,),
+        expect_results=(_sort_expected(),),
+        expect_output=(3, 4, 5, 9, 15, 26, 31, 58),
+    ),
+    "varparams": Program("varparams", (_VARPARAMS,), expect_results=(8338,)),
+    "coroutine": Program(
+        "coroutine", (_COROUTINE,), expect_results=(55,), needs_descriptors=True
+    ),
+    "pipeline": Program(
+        "pipeline", _PIPELINE, expect_results=(_pipeline_expected(),)
+    ),
+    "queens": Program("queens", (_QUEENS,), expect_results=(10,)),
+    "sieve": Program(
+        "sieve",
+        (_SIEVE,),
+        expect_results=(10,),
+        expect_output=(2, 3, 5, 7, 11, 13, 17, 19, 23, 29),
+    ),
+    "mutual": Program("mutual", _MUTUAL, expect_results=(11,)),
+    "dispatch": Program(
+        "dispatch", (_DISPATCH,), expect_results=(51,), needs_descriptors=True
+    ),
+}
+
+
+def program(name: str) -> Program:
+    """Look up a corpus program by name."""
+    return CORPUS[name]
+
+
+def corpus_sources(include_descriptor_programs: bool = True) -> list[Program]:
+    """The corpus as a list, optionally without XFER-based programs
+    (which cannot run under SIMPLE linkage)."""
+    return [
+        entry
+        for entry in CORPUS.values()
+        if include_descriptor_programs or not entry.needs_descriptors
+    ]

@@ -1,0 +1,156 @@
+"""Calibrated synthetic workloads.
+
+The paper's section 7 statistics describe *distributions* the Mesa
+corpus exhibited; these generators produce traces with the same
+calibration so the mechanisms can be measured at scale and swept:
+
+* **frame sizes** — "Mesa statistics suggest that 95% of all frames
+  allocated are smaller than 80 bytes" (40 words), with a minimum around
+  16 bytes (8 words).  :class:`FrameSizeModel` is a shifted geometric
+  with its 95th percentile pinned to 40 words.
+
+* **call/return sequences** — "long runs of calls nearly uninterrupted
+  by returns, or vice versa, are quite rare" (section 7.1).  The
+  generator is a mean-reverting random walk over call depth: the deeper
+  the chain is beyond its typical depth, the likelier a return, so depth
+  oscillates in a narrow band with rare excursions — which is exactly
+  the property the bank file and return stack exploit.  A ``reversion``
+  of 0 degenerates to an unbiased walk (the adversarial case).
+
+* **coroutine transfers** — an optional per-event XFER probability
+  splices non-LIFO transfers into the stream, each switching to another
+  live chain (created on demand), to measure how general transfers erode
+  the fast paths.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.workloads.traces import TraceEvent, TraceOp
+
+#: The paper's numbers, in words.
+PAPER_MIN_FRAME_WORDS = 8  # "a minimum of about 16 bytes"
+PAPER_P95_FRAME_WORDS = 40  # "95% of all frames ... smaller than 80 bytes"
+
+
+@dataclass(frozen=True)
+class FrameSizeModel:
+    """Shifted-geometric frame sizes with a pinned 95th percentile.
+
+    ``P(words >= min_words + k) = (1 - p)^k`` with *p* chosen so that
+    ``P(words < p95_words) = 0.95``.  ``max_words`` truncates the tail
+    (the heap's ladder must be able to hold every sample).
+    """
+
+    min_words: int = PAPER_MIN_FRAME_WORDS
+    p95_words: int = PAPER_P95_FRAME_WORDS
+    max_words: int = 2048
+
+    @property
+    def rate(self) -> float:
+        span = self.p95_words - self.min_words
+        if span <= 0:
+            raise ValueError("p95_words must exceed min_words")
+        return -math.log(0.05) / span
+
+    def sample(self, rng: random.Random) -> int:
+        words = self.min_words + int(rng.expovariate(self.rate))
+        return min(words, self.max_words)
+
+    def percentile_check(self, samples: list[int]) -> float:
+        """Fraction of samples under the 95th-percentile target size."""
+        if not samples:
+            return 0.0
+        return sum(1 for s in samples if s < self.p95_words) / len(samples)
+
+
+def frame_size_samples(
+    count: int, seed: int = 1982, model: FrameSizeModel | None = None
+) -> list[int]:
+    """Draw *count* frame sizes from the calibrated model."""
+    model = model or FrameSizeModel()
+    rng = random.Random(seed)
+    return [model.sample(rng) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs for the call/return/XFER trace generator.
+
+    ``leaf_prob`` is the key locality parameter: structured programs are
+    dominated by leaf and near-leaf calls (a call immediately matched by
+    its return), which is why "long runs of calls nearly uninterrupted
+    by returns" are rare.  With the defaults the generated traces match
+    the paper's bank statistics (about 5% overflow with 4 banks, about
+    1% with 8); set ``leaf_prob=0`` and ``reversion=0`` for the
+    adversarial unbiased walk.
+    """
+
+    length: int = 10_000
+    #: Typical call depth the walk reverts to.
+    mean_depth: int = 6
+    #: Mean-reversion strength; 0 = unbiased random walk.
+    reversion: float = 0.4
+    #: Base probability that the next event is a call (at mean depth).
+    call_bias: float = 0.5
+    #: Probability that a call is a leaf call (immediately returns).
+    leaf_prob: float = 0.75
+    #: Probability that an event is a coroutine XFER instead.
+    xfer_prob: float = 0.0
+    #: Frame-size model for CALL events.
+    sizes: FrameSizeModel = FrameSizeModel()
+    seed: int = 1982
+
+
+def call_return_trace(config: TraceConfig | None = None) -> list[TraceEvent]:
+    """Generate a depth-oscillating call/return/XFER trace.
+
+    The trace always starts with a CALL (the root context of the current
+    chain) and never returns past a chain's root; XFER events carry no
+    size and switch chains (the replay machinery interprets them).
+    """
+    config = config or TraceConfig()
+    rng = random.Random(config.seed)
+    events: list[TraceEvent] = [
+        TraceEvent(TraceOp.CALL, config.sizes.sample(rng))
+    ]
+    depth = 1
+    while len(events) < config.length:
+        if config.xfer_prob and rng.random() < config.xfer_prob:
+            events.append(TraceEvent(TraceOp.XFER, 0))
+            # The replay decides which chain we land in; statistically we
+            # assume a similar depth there, so leave `depth` alone.
+            continue
+        p_call = config.call_bias - config.reversion * (depth - config.mean_depth)
+        p_call = min(0.95, max(0.05, p_call))
+        if depth <= 1 or rng.random() < p_call:
+            if rng.random() < config.leaf_prob:
+                # A leaf call: the callee returns immediately — the
+                # dominant pattern in structured code.
+                events.append(TraceEvent(TraceOp.CALL, config.sizes.sample(rng)))
+                events.append(TraceEvent(TraceOp.RETURN, 0))
+            else:
+                events.append(TraceEvent(TraceOp.CALL, config.sizes.sample(rng)))
+                depth += 1
+        else:
+            events.append(TraceEvent(TraceOp.RETURN, 0))
+            depth -= 1
+    return events[: config.length]
+
+
+def depth_profile(events: list[TraceEvent]) -> tuple[int, float]:
+    """(max depth, mean depth) of a trace — a calibration diagnostic."""
+    depth = 0
+    peak = 0
+    total = 0
+    for event in events:
+        if event.op is TraceOp.CALL:
+            depth += 1
+            peak = max(peak, depth)
+        elif event.op is TraceOp.RETURN:
+            depth -= 1
+        total += depth
+    return peak, total / max(1, len(events))

@@ -1,0 +1,285 @@
+"""Trace events and mechanism-level replay harnesses.
+
+A trace is a list of :class:`TraceEvent` (CALL with a frame size,
+RETURN, XFER).  The replay functions drive one mechanism at a time with
+the exact discipline the full machine uses, so the ablation benchmarks
+(bank count sweeps, return-stack depth sweeps, ladder sweeps) run
+millions of events without interpreting a single instruction.
+
+Chain semantics: the replay maintains one *current chain* (a stack of
+live activations) plus a pool of suspended chains.  CALL pushes on the
+current chain, RETURN pops it (never past the chain root), and XFER
+suspends the current chain and resumes another from the pool round-robin
+(creating a fresh single-frame chain when the pool is empty) — the
+coroutine pattern of section 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.alloc.avheap import AVHeap
+from repro.alloc.sizing import SizeLadder, geometric_ladder
+from repro.banks.bankfile import Bank, BankFile, BankStats
+from repro.banks.renaming import BankManager
+from repro.ifu.returnstack import OverflowPolicy, ReturnStack, ReturnStackEntry
+from repro.machine.costs import CycleCounter, Event
+from repro.machine.memory import Memory
+
+
+class TraceOp(enum.Enum):
+    CALL = "call"
+    RETURN = "return"
+    XFER = "xfer"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One transfer: the op plus the callee frame size (CALL only)."""
+
+    op: TraceOp
+    frame_words: int = 0
+
+
+@dataclass
+class _TraceFrame:
+    """A stand-in activation for mechanism-level replay."""
+
+    local_words: int
+    address: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# Return stack replay (benchmark C12, feeding C5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReturnStackReplay:
+    """Results of replaying a trace against an IFU return stack."""
+
+    calls: int = 0
+    returns: int = 0
+    xfers: int = 0
+    hits: int = 0
+    misses: int = 0
+    flush_events: dict[str, int] = field(default_factory=dict)
+    entries_flushed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def jump_speed_fraction(self) -> float:
+        """Fast transfers / all transfers, assuming DIRECTCALL linkage
+        (calls are always jump-speed; returns only on a hit)."""
+        total = self.calls + self.returns + self.xfers
+        return (self.calls + self.hits) / total if total else 0.0
+
+
+def replay_on_return_stack(
+    events: list[TraceEvent],
+    depth: int = 8,
+    policy: OverflowPolicy = OverflowPolicy.FULL_FLUSH,
+) -> ReturnStackReplay:
+    """Measure return-stack behaviour over a trace."""
+    stack = ReturnStack(depth, policy)
+    result = ReturnStackReplay()
+    current: list[int] = [0]  # the true chain, as opaque frame ids
+    pool: list[list[int]] = []
+    serial = 1
+    for event in events:
+        if event.op is TraceOp.CALL:
+            result.calls += 1
+            if stack.full:
+                victims = stack.overflow_victims()
+                result.flush_events["overflow"] = result.flush_events.get("overflow", 0) + 1
+                result.entries_flushed += len(victims)
+            stack.push(ReturnStackEntry(frame=current[-1], pc=0))
+            current.append(serial)
+            serial += 1
+        elif event.op is TraceOp.RETURN:
+            if len(current) <= 1:
+                continue  # never return past the chain root
+            result.returns += 1
+            entry = stack.pop()
+            current.pop()
+            if entry is not None and entry.frame == current[-1]:
+                result.hits += 1
+            elif entry is not None:
+                # A stale entry after an XFER-flush bug would land here;
+                # the discipline below makes it unreachable.
+                result.misses += 1
+            else:
+                result.misses += 1
+        else:  # XFER: unusual -> flush everything, switch chains
+            result.xfers += 1
+            flushed = stack.take_all()
+            if flushed:
+                result.flush_events["xfer"] = result.flush_events.get("xfer", 0) + 1
+                result.entries_flushed += len(flushed)
+            pool.append(current)
+            if len(pool) > 1:
+                current = pool.pop(0)
+            else:
+                current = [serial]
+                serial += 1
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Bank file replay (benchmark C7)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BankReplay:
+    """Results of replaying a trace against a register bank file."""
+
+    stats: BankStats
+    memory_reads: int
+    memory_writes: int
+
+    @property
+    def overflow_rate(self) -> float:
+        return self.stats.overflow_rate
+
+
+def replay_on_banks(
+    events: list[TraceEvent],
+    bank_count: int = 4,
+    bank_words: int = 16,
+    arg_words: int = 2,
+    writes_per_call: int = 3,
+) -> BankReplay:
+    """Measure bank overflow/underflow over a trace.
+
+    Each CALL renames the stack bank for the callee and dirties a few
+    words (arguments landing plus *writes_per_call* local stores), so
+    spills move a realistic number of words.
+    """
+    counter = CycleCounter()
+    banks = BankFile(bank_count, bank_words, counter)
+
+    def spill(bank: Bank) -> None:
+        pairs = banks.spill_words(bank)
+        counter.record(Event.MEMORY_WRITE, len(pairs))
+
+    def fill(bank: Bank, frame: object) -> None:
+        assert isinstance(frame, _TraceFrame)
+        count = min(bank_words, frame.local_words)
+        counter.record(Event.MEMORY_READ, count)
+        banks.fill(bank, [0] * count)
+
+    manager = BankManager(banks, spill, fill)
+    root = _TraceFrame(local_words=8)
+    manager.begin(root)
+    current: list[tuple[_TraceFrame, Bank | None]] = [(root, None)]
+    pool: list[list[tuple[_TraceFrame, Bank | None]]] = []
+    for event in events:
+        if event.op is TraceOp.CALL:
+            frame = _TraceFrame(local_words=event.frame_words)
+            caller_bank = manager.on_call(frame, arg_words=arg_words)
+            current[-1] = (current[-1][0], caller_bank)
+            current.append((frame, None))
+            lbank = manager.lbank
+            if lbank is not None:
+                for index in range(min(writes_per_call, lbank.size)):
+                    banks.write(lbank, index, index)
+        elif event.op is TraceOp.RETURN:
+            if len(current) <= 1:
+                continue
+            frame, _ = current.pop()
+            caller_frame, caller_bank = current[-1]
+            manager.on_return(caller_frame, caller_bank)
+        else:  # XFER
+            pool.append(current)
+            if len(pool) > 1:
+                current = pool.pop(0)
+            else:
+                current = [(_TraceFrame(local_words=8), None)]
+            manager.on_resume(current[-1][0])
+    return BankReplay(
+        stats=banks.stats,
+        memory_reads=counter.count(Event.MEMORY_READ),
+        memory_writes=counter.count(Event.MEMORY_WRITE),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Frame heap replay (Figure 2 / C11)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HeapReplay:
+    """Results of replaying allocations/frees against the AV heap."""
+
+    allocations: int
+    frees: int
+    refs_per_allocate: float
+    refs_per_free: float
+    live_fragmentation: float
+    lifetime_fragmentation: float
+    idle_free_fraction: float
+    trap_rate: float
+
+
+def replay_on_heap(
+    events: list[TraceEvent],
+    ladder: SizeLadder | None = None,
+    arena_words: int = 1 << 19,
+) -> HeapReplay:
+    """Drive the AV heap with a trace's allocation pattern.
+
+    XFER events keep both chains' frames live simultaneously — the
+    non-LIFO allocation pattern that rules out a stack and motivates the
+    heap (section 5.3: "It requires no special cases to handle the
+    frames of multiple processes or coroutines").
+    """
+    ladder = ladder or geometric_ladder()
+    memory = Memory(max(arena_words + 4096, 1 << 16))
+    counter = memory.counter
+    av_base = 16
+    heap = AVHeap(memory, ladder, av_base, av_base + len(ladder) + 1, arena_words)
+
+    current: list[int] = []
+    pool: list[list[int]] = []
+    allocate_refs = 0
+    free_refs = 0
+    allocations = 0
+    frees = 0
+    for event in events:
+        if event.op is TraceOp.CALL:
+            before_traps = heap.stats.replenishments
+            before = counter.memory_references
+            pointer = heap.allocate(ladder.fsi_for(event.frame_words), event.frame_words)
+            # Exclude software-allocator traps from the steady-state cost:
+            # the paper's "three memory references" is the fast path.
+            if heap.stats.replenishments == before_traps:
+                allocate_refs += counter.memory_references - before
+                allocations += 1
+            current.append(pointer)
+        elif event.op is TraceOp.RETURN:
+            if not current:
+                continue
+            before = counter.memory_references
+            heap.free(current.pop())
+            free_refs += counter.memory_references - before
+            frees += 1
+        else:  # XFER
+            pool.append(current)
+            current = pool.pop(0) if len(pool) > 1 else []
+    return HeapReplay(
+        allocations=heap.stats.allocations,
+        frees=heap.stats.frees,
+        refs_per_allocate=allocate_refs / max(1, allocations),
+        refs_per_free=free_refs / max(1, frees),
+        live_fragmentation=heap.stats.live_fragmentation,
+        lifetime_fragmentation=heap.stats.lifetime_fragmentation,
+        idle_free_fraction=heap.stats.idle_free_fraction,
+        trap_rate=heap.stats.trap_rate,
+    )

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp.machine import Machine
+from repro.interp.machineconfig import MachineConfig
+from repro.lang.compiler import CompileOptions, compile_program
+from repro.lang.linker import LinkOptions, link
+from repro.machine.costs import CycleCounter
+from repro.machine.memory import Memory
+
+
+@pytest.fixture
+def counter() -> CycleCounter:
+    return CycleCounter()
+
+
+@pytest.fixture
+def memory(counter: CycleCounter) -> Memory:
+    return Memory(1 << 16, counter)
+
+
+ALL_PRESETS = ("i1", "i2", "i3", "i4")
+
+
+def build(sources, preset="i2", entry=("Main", "main"), multi_instance=frozenset(),
+          instances=None, **config_overrides) -> Machine:
+    """Compile/link/load helper used across machine tests."""
+    config = MachineConfig.preset(preset, **config_overrides)
+    options = CompileOptions.for_config(config, multi_instance=multi_instance)
+    modules = compile_program(list(sources), options)
+    link_options = LinkOptions(instances=instances or {})
+    image = link(modules, config, entry, link_options)
+    return Machine(image)
+
+
+def run_source(sources, preset="i2", args=(), entry=("Main", "main"), **overrides):
+    """Build, start, run; returns (results, machine)."""
+    machine = build(sources, preset=preset, entry=entry, **overrides)
+    machine.start(entry[0], entry[1], *args)
+    results = machine.run()
+    return results, machine

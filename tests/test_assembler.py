@@ -1,0 +1,155 @@
+"""Unit tests for the assembler: labels, jump sizing, helpers."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import (
+    Assembler,
+    external_call,
+    load_immediate,
+    load_local,
+    store_local,
+)
+from repro.isa.disassembler import disassemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def test_straight_line():
+    asm = Assembler()
+    asm.emit(Op.LI1)
+    asm.emit(Op.LI2)
+    asm.emit(Op.ADD)
+    assert asm.assemble() == bytes([int(Op.LI1), int(Op.LI2), int(Op.ADD)])
+
+
+def test_backward_jump_short():
+    asm = Assembler()
+    top = asm.new_label()
+    asm.bind(top)
+    asm.emit(Op.NOOP)
+    asm.jump(Op.JB, top)
+    body = asm.assemble()
+    items = disassemble(body)
+    jump = items[-1]
+    assert jump.instruction.op is Op.JB
+    assert jump.target() == 0
+
+
+def test_forward_jump_resolves():
+    asm = Assembler()
+    end = asm.new_label()
+    asm.jump(Op.JZB, end)
+    asm.emit(Op.LI1)
+    asm.bind(end)
+    asm.emit(Op.RET)
+    items = disassemble(asm.assemble())
+    assert items[0].target() == items[-1].offset
+
+
+def test_long_jump_widens_automatically():
+    asm = Assembler()
+    end = asm.new_label()
+    asm.jump(Op.JB, end)
+    for _ in range(200):
+        asm.emit(Op.NOOP)
+    asm.bind(end)
+    asm.emit(Op.RET)
+    items = disassemble(asm.assemble())
+    assert items[0].instruction.op is Op.JW  # widened
+    assert items[0].target() == items[-1].offset
+
+
+def test_short_jump_stays_short():
+    asm = Assembler()
+    end = asm.new_label()
+    asm.jump(Op.JB, end)
+    for _ in range(10):
+        asm.emit(Op.NOOP)
+    asm.bind(end)
+    asm.emit(Op.RET)
+    items = disassemble(asm.assemble())
+    assert items[0].instruction.op is Op.JB
+
+
+def test_chained_widening_converges():
+    """Two jumps whose widening interacts: both must land correctly."""
+    asm = Assembler()
+    far = asm.new_label()
+    mid = asm.new_label()
+    asm.jump(Op.JB, far)
+    asm.jump(Op.JB, mid)
+    for _ in range(120):
+        asm.emit(Op.NOOP)
+    asm.bind(mid)
+    for _ in range(120):
+        asm.emit(Op.NOOP)
+    asm.bind(far)
+    asm.emit(Op.RET)
+    items = disassemble(asm.assemble())
+    assert items[0].target() == items[-1].offset
+    mid_target = items[1].target()
+    assert any(item.offset == mid_target for item in items)
+
+
+def test_unbound_label_error():
+    asm = Assembler()
+    nowhere = asm.new_label()
+    asm.jump(Op.JB, nowhere)
+    with pytest.raises(AssemblyError):
+        asm.assemble()
+
+
+def test_double_bind_error():
+    asm = Assembler()
+    label = asm.new_label()
+    asm.bind(label)
+    with pytest.raises(AssemblyError):
+        asm.bind(label)
+
+
+def test_emit_rejects_sizable_jumps():
+    asm = Assembler()
+    with pytest.raises(AssemblyError):
+        asm.emit(Op.JB, 0)
+    with pytest.raises(AssemblyError):
+        asm.jump(Op.ADD, asm.new_label())
+
+
+def test_label_offsets_available_after_assemble():
+    asm = Assembler()
+    site = asm.new_label("site")
+    asm.emit(Op.LI1)
+    asm.bind(site)
+    asm.emit(Op.DFC, 0)
+    asm.assemble()
+    assert site.offset == 1  # after the one-byte LI1
+
+
+# -- shortest-form helpers ---------------------------------------------------
+
+
+def test_load_local_forms():
+    assert load_local(0) == Instruction(Op.LL0)
+    assert load_local(7) == Instruction(Op.LL7)
+    assert load_local(8) == Instruction(Op.LLB, 8)
+
+
+def test_store_local_forms():
+    assert store_local(2) == Instruction(Op.SL2)
+    assert store_local(11) == Instruction(Op.SLB, 11)
+
+
+def test_load_immediate_forms():
+    assert load_immediate(-1) == Instruction(Op.LIN1)
+    assert load_immediate(0) == Instruction(Op.LI0)
+    assert load_immediate(7) == Instruction(Op.LI7)
+    assert load_immediate(8) == Instruction(Op.LIB, 8)
+    assert load_immediate(255) == Instruction(Op.LIB, 255)
+    assert load_immediate(256) == Instruction(Op.LIW, 256)
+
+
+def test_external_call_forms():
+    assert external_call(0) == Instruction(Op.EFC0)
+    assert external_call(7) == Instruction(Op.EFC7)
+    assert external_call(8) == Instruction(Op.EFCB, 8)

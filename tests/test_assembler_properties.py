@@ -1,0 +1,77 @@
+"""Property tests: jump relaxation always lands exactly on its label.
+
+Random arrangements of filler runs and jumps (forward and backward, at
+every distance across the short/long boundary) are assembled and then
+decoded; every jump's computed target must be its label's final offset.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import Assembler
+from repro.isa.disassembler import disassemble
+from repro.isa.opcodes import JUMP_OPS, Op
+
+
+@st.composite
+def jump_programs(draw):
+    """A random program: alternating filler blocks and jump slots.
+
+    Returns (filler_sizes, jump_specs) where each jump spec is
+    (position_index, target_block_index, opcode).
+    """
+    blocks = draw(st.integers(min_value=1, max_value=6))
+    filler = [draw(st.integers(min_value=0, max_value=160)) for _ in range(blocks)]
+    jump_count = draw(st.integers(min_value=1, max_value=5))
+    jumps = [
+        (
+            draw(st.integers(min_value=0, max_value=blocks - 1)),
+            draw(st.integers(min_value=0, max_value=blocks - 1)),
+            draw(st.sampled_from([Op.JB, Op.JZB, Op.JNZB])),
+        )
+        for _ in range(jump_count)
+    ]
+    return filler, jumps
+
+
+@settings(max_examples=120, deadline=None)
+@given(jump_programs())
+def test_every_jump_lands_on_its_label(program):
+    filler, jumps = program
+    asm = Assembler()
+    labels = [asm.new_label(f"B{i}") for i in range(len(filler))]
+    jumps_by_block: dict[int, list] = {}
+    for at_block, target, op in jumps:
+        jumps_by_block.setdefault(at_block, []).append((target, op))
+    for index, size in enumerate(filler):
+        asm.bind(labels[index])
+        for _ in range(size):
+            asm.emit(Op.NOOP)
+        for target, op in jumps_by_block.get(index, []):
+            asm.jump(op, labels[target])
+    asm.emit(Op.RET)
+    body = asm.assemble()
+
+    label_offsets = {label.offset for label in labels}
+    for item in disassemble(body):
+        if item.instruction.op in JUMP_OPS:
+            assert item.target() in label_offsets
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=400))
+def test_boundary_distances_exact(distance):
+    """Sweep the forward distance across the 127-byte short-form limit."""
+    asm = Assembler()
+    end = asm.new_label("end")
+    asm.jump(Op.JB, end)
+    for _ in range(distance):
+        asm.emit(Op.NOOP)
+    asm.bind(end)
+    asm.emit(Op.RET)
+    items = disassemble(asm.assemble())
+    jump = items[0]
+    assert jump.target() == items[-1].offset
+    if distance <= 127:
+        assert jump.instruction.op is Op.JB
+    else:
+        assert jump.instruction.op is Op.JW

@@ -1,0 +1,170 @@
+"""Unit tests for the AV frame heap (section 5.3, Figure 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc.avheap import AVHeap, FRAME_OVERHEAD_WORDS
+from repro.alloc.sizing import geometric_ladder
+from repro.errors import DoubleFree, FrameSizeError, HeapExhausted
+from repro.machine.costs import CycleCounter, Event
+from repro.machine.memory import Memory
+
+
+def make_heap(arena_words=8192, replenish_batch=4):
+    counter = CycleCounter()
+    memory = Memory(1 << 16, counter)
+    ladder = geometric_ladder()
+    heap = AVHeap(memory, ladder, 16, 64, arena_words, replenish_batch)
+    return heap, memory, counter
+
+
+def test_allocate_returns_even_pointer():
+    heap, _, _ = make_heap()
+    for fsi in (0, 3, 7):
+        pointer = heap.allocate(fsi)
+        assert pointer % 2 == 0
+
+
+def test_fsi_header_stored_behind_pointer():
+    heap, memory, _ = make_heap()
+    pointer = heap.allocate(5)
+    assert memory.peek(pointer - FRAME_OVERHEAD_WORDS) == 5
+    assert heap.fsi_of(pointer) == 5
+
+
+def test_allocate_costs_three_references_on_fast_path():
+    """The paper: "Only three memory references are required to allocate
+    a frame (fetch list head from AV, fetch next pointer from first node,
+    store it into list head)"."""
+    heap, _, counter = make_heap()
+    heap.allocate(2)  # may trap to replenish; warm the list
+    heap.free(heap.allocate(2))
+    snap = counter.snapshot()
+    heap.allocate(2)
+    delta = counter.delta_since(snap)
+    assert delta[Event.MEMORY_READ.value] + delta[Event.MEMORY_WRITE.value] == 3
+    assert delta[Event.ALLOCATOR_TRAP.value] == 0
+
+
+def test_free_costs_four_references():
+    """"...and four to free it." (The size need not be specified: the
+    fsi header supplies it.)"""
+    heap, _, counter = make_heap()
+    pointer = heap.allocate(2)
+    snap = counter.snapshot()
+    heap.free(pointer)
+    delta = counter.delta_since(snap)
+    assert delta[Event.MEMORY_READ.value] + delta[Event.MEMORY_WRITE.value] == 4
+
+
+def test_empty_list_traps_to_software_allocator():
+    heap, _, counter = make_heap()
+    assert counter.count(Event.ALLOCATOR_TRAP) == 0
+    heap.allocate(0)
+    assert counter.count(Event.ALLOCATOR_TRAP) == 1
+    assert heap.stats.replenishments == 1
+
+
+def test_replenish_creates_batch():
+    heap, _, _ = make_heap(replenish_batch=4)
+    heap.allocate(1)
+    # One in use, batch-1 still free.
+    assert heap.free_list_length(1) == 3
+
+
+def test_free_then_allocate_reuses_frame():
+    heap, _, counter = make_heap()
+    pointer = heap.allocate(3)
+    heap.free(pointer)
+    again = heap.allocate(3)
+    assert again == pointer
+
+
+def test_lifo_free_list_order():
+    heap, _, _ = make_heap()
+    a = heap.allocate(2)
+    b = heap.allocate(2)
+    heap.free(a)
+    heap.free(b)
+    assert heap.allocate(2) == b
+    assert heap.allocate(2) == a
+
+
+def test_double_free_detected():
+    heap, _, _ = make_heap()
+    pointer = heap.allocate(1)
+    heap.free(pointer)
+    with pytest.raises(DoubleFree):
+        heap.free(pointer)
+
+
+def test_free_of_unallocated_detected():
+    heap, _, _ = make_heap()
+    with pytest.raises(DoubleFree):
+        heap.free(1234)
+
+
+def test_request_larger_than_class_rejected():
+    heap, _, _ = make_heap()
+    class_words = heap.ladder.size_of(0)
+    with pytest.raises(FrameSizeError):
+        heap.allocate(0, requested_words=class_words + 1)
+
+
+def test_arena_exhaustion():
+    heap, _, _ = make_heap(arena_words=64)
+    with pytest.raises(HeapExhausted):
+        for _ in range(100):
+            heap.allocate(0)
+
+
+def test_allocate_words_helper():
+    heap, _, _ = make_heap()
+    pointer = heap.allocate_words(25)
+    assert heap.ladder.size_of(heap.fsi_of(pointer)) >= 25
+
+
+def test_owns():
+    heap, _, _ = make_heap()
+    pointer = heap.allocate(0)
+    assert heap.owns(pointer)
+    assert not heap.owns(10)
+
+
+def test_note_requested_updates_stats():
+    heap, _, _ = make_heap()
+    pointer = heap.allocate(4, requested_words=10)
+    live_before = heap.stats.live_requested_words
+    heap.note_requested(pointer, 20)
+    assert heap.stats.live_requested_words == live_before + 10
+    with pytest.raises(DoubleFree):
+        heap.note_requested(9999, 5)
+
+
+def test_non_lifo_frees_are_fine():
+    """F2: frames are not freed in stack order (coroutines, processes)."""
+    heap, _, _ = make_heap()
+    frames = [heap.allocate(2) for _ in range(6)]
+    for pointer in frames[::2]:
+        heap.free(pointer)
+    for pointer in frames[1::2]:
+        heap.free(pointer)
+    assert heap.stats.frees == 6
+    assert heap.stats.live_block_words == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=200), min_size=1, max_size=60))
+def test_allocate_free_never_corrupts_headers(sizes):
+    """Property: after any allocate/free interleaving, every live frame's
+    fsi header still matches a valid class that fits its request."""
+    heap, _, _ = make_heap(arena_words=1 << 15)
+    live = []
+    for index, words in enumerate(sizes):
+        live.append((heap.allocate_words(words), words))
+        if index % 3 == 2:
+            pointer, _ = live.pop(0)
+            heap.free(pointer)
+    for pointer, words in live:
+        fsi = heap.fsi_of(pointer)
+        assert heap.ladder.size_of(fsi) >= words

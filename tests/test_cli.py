@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+MAIN_SRC = """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  OUTPUT 5;
+  RETURN Util.double(21);
+END;
+END.
+"""
+
+UTIL_SRC = """
+MODULE Util;
+PROCEDURE double(x): INT;
+BEGIN
+  RETURN x + x;
+END;
+END.
+"""
+
+
+@pytest.fixture
+def program(tmp_path):
+    main_file = tmp_path / "main.mesa"
+    util_file = tmp_path / "util.mesa"
+    main_file.write_text(MAIN_SRC)
+    util_file.write_text(UTIL_SRC)
+    return [str(main_file), str(util_file)]
+
+
+def test_run(program, capsys):
+    assert main(["run", *program]) == 0
+    out = capsys.readouterr().out
+    assert "results: [42]" in out
+    assert "output:  [5]" in out
+
+
+def test_run_with_impl_and_stats(program, capsys):
+    assert main(["run", *program, "--impl", "i4", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "results: [42]" in out
+    assert "memory refs" in out
+    assert "bank rate" in out
+
+
+def test_run_with_entry_and_args(program, capsys):
+    assert main(["run", *program, "--entry", "Util.double", "--args", "7"]) == 0
+    assert "results: [14]" in capsys.readouterr().out
+
+
+def test_disasm(program, capsys):
+    assert main(["disasm", *program]) == 0
+    out = capsys.readouterr().out
+    assert "MODULE Main" in out
+    assert "EFC0" in out  # the external call to Util.double
+    assert "LV[0] -> Util.double" in out
+    assert "RET" in out
+
+
+def test_measure(program, capsys):
+    assert main(["measure", *program]) == 0
+    out = capsys.readouterr().out
+    assert "I1 simple" in out and "I4 banks" in out
+    assert out.count("[42]") == 4  # same results on the whole ladder
+
+
+def test_bad_entry_rejected(program):
+    with pytest.raises(SystemExit):
+        main(["run", *program, "--entry", "nodot"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_verify_passes(capsys):
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("[PASS]") == 8
+    assert "FAIL" not in out

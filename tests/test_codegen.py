@@ -1,0 +1,264 @@
+"""Unit tests for code generation: calling sequences and invariants."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.interp.machineconfig import ArgConvention, LinkageKind
+from repro.isa.disassembler import disassemble
+from repro.isa.opcodes import Op
+from repro.lang.compiler import CompileOptions, compile_module, compile_program
+
+
+def ops_of(module, proc):
+    body = module.procedure_named(proc).body
+    return [item.instruction.op for item in disassemble(body)]
+
+
+def test_copy_convention_prologue_stores_args():
+    """Section 5.2: the callee "stores the arguments into local
+    variables with ordinary STORE instructions" — last argument first."""
+    module = compile_module(
+        "MODULE M;\nPROCEDURE f(a, b): INT;\nBEGIN\n  RETURN a;\nEND;\nEND.",
+        CompileOptions(arg_convention=ArgConvention.COPY),
+    )
+    ops = ops_of(module, "f")
+    assert ops[:2] == [Op.SL1, Op.SL0]
+
+
+def test_rename_convention_has_no_prologue():
+    """Section 7.2: with renaming the arguments already are the first
+    locals; no stores at all."""
+    module = compile_module(
+        "MODULE M;\nPROCEDURE f(a, b): INT;\nBEGIN\n  RETURN a;\nEND;\nEND.",
+        CompileOptions(arg_convention=ArgConvention.RENAME),
+    )
+    ops = ops_of(module, "f")
+    assert ops[0] == Op.LL0
+
+
+def test_local_call_uses_lfc_under_mesa():
+    module = compile_module(
+        """
+MODULE M;
+PROCEDURE leaf(): INT;
+BEGIN
+  RETURN 1;
+END;
+PROCEDURE f(): INT;
+BEGIN
+  RETURN leaf();
+END;
+END.
+""",
+        CompileOptions(linkage=LinkageKind.MESA),
+    )
+    assert Op.LFC in ops_of(module, "f")
+
+
+def test_local_call_uses_sdfc_under_direct():
+    module = compile_module(
+        """
+MODULE M;
+PROCEDURE leaf(): INT;
+BEGIN
+  RETURN 1;
+END;
+PROCEDURE f(): INT;
+BEGIN
+  RETURN leaf();
+END;
+END.
+""",
+        CompileOptions(linkage=LinkageKind.DIRECT),
+    )
+    ops = ops_of(module, "f")
+    assert Op.SDFC in ops and Op.LFC not in ops
+    assert module.fixups and module.fixups[0].kind == "sdfc"
+
+
+def test_external_call_uses_short_opcodes_by_frequency():
+    main, _ = compile_program(
+        [
+            """
+MODULE Main;
+PROCEDURE f(): INT;
+BEGIN
+  RETURN Lib.hot() + Lib.hot() + Lib.cold();
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN f();
+END;
+END.
+""",
+            """
+MODULE Lib;
+PROCEDURE hot(): INT;
+BEGIN
+  RETURN 1;
+END;
+PROCEDURE cold(): INT;
+BEGIN
+  RETURN 2;
+END;
+END.
+""",
+        ]
+    )
+    assert main.imports[0] == ("Lib", "hot")
+    ops = ops_of(main, "f")
+    assert ops.count(Op.EFC0) == 2  # the hot target: one-byte opcode
+    assert Op.EFC1 in ops
+
+
+def test_external_call_uses_dfc_under_direct():
+    main, _ = compile_program(
+        [
+            "MODULE Main;\nPROCEDURE main(): INT;\nBEGIN\n  RETURN Lib.f();\nEND;\nEND.",
+            "MODULE Lib;\nPROCEDURE f(): INT;\nBEGIN\n  RETURN 1;\nEND;\nEND.",
+        ],
+        CompileOptions(linkage=LinkageKind.DIRECT),
+    )
+    assert Op.DFC in ops_of(main, "main")
+
+
+def test_multi_instance_target_falls_back_to_efc():
+    """D2: "Multiple instances of p's module are not possible ... dealt
+    with by falling back to the scheme of section 5"."""
+    main, _ = compile_program(
+        [
+            "MODULE Main;\nPROCEDURE main(): INT;\nBEGIN\n  RETURN Lib.f();\nEND;\nEND.",
+            "MODULE Lib;\nPROCEDURE f(): INT;\nBEGIN\n  RETURN 1;\nEND;\nEND.",
+        ],
+        CompileOptions(
+            linkage=LinkageKind.DIRECT, multi_instance=frozenset({"Lib"})
+        ),
+    )
+    ops = ops_of(main, "main")
+    assert Op.EFC0 in ops and Op.DFC not in ops
+
+
+def test_nested_call_arguments_spill_to_temporaries():
+    """Section 5.2: "code of the form f[g[], h[]] requires the results of
+    g to be saved before h is called, and then retrieved"."""
+    module = compile_module(
+        """
+MODULE M;
+PROCEDURE g(): INT;
+BEGIN
+  RETURN 1;
+END;
+PROCEDURE h(): INT;
+BEGIN
+  RETURN 2;
+END;
+PROCEDURE f(a, b): INT;
+BEGIN
+  RETURN a + b;
+END;
+PROCEDURE top(): INT;
+BEGIN
+  RETURN f(g(), h());
+END;
+END.
+"""
+    )
+    ops = ops_of(module, "top")
+    # g's result is stored to a temp before h runs, then both reload.
+    first_store = ops.index(Op.SL0)
+    second_call = [i for i, op in enumerate(ops) if op is Op.LFC][1]
+    assert first_store < second_call
+    assert Op.LL0 in ops and Op.LL1 in ops
+    # The temporaries enlarge the frame.
+    top = module.procedure_named("top")
+    assert top.frame_words >= 3 + 2
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(SemanticError):
+        compile_module(
+            """
+MODULE M;
+PROCEDURE f(a): INT;
+BEGIN
+  RETURN a;
+END;
+PROCEDURE g(): INT;
+BEGIN
+  RETURN f(1, 2);
+END;
+END.
+"""
+        )
+
+
+def test_void_call_in_expression_rejected():
+    with pytest.raises(SemanticError):
+        compile_module(
+            """
+MODULE M;
+PROCEDURE p();
+BEGIN
+END;
+PROCEDURE g(): INT;
+BEGIN
+  RETURN p();
+END;
+END.
+"""
+        )
+
+
+def test_missing_return_value_rejected():
+    with pytest.raises(SemanticError):
+        compile_module(
+            "MODULE M;\nPROCEDURE f(): INT;\nBEGIN\n  RETURN;\nEND;\nEND."
+        )
+
+
+def test_value_from_void_return_rejected():
+    with pytest.raises(SemanticError):
+        compile_module("MODULE M;\nPROCEDURE f();\nBEGIN\n  RETURN 1;\nEND;\nEND.")
+
+
+def test_falling_off_end_of_function_rejected():
+    with pytest.raises(SemanticError):
+        compile_module("MODULE M;\nPROCEDURE f(): INT;\nBEGIN\n  OUTPUT 1;\nEND;\nEND.")
+
+
+def test_void_procedure_gets_implicit_return():
+    module = compile_module("MODULE M;\nPROCEDURE f();\nBEGIN\n  OUTPUT 1;\nEND;\nEND.")
+    assert ops_of(module, "f")[-1] is Op.RET
+
+
+def test_unknown_callee_rejected():
+    with pytest.raises(SemanticError):
+        compile_module(
+            "MODULE M;\nPROCEDURE f(): INT;\nBEGIN\n  RETURN Nope.g();\nEND;\nEND."
+        )
+
+
+def test_frame_words_include_header():
+    module = compile_module(
+        "MODULE M;\nPROCEDURE f(a, b);\nVAR x: INT;\nBEGIN\nEND;\nEND."
+    )
+    assert module.procedure_named("f").frame_words == 3 + 3
+
+
+def test_proc_literal_emits_liw_with_fixup():
+    module = compile_module(
+        """
+MODULE M;
+PROCEDURE f(): INT;
+BEGIN
+  RETURN 1;
+END;
+PROCEDURE g(): INT;
+BEGIN
+  RETURN PROC(f);
+END;
+END.
+"""
+    )
+    assert Op.LIW in ops_of(module, "g")
+    assert any(fixup.kind == "desc" for fixup in module.fixups)

@@ -1,0 +1,256 @@
+"""Tests for the abstract control-transfer model (section 3)."""
+
+import pytest
+
+from repro.core import AbstractMachine
+from repro.core.context import ProcedureValue
+from repro.core.xfer import XferEngine
+from repro.errors import (
+    DanglingFrame,
+    InvalidContext,
+    ReturnFromReturn,
+    StepLimitExceeded,
+)
+
+
+def make_fib(machine):
+    @machine.procedure
+    def fib(ctx):
+        (n,) = ctx.args
+        if n < 2:
+            yield from ctx.ret(n)
+        (a,) = yield from ctx.call(fib, n - 1)
+        (b,) = yield from ctx.call(fib, n - 2)
+        yield from ctx.ret(a + b)
+
+    return fib
+
+
+def test_recursive_calls():
+    machine = AbstractMachine()
+    fib = make_fib(machine)
+    assert machine.call(fib, 10) == (55,)
+
+
+def test_every_context_freed_on_return():
+    """F2 + RETURN semantics: returns free their contexts, so a pure
+    call/return run leaks nothing."""
+    machine = AbstractMachine()
+    fib = make_fib(machine)
+    machine.call(fib, 8)
+    assert machine.stats.contexts_created == machine.stats.contexts_freed
+
+
+def test_arguments_and_results_symmetric():
+    """F4: both directions travel in the argument record."""
+    machine = AbstractMachine()
+
+    @machine.procedure
+    def divmod_proc(ctx):
+        a, b = ctx.args
+        yield from ctx.ret(a // b, a % b)
+
+    assert machine.call(divmod_proc, 17, 5) == (3, 2)
+
+
+def test_implicit_return_on_fall_off():
+    machine = AbstractMachine()
+
+    @machine.procedure
+    def silent(ctx):
+        if False:
+            yield  # makes it a generator
+        return
+
+    assert machine.call(silent) == ()
+
+
+def test_return_link_saved_at_entry():
+    """Section 3: the prologue saves returnContext as the return link."""
+    machine = AbstractMachine()
+    seen = []
+
+    @machine.procedure
+    def outer(ctx):
+        yield from ctx.call(inner)
+        seen.append("back")
+        yield from ctx.ret(1)
+
+    @machine.procedure
+    def inner(ctx):
+        seen.append(ctx.return_link.procedure.name)
+        yield from ctx.ret()
+
+    machine.call(outer)
+    assert seen == ["outer", "back"]
+
+
+def test_coroutine_ping_pong():
+    """F3: the same XFER does coroutine transfers; the destination
+    context decides the discipline."""
+    machine = AbstractMachine()
+    log = []
+
+    @machine.procedure
+    def partner(ctx):
+        record = ctx.args
+        while record and record[0] < 3:
+            log.append(("partner", record[0]))
+            record = yield from ctx.xfer(ctx.source, record[0] + 1)
+        yield from ctx.ret(99)
+
+    @machine.procedure
+    def driver(ctx):
+        other = machine.create(partner)
+        record = yield from ctx.xfer(other, 0)
+        while ctx.source is other:
+            log.append(("driver", record[0]))
+            record = yield from ctx.xfer(other, record[0] + 1)
+        yield from ctx.ret(record[0])
+
+    # partner sees 0, 2; driver sees 1, 3; then partner (seeing 4) returns.
+    (result,) = machine.call(driver)
+    assert result == 99
+    assert log == [("partner", 0), ("driver", 1), ("partner", 2), ("driver", 3)]
+
+
+def test_transfer_to_freed_context_is_dangling():
+    machine = AbstractMachine()
+
+    @machine.procedure
+    def victim(ctx):
+        yield from ctx.ret()
+
+    @machine.procedure
+    def attacker(ctx):
+        target = machine.create(victim)
+        yield from ctx.xfer(target)  # starts victim; it returns to us...
+
+    # victim's ret goes to its return link = attacker; then attacker's
+    # generator ends -> implicit return.  Now transfer to the freed one:
+    @machine.procedure
+    def reuse(ctx):
+        target = machine.create(victim)
+        yield from ctx.call(target)  # victim returns, freed
+        yield from ctx.xfer(target)  # dangling!
+
+    with pytest.raises(DanglingFrame):
+        machine.call(reuse)
+
+
+def test_retained_frames_survive_return():
+    """Section 4: "retained" frames may outlive a return; freeing them is
+    the owner's business."""
+    machine = AbstractMachine()
+
+    @machine.procedure
+    def keeper(ctx):
+        ctx.retained = True
+        record = ctx.args
+        total = 0
+        while True:
+            if not record:
+                yield from ctx.ret(total)
+            total += record[0]
+            record = yield from ctx.xfer(ctx.source, total)
+
+    @machine.procedure
+    def driver(ctx):
+        cell = machine.create(keeper)
+        (a,) = yield from ctx.xfer(cell, 5)
+        (b,) = yield from ctx.xfer(cell, 7)
+        assert not cell.freed
+        yield from ctx.ret(a, b)
+
+    assert machine.call(driver) == (5, 12)
+
+
+def test_return_with_nil_link_is_an_error():
+    engine = XferEngine()
+
+    def code(ctx):
+        ctx.return_link = None  # simulate a context with no caller
+        yield from ctx.ret()
+
+    # Bypass the prologue's capture by clobbering inside the body.
+    with pytest.raises(ReturnFromReturn):
+        engine.run(ProcedureValue(code))
+
+
+def test_xfer_to_nil_rejected():
+    machine = AbstractMachine()
+
+    @machine.procedure
+    def bad(ctx):
+        yield from ctx.xfer(None)
+
+    with pytest.raises(InvalidContext):
+        machine.call(bad)
+
+
+def test_xfer_to_garbage_rejected():
+    machine = AbstractMachine()
+
+    @machine.procedure
+    def bad(ctx):
+        yield from ctx.xfer(42)
+
+    with pytest.raises(InvalidContext):
+        machine.call(bad)
+
+
+def test_bad_yield_detected():
+    machine = AbstractMachine()
+
+    @machine.procedure
+    def bad(ctx):
+        yield "not a transfer"
+
+    with pytest.raises(InvalidContext):
+        machine.call(bad)
+
+
+def test_step_limit():
+    machine = AbstractMachine(max_transfers=50)
+
+    @machine.procedure
+    def forever(ctx):
+        while True:
+            yield from ctx.call(leaf)
+
+    @machine.procedure
+    def leaf(ctx):
+        yield from ctx.ret()
+
+    with pytest.raises(StepLimitExceeded):
+        machine.call(forever)
+
+
+def test_nested_run_rejected():
+    machine = AbstractMachine()
+
+    @machine.procedure
+    def naughty(ctx):
+        machine.call(naughty)
+        yield from ctx.ret()
+
+    with pytest.raises(InvalidContext):
+        machine.call(naughty)
+
+
+def test_trace_records_transfers():
+    machine = AbstractMachine(trace=True)
+    fib = make_fib(machine)
+    machine.call(fib, 3)
+    kinds = [event.kind for event in machine.trace]
+    assert "call" in kinds and "return" in kinds
+    assert kinds.count("call") + 1 == kinds.count("return")  # +root return
+
+
+def test_stats_mix():
+    machine = AbstractMachine()
+    fib = make_fib(machine)
+    machine.call(fib, 6)
+    assert machine.stats.calls > 0
+    assert machine.stats.returns == machine.stats.calls + 1
+    assert machine.stats.raw_xfers == 0

@@ -1,0 +1,62 @@
+"""Unit tests for the cost model and cycle counter."""
+
+import pytest
+
+from repro.machine.costs import DEFAULT_CHARGES, CostModel, CycleCounter, Event
+
+
+def test_default_charges_cover_every_event():
+    assert set(DEFAULT_CHARGES) == set(Event)
+
+
+def test_register_cheaper_than_memory():
+    # Section 7.3: one cycle for a register, two for a cache access.
+    model = CostModel()
+    assert model.charge(Event.REGISTER_READ) < model.charge(Event.MEMORY_READ)
+    assert model.charge(Event.MEMORY_READ) == 2 * model.charge(Event.REGISTER_READ)
+
+
+def test_with_charges_overrides_without_mutating():
+    base = CostModel()
+    tweaked = base.with_charges(memory_read=5)
+    assert tweaked.charge(Event.MEMORY_READ) == 5
+    assert base.charge(Event.MEMORY_READ) == 2
+
+
+def test_with_charges_rejects_unknown_event():
+    with pytest.raises(ValueError):
+        CostModel().with_charges(warp_drive=9)
+
+
+def test_counter_records_counts_and_cycles():
+    counter = CycleCounter()
+    counter.record(Event.MEMORY_READ)
+    counter.record(Event.MEMORY_WRITE, times=3)
+    assert counter.count(Event.MEMORY_READ) == 1
+    assert counter.count(Event.MEMORY_WRITE) == 3
+    assert counter.memory_references == 4
+    assert counter.cycles == 2 * 4
+
+
+def test_counter_reset():
+    counter = CycleCounter()
+    counter.record(Event.DECODE, 10)
+    counter.reset()
+    assert counter.cycles == 0
+    assert counter.count(Event.DECODE) == 0
+
+
+def test_snapshot_and_delta():
+    counter = CycleCounter()
+    counter.record(Event.JUMP)
+    snap = counter.snapshot()
+    counter.record(Event.JUMP, 4)
+    delta = counter.delta_since(snap)
+    assert delta[Event.JUMP.value] == 4
+    assert delta["cycles"] == 4 * counter.model.charge(Event.JUMP)
+
+
+def test_counter_custom_model():
+    counter = CycleCounter(CostModel().with_charges(decode=7))
+    counter.record(Event.DECODE)
+    assert counter.cycles == 7

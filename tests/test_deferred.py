@@ -1,0 +1,101 @@
+"""Unit tests for the free-frame stack (section 7.1's fast allocation)."""
+
+import pytest
+
+from repro.alloc.avheap import AVHeap
+from repro.alloc.sizing import geometric_ladder
+from repro.banks.deferred import FastFrameStack
+from repro.errors import FrameSizeError
+from repro.machine.costs import CycleCounter
+from repro.machine.memory import Memory
+
+
+def make_stack(depth=4):
+    counter = CycleCounter()
+    memory = Memory(1 << 16, counter)
+    heap = AVHeap(memory, geometric_ladder(), 16, 64, 1 << 14)
+    return FastFrameStack(heap, depth=depth), heap, counter
+
+
+def test_standard_allocation_is_free_of_memory_references():
+    stack, heap, counter = make_stack()
+    snap = counter.snapshot()
+    pointer, fast = stack.allocate(20)
+    assert fast
+    delta = counter.delta_since(snap)
+    assert delta["memory_read"] == 0 and delta["memory_write"] == 0
+    assert heap.is_live(pointer)
+
+
+def test_standard_free_is_also_free():
+    stack, _, counter = make_stack()
+    pointer, _ = stack.allocate(20)
+    snap = counter.snapshot()
+    assert stack.free(pointer)
+    delta = counter.delta_since(snap)
+    assert delta["memory_read"] == 0 and delta["memory_write"] == 0
+
+
+def test_oversized_request_goes_to_the_heap():
+    stack, _, counter = make_stack()
+    snap = counter.snapshot()
+    pointer, fast = stack.allocate(100)
+    assert not fast
+    delta = counter.delta_since(snap)
+    assert delta["memory_read"] + delta["memory_write"] >= 3
+    assert stack.stats.slow_allocations == 1
+    assert not stack.free(pointer)  # non-standard class: general free
+
+
+def test_empty_stack_falls_back():
+    stack, _, _ = make_stack(depth=2)
+    a, _ = stack.allocate(10)
+    b, _ = stack.allocate(10)
+    _, fast = stack.allocate(10)
+    assert not fast
+    assert stack.stats.fast_allocations == 2
+    assert stack.stats.slow_allocations == 1
+
+
+def test_free_replenishes_the_stack():
+    stack, _, _ = make_stack(depth=1)
+    pointer, _ = stack.allocate(10)
+    assert stack.available == 0
+    stack.free(pointer)
+    assert stack.available == 1
+    _, fast = stack.allocate(10)
+    assert fast
+
+
+def test_fast_fraction():
+    stack, _, _ = make_stack(depth=8)
+    pointers = []
+    for index in range(20):
+        pointer, _ = stack.allocate(10 if index % 5 else 200)
+        pointers.append(pointer)
+        if len(pointers) > 2:
+            stack.free(pointers.pop(0))
+    assert 0.5 < stack.stats.fast_fraction < 1.0
+
+
+def test_effective_speed_model():
+    """Section 7.1: "If the general scheme is five times more costly and
+    it is used 5% of the time, the effective speed of frame allocation is
+    .8 times the fast speed" — check the arithmetic the stats support."""
+    fast_fraction = 0.95
+    slow_cost = 5.0
+    effective = 1.0 / (fast_fraction * 1.0 + (1 - fast_fraction) * slow_cost)
+    # 1 / 1.2 = 0.833; the paper rounds it to ".8 times the fast speed".
+    assert effective == pytest.approx(0.8, abs=0.04)
+
+
+def test_ladder_limit():
+    stack, heap, _ = make_stack()
+    with pytest.raises(FrameSizeError):
+        stack.allocate(heap.ladder.max_words + 1)
+
+
+def test_depth_validation():
+    _, heap, _ = make_stack()
+    with pytest.raises(ValueError):
+        FastFrameStack(heap, depth=0)

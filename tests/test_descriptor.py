@@ -1,0 +1,87 @@
+"""Unit + property tests for context words and packed descriptors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidContext, OperandRangeError
+from repro.mesa.descriptor import (
+    ENTRIES_PER_BIAS,
+    MAX_BIASED_ENTRIES,
+    MAX_CODE,
+    MAX_ENV,
+    NIL,
+    ContextKind,
+    context_kind,
+    effective_entry_index,
+    frame_context,
+    is_descriptor,
+    is_frame,
+    pack_descriptor,
+    unpack_descriptor,
+)
+
+
+def test_packing_is_16_bits_with_tag():
+    """Section 5.1: "packed into a 16 bit word, with a one bit tag, a ten
+    bit env field, and a five bit code field"."""
+    word = pack_descriptor(MAX_ENV, MAX_CODE)
+    assert word <= 0xFFFF
+    assert word % 2 == 1  # tag bit
+    assert MAX_ENV == 1023 and MAX_CODE == 31
+
+
+def test_field_limits():
+    with pytest.raises(OperandRangeError):
+        pack_descriptor(1024, 0)
+    with pytest.raises(OperandRangeError):
+        pack_descriptor(0, 32)
+
+
+def test_nil_and_frames():
+    assert context_kind(NIL) is ContextKind.NIL
+    assert context_kind(0x1234) is ContextKind.FRAME
+    assert is_frame(0x1234)
+    assert not is_frame(NIL)
+    assert not is_descriptor(0x1234)
+
+
+def test_frame_context_validation():
+    assert frame_context(0x2000) == 0x2000
+    with pytest.raises(InvalidContext):
+        frame_context(0)
+    with pytest.raises(InvalidContext):
+        frame_context(0x2001)  # odd = descriptor space
+
+
+def test_unpack_rejects_frames():
+    with pytest.raises(InvalidContext):
+        unpack_descriptor(0x2000)
+
+
+def test_bias_arithmetic():
+    """"a single module instance may have up to four GFT entries ... for
+    a total of 128 entries"."""
+    assert effective_entry_index(0, 0) == 0
+    assert effective_entry_index(31, 3) == 127
+    assert ENTRIES_PER_BIAS == 32
+    assert MAX_BIASED_ENTRIES == 128
+    with pytest.raises(OperandRangeError):
+        effective_entry_index(0, 4)
+    with pytest.raises(OperandRangeError):
+        effective_entry_index(32, 0)
+
+
+@given(st.integers(min_value=0, max_value=MAX_ENV), st.integers(min_value=0, max_value=MAX_CODE))
+def test_pack_unpack_roundtrip(env, code):
+    word = pack_descriptor(env, code)
+    assert is_descriptor(word)
+    assert context_kind(word) is ContextKind.PROCEDURE
+    assert unpack_descriptor(word) == (env, code)
+
+
+@given(st.integers(min_value=0, max_value=MAX_ENV), st.integers(min_value=0, max_value=MAX_CODE))
+def test_descriptors_never_collide_with_frames(env, code):
+    """The tag bit partitions the word space: any descriptor is odd, any
+    valid frame pointer even, so no word is ambiguous."""
+    word = pack_descriptor(env, code)
+    assert not is_frame(word)

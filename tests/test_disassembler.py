@@ -1,0 +1,81 @@
+"""Unit tests for the disassembler and its documentation helpers."""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.disassembler import (
+    describe,
+    disassemble,
+    format_listing,
+    length_census,
+    operand_kind,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op, OperandKind
+
+
+def sample_body():
+    asm = Assembler()
+    top = asm.new_label()
+    asm.emit(Op.LI5)
+    asm.bind(top)
+    asm.emit(Op.LL0)
+    asm.emit(Op.LIB, 42)
+    asm.emit(Op.ADD)
+    asm.jump(Op.JNZB, top)
+    asm.emit(Op.RET)
+    return asm.assemble()
+
+
+def test_disassemble_positions_tile_body():
+    body = sample_body()
+    items = disassemble(body)
+    assert items[0].offset == 0
+    assert sum(item.length for item in items) == len(body)
+
+
+def test_jump_targets_resolved():
+    body = sample_body()
+    items = disassemble(body)
+    jump = next(item for item in items if item.instruction.op is Op.JNZB)
+    assert jump.target() == 1  # the bound label, right after LI5
+    non_jump = items[0]
+    assert non_jump.target() is None
+
+
+def test_format_listing_contents():
+    listing = format_listing(sample_body())
+    assert "LIB 42" in listing
+    assert "; ->" in listing  # jump target annotation
+    assert listing.count("\n") == 5
+
+
+def test_length_census():
+    body = assemble([Instruction(Op.LI1), Instruction(Op.LIB, 9), Instruction(Op.LIW, 300)])
+    assert length_census(body) == {1: 1, 2: 1, 3: 1}
+
+
+def test_describe_and_operand_kind():
+    assert "unconditional" not in describe("ADD")
+    assert "pop b, pop a" in describe("ADD")
+    assert operand_kind("LIB") is OperandKind.U8
+    assert operand_kind("DFC") is OperandKind.A24
+
+
+def test_partial_range_disassembly():
+    body = sample_body()
+    items = disassemble(body, start=1, end=2)
+    assert len(items) == 1
+    assert items[0].instruction.op is Op.LL0
+
+
+def test_isa_reference_is_current():
+    """docs/isa.md is generated; it must match the live opcode table."""
+    import sys
+    from pathlib import Path
+
+    docs = Path(__file__).resolve().parent.parent / "docs"
+    sys.path.insert(0, str(docs))
+    try:
+        import generate_isa_reference
+    finally:
+        sys.path.pop(0)
+    assert (docs / "isa.md").read_text() == generate_isa_reference.render()

@@ -1,0 +1,76 @@
+"""Unit tests for the bounded evaluation stack."""
+
+import pytest
+
+from repro.errors import EvalStackOverflow, EvalStackUnderflow
+from repro.machine.costs import CycleCounter, Event
+from repro.machine.evalstack import EvalStack
+
+
+def test_push_pop_lifo():
+    stack = EvalStack(4)
+    stack.push(1)
+    stack.push(2)
+    assert stack.pop() == 2
+    assert stack.pop() == 1
+
+
+def test_push_wraps_to_word():
+    stack = EvalStack(4)
+    stack.push(-1)
+    assert stack.pop() == 0xFFFF
+
+
+def test_overflow_is_a_fault():
+    stack = EvalStack(2)
+    stack.push(1)
+    stack.push(2)
+    with pytest.raises(EvalStackOverflow):
+        stack.push(3)
+
+
+def test_underflow_is_a_fault():
+    stack = EvalStack(2)
+    with pytest.raises(EvalStackUnderflow):
+        stack.pop()
+    with pytest.raises(EvalStackUnderflow):
+        stack.top()
+
+
+def test_register_traffic_counted():
+    counter = CycleCounter()
+    stack = EvalStack(8, counter)
+    stack.push(1)
+    stack.pop()
+    assert counter.count(Event.REGISTER_WRITE) == 1
+    assert counter.count(Event.REGISTER_READ) == 1
+
+
+def test_dup_and_exch():
+    stack = EvalStack(8)
+    stack.push(1)
+    stack.push(2)
+    stack.exch()
+    assert stack.contents() == (2, 1)
+    stack.dup()
+    assert stack.contents() == (2, 1, 1)
+
+
+def test_clear_and_load():
+    stack = EvalStack(4)
+    stack.push(9)
+    stack.clear()
+    assert len(stack) == 0
+    stack.load((5, 6))
+    assert stack.contents() == (5, 6)
+
+
+def test_load_respects_depth():
+    stack = EvalStack(2)
+    with pytest.raises(EvalStackOverflow):
+        stack.load((1, 2, 3))
+
+
+def test_invalid_depth():
+    with pytest.raises(ValueError):
+        EvalStack(0)

@@ -1,0 +1,34 @@
+"""Every example script must run clean — they are documentation."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print something"
+
+
+def test_expected_examples_present():
+    names = {script.stem for script in EXAMPLES}
+    assert {
+        "quickstart",
+        "coroutines",
+        "multiprocess",
+        "design_space",
+        "under_the_hood",
+        "hot_swap",
+        "objects_via_frames",
+    } <= names

@@ -1,0 +1,51 @@
+"""Fuzz tests: the decoder and assembler never misbehave on junk.
+
+Property: for arbitrary byte strings, linear decoding either produces a
+well-formed instruction stream or raises a typed encoding error — never
+a crash, never an untyped exception, never an infinite loop.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError, OperandRangeError, UnknownOpcode
+from repro.isa.disassembler import disassemble
+from repro.isa.instruction import decode, encode
+from repro.isa.opcodes import Op
+
+
+@given(st.binary(min_size=0, max_size=200))
+def test_decode_is_total_or_typed(data):
+    position = 0
+    steps = 0
+    while position < len(data):
+        try:
+            instruction = decode(data, position)
+        except (UnknownOpcode, OperandRangeError):
+            break
+        assert instruction.length >= 1
+        position += instruction.length
+        steps += 1
+        assert steps <= len(data)  # progress: no infinite loop
+
+
+@given(st.binary(min_size=1, max_size=100))
+def test_disassemble_is_total_or_typed(data):
+    try:
+        items = disassemble(data)
+    except (UnknownOpcode, OperandRangeError, EncodingError):
+        return
+    # When it succeeds, the decoded lengths tile the input exactly.
+    assert sum(item.length for item in items) == len(data)
+
+
+@given(st.lists(st.sampled_from(list(Op)), min_size=1, max_size=50))
+def test_operandless_streams_always_roundtrip(ops):
+    """Any sequence of opcodes with zero operands is trivially valid."""
+    from repro.isa.instruction import Instruction
+    from repro.isa.opcodes import OPERAND_KINDS, OperandKind
+
+    stream = [Instruction(op) for op in ops if OPERAND_KINDS[op] is OperandKind.NONE]
+    if not stream:
+        return
+    wire = b"".join(encode(instruction) for instruction in stream)
+    assert [item.instruction for item in disassemble(wire)] == stream

@@ -1,0 +1,221 @@
+"""Machine tests over hand-assembled modules (no compiler involved).
+
+These drive opcodes the code generator never emits (DUP, EXCH, POP,
+LIN1, the word-form conditional jumps) and validate the assembler-to-
+machine path independently of the language front end.
+"""
+
+import pytest
+
+from repro.interp.machine import Machine
+from repro.interp.machineconfig import MachineConfig
+from repro.isa.assembler import Assembler
+from repro.isa.opcodes import Op
+from repro.isa.program import ModuleCode, Procedure
+from repro.lang.linker import link
+
+
+def build_machine(procedures, preset="i2", entry_proc="main"):
+    """Link a single hand-assembled module into a runnable machine.
+
+    *procedures* is a list of (name, arg_count, result_count,
+    local_words, build) where *build* populates an Assembler.
+    """
+    module = ModuleCode(name="Hand")
+    for index, (name, args, results, local_words, build) in enumerate(procedures):
+        asm = Assembler()
+        build(asm)
+        module.procedures.append(
+            Procedure(
+                name=name,
+                ev_index=index,
+                arg_count=args,
+                result_count=results,
+                frame_words=3 + local_words,
+                body=asm.assemble(),
+            )
+        )
+    image = link([module], MachineConfig.preset(preset), ("Hand", entry_proc))
+    return Machine(image)
+
+
+def run(build, preset="i2", args=(), local_words=4):
+    machine = build_machine(
+        [("main", len(args), 1, local_words, build)], preset=preset
+    )
+    machine.start("Hand", "main", *args)
+    return machine.run(), machine
+
+
+def test_dup_pop_exch():
+    def body(asm):
+        asm.emit(Op.LI3)
+        asm.emit(Op.DUP)  # 3 3
+        asm.emit(Op.LI7)
+        asm.emit(Op.EXCH)  # 3 7 3
+        asm.emit(Op.POP)  # 3 7
+        asm.emit(Op.ADD)  # 10
+        asm.emit(Op.RET)
+
+    results, _ = run(body)
+    assert results == [10]
+
+
+def test_lin1_and_not():
+    def body(asm):
+        asm.emit(Op.LIN1)
+        asm.emit(Op.NOT)  # ~0xFFFF = 0
+        asm.emit(Op.RET)
+
+    results, _ = run(body)
+    assert results == [0]
+
+
+def test_noop_does_nothing():
+    def body(asm):
+        asm.emit(Op.LI5)
+        for _ in range(5):
+            asm.emit(Op.NOOP)
+        asm.emit(Op.RET)
+
+    results, machine = run(body)
+    assert results == [5]
+    assert machine.steps == 7
+
+
+def test_word_form_conditional_jumps():
+    """JZW/JNZW via forced widening: a fat fall-through body."""
+
+    def body(asm):
+        done = asm.new_label("done")
+        asm.emit(Op.LI0)
+        asm.jump(Op.JZB, done)  # will widen to JZW
+        for _ in range(200):
+            asm.emit(Op.NOOP)
+        asm.bind(done)
+        asm.emit(Op.LIB, 77)
+        asm.emit(Op.RET)
+
+    results, machine = run(body)
+    assert results == [77]
+    assert machine.steps == 4  # LI0, JZW (taken), LIB, RET
+
+
+def test_jnzb_loop():
+    def body(asm):
+        # count down from 5, accumulating in local 0
+        asm.emit(Op.LI5)
+        asm.emit(Op.SL0)
+        asm.emit(Op.LI0)
+        asm.emit(Op.SL1)
+        top = asm.new_label("top")
+        asm.bind(top)
+        asm.emit(Op.LL1)
+        asm.emit(Op.LL0)
+        asm.emit(Op.ADD)
+        asm.emit(Op.SL1)  # acc += n
+        asm.emit(Op.LL0)
+        asm.emit(Op.LI1)
+        asm.emit(Op.SUB)
+        asm.emit(Op.SL0)  # n -= 1
+        asm.emit(Op.LL0)
+        asm.jump(Op.JNZB, top)
+        asm.emit(Op.LL1)
+        asm.emit(Op.RET)
+
+    results, _ = run(body)
+    assert results == [5 + 4 + 3 + 2 + 1]
+
+
+def test_shifts():
+    def body(asm):
+        asm.emit(Op.LI1)
+        asm.emit(Op.LIB, 10)
+        asm.emit(Op.SHL)  # 1024
+        asm.emit(Op.LI2)
+        asm.emit(Op.SHR)  # 256
+        asm.emit(Op.RET)
+
+    results, _ = run(body)
+    assert results == [256]
+
+
+def test_lga_and_indirect_globals():
+    def body(asm):
+        asm.emit(Op.LIB, 42)
+        asm.emit(Op.LGA, 0)  # address of global 0
+        asm.emit(Op.WR)  # g0 := 42
+        asm.emit(Op.LG, 0)
+        asm.emit(Op.RET)
+
+    module = ModuleCode(name="Hand", global_words=2)
+    asm = Assembler()
+    body(asm)
+    module.procedures.append(
+        Procedure(
+            name="main",
+            ev_index=0,
+            arg_count=0,
+            result_count=1,
+            frame_words=3,
+            body=asm.assemble(),
+        )
+    )
+    image = link([module], MachineConfig.i2(), ("Hand", "main"))
+    machine = Machine(image)
+    machine.start()
+    assert machine.run() == [42]
+
+
+def test_llb_slb_long_forms():
+    def body(asm):
+        asm.emit(Op.LIB, 99)
+        asm.emit(Op.SLB, 10)  # beyond the SL0-SL7 short range
+        asm.emit(Op.LLB, 10)
+        asm.emit(Op.RET)
+
+    results, _ = run(body, local_words=12)
+    assert results == [99]
+
+
+def test_multiple_results_on_stack():
+    """XFER's record symmetry (F4) at machine level: a procedure may
+    leave several words; they all come back to the caller's stack."""
+
+    def divmod_body(asm):
+        asm.emit(Op.SL1)  # b
+        asm.emit(Op.SL0)  # a
+        asm.emit(Op.LL0)
+        asm.emit(Op.LL1)
+        asm.emit(Op.DIV)
+        asm.emit(Op.LL0)
+        asm.emit(Op.LL1)
+        asm.emit(Op.MOD)
+        asm.emit(Op.RET)  # record: quotient, remainder
+
+    def main_body(asm):
+        asm.emit(Op.LIB, 17)
+        asm.emit(Op.LI5)
+        asm.emit(Op.LFC, 1)  # call divmod
+        asm.emit(Op.RET)  # pass both words through
+
+    machine = build_machine(
+        [
+            ("main", 0, 2, 2, main_body),
+            ("divmod", 2, 2, 2, divmod_body),
+        ]
+    )
+    machine.start("Hand", "main")
+    assert machine.run() == [3, 2]
+
+
+@pytest.mark.parametrize("preset", ("i1", "i2", "i3", "i4"))
+def test_handwritten_across_ladder(preset):
+    def body(asm):
+        asm.emit(Op.LI7)
+        asm.emit(Op.DUP)
+        asm.emit(Op.MUL)
+        asm.emit(Op.RET)
+
+    results, _ = run(body, preset=preset)
+    assert results == [49]

@@ -1,0 +1,49 @@
+"""Unit tests for the fetch-speed classifier (claim C5's meter)."""
+
+from repro.ifu.ifu import FetchStats, TransferKind
+from repro.machine.costs import CycleCounter, Event
+
+
+def test_direct_calls_are_fast():
+    assert FetchStats.call_is_fast(TransferKind.DIRECT_CALL)
+    assert FetchStats.call_is_fast(TransferKind.SHORT_DIRECT_CALL)
+    assert not FetchStats.call_is_fast(TransferKind.EXTERNAL_CALL)
+    assert not FetchStats.call_is_fast(TransferKind.LOCAL_CALL)
+
+
+def test_jump_speed_fraction():
+    stats = FetchStats()
+    stats.record(TransferKind.DIRECT_CALL, True)
+    stats.record(TransferKind.RETURN, True)
+    stats.record(TransferKind.RETURN, False)
+    stats.record(TransferKind.XFER, False)
+    assert stats.total() == 4
+    assert stats.jump_speed_fraction == 0.5
+
+
+def test_call_return_universe_excludes_xfers():
+    """The paper's 95% claim is about "simple Pascal-style calls and
+    returns"; coroutine transfers are out of scope for it."""
+    stats = FetchStats()
+    stats.record(TransferKind.DIRECT_CALL, True)
+    stats.record(TransferKind.RETURN, True)
+    for _ in range(10):
+        stats.record(TransferKind.XFER, False)
+    assert stats.call_return_jump_speed_fraction == 1.0
+    assert stats.jump_speed_fraction < 0.2
+
+
+def test_counter_charging():
+    counter = CycleCounter()
+    stats = FetchStats()
+    stats.record(TransferKind.DIRECT_CALL, True, counter)
+    stats.record(TransferKind.EXTERNAL_CALL, False, counter)
+    assert counter.count(Event.FAST_TRANSFER) == 1
+    assert counter.count(Event.SLOW_TRANSFER) == 1
+
+
+def test_empty_stats():
+    stats = FetchStats()
+    assert stats.jump_speed_fraction == 0.0
+    assert stats.call_return_jump_speed_fraction == 0.0
+    assert stats.summary()["transfers"] == 0.0

@@ -1,0 +1,60 @@
+"""Tests for the program image API and workload registry helpers."""
+
+import pytest
+
+from repro.workloads.programs import CORPUS, corpus_sources, program
+from tests.conftest import build
+
+
+def test_program_lookup():
+    assert program("fib").expect_results == (89,)
+    with pytest.raises(KeyError):
+        program("nope")
+
+
+def test_corpus_sources_filter():
+    with_descriptors = corpus_sources(include_descriptor_programs=True)
+    without = corpus_sources(include_descriptor_programs=False)
+    assert len(without) < len(with_descriptors)
+    assert all(not entry.needs_descriptors for entry in without)
+
+
+def test_corpus_names_are_keys():
+    for name, entry in CORPUS.items():
+        assert entry.name == name
+
+
+def test_image_code_bytes_and_tables():
+    machine = build(list(CORPUS["mathlib"].sources), preset="i2")
+    image = machine.image
+    assert image.code_bytes() == image.code.size > 0
+    tables = image.table_words()
+    assert tables["link_vectors"] >= 1
+    assert tables["gft"] == 2  # Main + Math
+
+
+def test_image_proc_meta_lookup():
+    machine = build(list(CORPUS["mathlib"].sources), preset="i2")
+    meta = machine.image.proc_meta("Math", "gcd")
+    assert meta.qualified_name == "Math.gcd"
+    assert meta.arg_count == 2
+    assert meta.local_words >= 2
+
+
+def test_image_instance_lookup_errors():
+    machine = build(list(CORPUS["fib"].sources), preset="i2")
+    with pytest.raises(KeyError):
+        machine.image.instance_of("Ghost")
+
+
+def test_frame_region_is_registered():
+    machine = build(list(CORPUS["fib"].sources), preset="i2")
+    region = machine.image.frame_region
+    assert machine.image.memory.region_named("frames") == region
+    assert region.size > 1000
+
+
+def test_expected_results_match_documentation():
+    """The corpus docstrings promise each entry is self-checking."""
+    for entry in CORPUS.values():
+        assert entry.expect_results, entry.name

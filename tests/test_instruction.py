@@ -1,0 +1,116 @@
+"""Unit + property tests for instruction encode/decode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import OperandRangeError, UnknownOpcode
+from repro.isa.instruction import Instruction, decode, encode
+from repro.isa.opcodes import (
+    OPERAND_KINDS,
+    Op,
+    OperandKind,
+    instruction_length,
+    is_call,
+    is_transfer,
+    operand_bytes,
+    short_local_op,
+)
+
+_RANGES = {
+    OperandKind.NONE: (0, 0),
+    OperandKind.U8: (0, 0xFF),
+    OperandKind.S8: (-0x80, 0x7F),
+    OperandKind.U16: (0, 0xFFFF),
+    OperandKind.S16: (-0x8000, 0x7FFF),
+    OperandKind.A24: (0, 0xFFFFFF),
+}
+
+
+def test_lengths_match_operand_kind():
+    for op in Op:
+        assert instruction_length(op) == 1 + operand_bytes(op)
+        assert 1 <= instruction_length(op) <= 4
+
+
+def test_dfc_is_four_bytes():
+    # Section 6 D1: "The call instruction is larger: four bytes instead
+    # of one, for a 24-bit program address space".
+    assert instruction_length(Op.DFC) == 4
+    assert OPERAND_KINDS[Op.DFC] is OperandKind.A24
+
+
+def test_sdfc_is_three_bytes():
+    assert instruction_length(Op.SDFC) == 3
+
+
+def test_one_byte_calls_exist():
+    for op in (Op.EFC0, Op.EFC7, Op.RET, Op.LL0, Op.SL7, Op.LI0):
+        assert instruction_length(op) == 1
+
+
+def test_classifiers():
+    assert is_call(Op.EFC3) and is_call(Op.DFC) and is_call(Op.LFC)
+    assert not is_call(Op.RET)
+    assert is_transfer(Op.RET) and is_transfer(Op.XF) and is_transfer(Op.YIELD)
+    assert not is_transfer(Op.ADD)
+
+
+def test_short_local_op():
+    assert short_local_op(Op.LL0, 3) is Op.LL3
+    assert short_local_op(Op.LL0, 8) is None
+    assert short_local_op(Op.EFC0, 7) is Op.EFC7
+
+
+def test_operand_range_enforced():
+    with pytest.raises(OperandRangeError):
+        Instruction(Op.LIB, 256)
+    with pytest.raises(OperandRangeError):
+        Instruction(Op.JB, 200)
+    with pytest.raises(OperandRangeError):
+        Instruction(Op.ADD, 1)
+
+
+def test_decode_unknown_opcode():
+    with pytest.raises(UnknownOpcode):
+        decode(bytes([0xFF]), 0)
+
+
+def test_decode_truncated():
+    with pytest.raises(OperandRangeError):
+        decode(bytes([int(Op.LIW), 0x12]), 0)
+
+
+def test_decode_out_of_range_pc():
+    with pytest.raises(UnknownOpcode):
+        decode(b"", 0)
+
+
+def test_str_forms():
+    assert str(Instruction(Op.ADD)) == "ADD"
+    assert str(Instruction(Op.LIB, 42)) == "LIB 42"
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(list(Op)))
+    low, high = _RANGES[OPERAND_KINDS[op]]
+    operand = draw(st.integers(min_value=low, max_value=high))
+    return Instruction(op, operand)
+
+
+@given(instructions())
+def test_encode_decode_roundtrip(instruction):
+    wire = encode(instruction)
+    assert len(wire) == instruction.length
+    assert decode(wire, 0) == instruction
+
+
+@given(st.lists(instructions(), min_size=1, max_size=30))
+def test_streams_decode_back(stream):
+    wire = b"".join(encode(instruction) for instruction in stream)
+    position = 0
+    for expected in stream:
+        got = decode(wire, position)
+        assert got == expected
+        position += got.length
+    assert position == len(wire)

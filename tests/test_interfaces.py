@@ -1,0 +1,115 @@
+"""Interface records (sections 3-4): dynamic dispatch through contexts.
+
+"An interface called IO, for example, might contain procedures Read,
+Write, and so forth. ...  the client needs only a pointer to the
+interface record in order to call any of its procedures.  The components
+of an interface record will be contexts for the various procedures."
+
+And section 4's compilation: "A call to a procedure in an interface,
+such as I.f[], results in LOADLITERAL i; READFIELD f; XFER."  In the
+source language that is literally ``XFER(^(iface + f), args)``: load the
+interface pointer, index, read the descriptor, transfer.
+"""
+
+import pytest
+
+from tests.conftest import run_source
+
+INTERFACE_PROGRAM = [
+    """
+MODULE Main;
+VAR slot0, slot1, slot2: INT;
+
+PROCEDURE add(a, b): INT;
+BEGIN
+  RETURN a + b;
+END;
+PROCEDURE mul(a, b): INT;
+BEGIN
+  RETURN a * b;
+END;
+
+PROCEDURE buildinterface(): INT;
+VAR iface: INT;
+BEGIN
+  iface := @slot0;
+  ^(iface + 0) := PROC(add);
+  ^(iface + 1) := PROC(mul);
+  ^(iface + 2) := PROC(Stats.max2);
+  RETURN iface;
+END;
+
+PROCEDURE dispatch(iface, index, a, b): INT;
+VAR r: INT;
+BEGIN
+  (* LOADLITERAL i; READFIELD f; XFER -- section 4 *)
+  r := XFER(^(iface + index), a, b);
+  RETURN r;
+END;
+
+PROCEDURE main(): INT;
+VAR iface: INT;
+BEGIN
+  iface := buildinterface();
+  RETURN dispatch(iface, 0, 3, 4) * 10000
+       + dispatch(iface, 1, 3, 4) * 100
+       + dispatch(iface, 2, 3, 4);
+END;
+END.
+""",
+    """
+MODULE Stats;
+PROCEDURE max2(a, b): INT;
+BEGIN
+  IF a > b THEN RETURN a; END;
+  RETURN b;
+END;
+END.
+""",
+]
+
+
+@pytest.mark.parametrize("preset", ("i2", "i3", "i4"))
+def test_interface_dispatch(preset):
+    """7 via add, 12 via mul, 4 via Stats.max2 — all through one record."""
+    expected = 7 * 10000 + 12 * 100 + 4
+    expected = (expected & 0xFFFF) - 0x10000 if (expected & 0xFFFF) >= 0x8000 else expected & 0xFFFF
+    results, _ = run_source(INTERFACE_PROGRAM, preset=preset)
+    assert results == [expected]
+
+
+def test_interface_record_is_rebindable():
+    """T2's point applied to interfaces: re-pointing one slot re-binds
+    every caller."""
+    source = [
+        """
+MODULE Main;
+VAR slot0: INT;
+PROCEDURE one(x): INT;
+BEGIN
+  RETURN x + 1;
+END;
+PROCEDURE two(x): INT;
+BEGIN
+  RETURN x + 2;
+END;
+PROCEDURE callthrough(x): INT;
+VAR r: INT;
+BEGIN
+  r := XFER(^(@slot0), x);
+  RETURN r;
+END;
+PROCEDURE main(): INT;
+VAR a, b: INT;
+BEGIN
+  ^(@slot0) := PROC(one);
+  a := callthrough(10);
+  ^(@slot0) := PROC(two);
+  b := callthrough(10);
+  RETURN a * 100 + b;
+END;
+END.
+"""
+    ]
+    results, _ = run_source(source, preset="i2")
+    assert results == [11 * 100 + 12]

@@ -1,0 +1,123 @@
+"""Unit tests for scopes, signatures, and frequency ordering."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.analysis import (
+    ProgramInfo,
+    build_scope,
+    contains_call,
+    external_call_frequencies,
+)
+from repro.lang.parser import parse_module
+
+
+def test_scope_params_come_first():
+    module = parse_module(
+        """
+MODULE M;
+VAR g: INT;
+PROCEDURE f(a, b): INT;
+VAR x, y: INT;
+BEGIN
+  RETURN a;
+END;
+END.
+"""
+    )
+    scope = build_scope(module, module.procedures[0])
+    assert scope.locals == {"a": 0, "b": 1, "x": 2, "y": 3}
+    assert scope.globals == {"g": 0}
+    assert scope.resolve("a", module.procedures[0].pos) == ("local", 0)
+    assert scope.resolve("g", module.procedures[0].pos) == ("global", 0)
+
+
+def test_undefined_name():
+    module = parse_module(
+        "MODULE M;\nPROCEDURE f(): INT;\nBEGIN\n  RETURN zz;\nEND;\nEND."
+    )
+    scope = build_scope(module, module.procedures[0])
+    with pytest.raises(SemanticError):
+        scope.resolve("zz", module.procedures[0].pos)
+
+
+def test_duplicate_local_rejected():
+    module = parse_module(
+        "MODULE M;\nPROCEDURE f(a);\nVAR a: INT;\nBEGIN\nEND;\nEND."
+    )
+    with pytest.raises(SemanticError):
+        build_scope(module, module.procedures[0])
+
+
+def test_signatures_collected():
+    modules = [
+        parse_module("MODULE A;\nPROCEDURE f(x): INT;\nBEGIN\n  RETURN x;\nEND;\nEND."),
+        parse_module("MODULE B;\nPROCEDURE g();\nBEGIN\nEND;\nEND."),
+    ]
+    info = ProgramInfo.collect(modules)
+    f = info.signatures[("A", "f")]
+    assert (f.arg_count, f.returns_value) == (1, True)
+    g = info.signatures[("B", "g")]
+    assert (g.arg_count, g.returns_value) == (0, False)
+
+
+def test_duplicate_procedure_rejected():
+    module = parse_module(
+        "MODULE A;\nPROCEDURE f();\nBEGIN\nEND;\nPROCEDURE f();\nBEGIN\nEND;\nEND."
+    )
+    with pytest.raises(SemanticError):
+        ProgramInfo.collect([module])
+
+
+def test_frequency_ordering():
+    """The most-called external target must get link vector index 0 (and
+    hence the one-byte EFC0 opcode)."""
+    module = parse_module(
+        """
+MODULE M;
+PROCEDURE f(): INT;
+BEGIN
+  RETURN Rare.a() + Hot.x() + Hot.x() + Hot.x() + Warm.m() + Warm.m();
+END;
+END.
+"""
+    )
+    order = external_call_frequencies(module)
+    assert order == [("Hot", "x"), ("Warm", "m"), ("Rare", "a")]
+
+
+def test_frequency_counts_nested_and_statements():
+    module = parse_module(
+        """
+MODULE M;
+PROCEDURE f();
+BEGIN
+  IF Lib.t(Lib.t(1)) THEN
+    OUTPUT Lib.t(2);
+  END;
+  WHILE Lib.t(3) DO
+    Lib.u(4);
+  END;
+END;
+END.
+"""
+    )
+    order = external_call_frequencies(module)
+    assert order[0] == ("Lib", "t")
+
+
+def test_contains_call():
+    module = parse_module(
+        """
+MODULE M;
+PROCEDURE f(): INT;
+BEGIN
+  RETURN (1 + f()) * 2;
+END;
+END.
+"""
+    )
+    value = module.procedures[0].body[0].value
+    assert contains_call(value)
+    assert contains_call(value.left)
+    assert not contains_call(value.right)

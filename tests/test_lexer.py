@@ -1,0 +1,68 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+def test_identifiers_and_keywords():
+    assert kinds("MODULE fred") == [
+        (TokenKind.KEYWORD, "MODULE"),
+        (TokenKind.IDENT, "fred"),
+    ]
+
+
+def test_keywords_are_case_sensitive():
+    assert kinds("module")[0][0] is TokenKind.IDENT
+
+
+def test_numbers():
+    assert kinds("042 7")[0] == (TokenKind.NUMBER, "042")
+
+
+def test_multichar_symbols_longest_match():
+    assert [t for _, t in kinds("a:=b<=c>=d")] == ["a", ":=", "b", "<=", "c", ">=", "d"]
+
+
+def test_single_symbols():
+    text = "; : , . ( ) = # < > + - * @ ^"
+    tokens = kinds(text)
+    assert [t for _, t in tokens] == text.split()
+
+
+def test_comments_skipped_and_nested():
+    assert kinds("a (* hello (* nested *) bye *) b") == [
+        (TokenKind.IDENT, "a"),
+        (TokenKind.IDENT, "b"),
+    ]
+
+
+def test_unterminated_comment():
+    with pytest.raises(LexError):
+        tokenize("(* oops")
+
+
+def test_positions():
+    tokens = tokenize("ab\n  cd")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_eof_token():
+    assert tokenize("")[-1].kind is TokenKind.EOF
+
+
+def test_junk_character():
+    with pytest.raises(LexError) as excinfo:
+        tokenize("a $ b")
+    assert excinfo.value.column == 3
+
+
+def test_underscores_in_identifiers():
+    assert kinds("my_var _x")[0] == (TokenKind.IDENT, "my_var")

@@ -1,0 +1,159 @@
+"""Tests for target resolution: the Figure 1 indirection chains.
+
+These tests build a tiny linked image and then measure — not assert from
+code inspection — the number of counted references each discipline
+performs, which is exactly what Figure 1 diagrams.
+"""
+
+import pytest
+
+from repro.interp.machineconfig import MachineConfig
+from repro.lang.compiler import CompileOptions, compile_program
+from repro.lang.linker import link
+from repro.machine.costs import Event
+from repro.mesa.descriptor import pack_descriptor
+from repro.mesa.linkage import (
+    resolve_descriptor,
+    resolve_direct,
+    resolve_external_mesa,
+    resolve_external_wide,
+    resolve_local,
+)
+
+TWO_MODULES = [
+    """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN Lib.add(2, 3) + helper();
+END;
+PROCEDURE helper(): INT;
+BEGIN
+  RETURN 1;
+END;
+END.
+""",
+    """
+MODULE Lib;
+PROCEDURE add(a, b): INT;
+BEGIN
+  RETURN a + b;
+END;
+END.
+""",
+]
+
+
+def build_image(preset):
+    config = MachineConfig.preset(preset)
+    modules = compile_program(TWO_MODULES, CompileOptions.for_config(config))
+    return link(modules, config, ("Main", "main"))
+
+
+def refs(image):
+    return image.counter.memory_references
+
+
+def test_external_mesa_is_four_levels_of_indirection():
+    """Figure 1: LV -> GFT -> global frame (code base) -> EV, then the
+    frame-size byte: four table reads plus one."""
+    image = build_image("i2")
+    main = image.instance_of("Main")
+    lv_index = main.module.imports.index(("Lib", "add"))
+    before = refs(image)
+    target = resolve_external_mesa(
+        image.memory, image.code, image.gft, main.lv, lv_index
+    )
+    assert target.levels == 4
+    assert refs(image) - before == 5  # 4 levels + fsi byte
+    meta = image.procs_by_entry[target.entry_address]
+    assert meta.qualified_name == "Lib.add"
+    assert target.gf_address == image.instance_of("Lib").gf_address
+    assert target.code_base == image.instance_of("Lib").code_base
+
+
+def test_descriptor_resolution_is_three_levels():
+    image = build_image("i2")
+    lib = image.instance_of("Lib")
+    descriptor = pack_descriptor(lib.env_indices[0], 0)
+    before = refs(image)
+    target = resolve_descriptor(image.memory, image.code, image.gft, descriptor)
+    assert target.levels == 3
+    assert refs(image) - before == 4
+    assert image.procs_by_entry[target.entry_address].name == "add"
+
+
+def test_local_call_is_one_level():
+    """Section 5.1: LOCALCALL "has only one level of indirection"."""
+    image = build_image("i2")
+    main = image.instance_of("Main")
+    before = refs(image)
+    target = resolve_local(
+        image.memory, image.code, main.gf_address, main.code_base, ev_index=1
+    )
+    assert target.levels == 1
+    assert refs(image) - before == 2  # EV + fsi byte
+    assert image.procs_by_entry[target.entry_address].name == "helper"
+
+
+def test_wide_resolution_is_two_reads():
+    """I1: the wide link vector holds full addresses — two reads, no
+    further tables."""
+    image = build_image("i1")
+    main = image.instance_of("Main")
+    lv_index = main.module.imports.index(("Lib", "add"))
+    before = refs(image)
+    target = resolve_external_wide(image.memory, image.code, main.lv, lv_index)
+    assert target.levels == 2
+    assert refs(image) - before == 3  # 2 LV words + fsi byte
+    assert image.procs_by_entry[target.entry_address].name == "add"
+
+
+def test_direct_resolution_reads_no_tables():
+    """Section 6: GF and fsi live at the target; the IFU streams over
+    them like instructions, so no counted data references at all."""
+    image = build_image("i3")
+    lib = image.instance_of("Lib")
+    add = lib.module.procedure_named("add")
+    before = refs(image)
+    target = resolve_direct(image.code, lib.code_base + add.direct_offset)
+    assert target.levels == 0
+    assert refs(image) - before == 0
+    assert target.gf_address == lib.gf_address
+    assert target.fsi == image.procs_by_entry[lib.code_base + add.entry_offset].fsi
+
+
+def test_direct_resolution_counted_variant():
+    image = build_image("i3")
+    lib = image.instance_of("Lib")
+    add = lib.module.procedure_named("add")
+    before = refs(image)
+    resolve_direct(image.code, lib.code_base + add.direct_offset, counted=True)
+    assert refs(image) - before == 2
+
+
+def test_resolution_chain_decreases_down_the_ladder():
+    """The whole point of sections 5->6: each step of early binding
+    removes table reads from the call path."""
+    mesa = build_image("i2")
+    main = mesa.instance_of("Main")
+    index = main.module.imports.index(("Lib", "add"))
+    before = refs(mesa)
+    resolve_external_mesa(mesa.memory, mesa.code, mesa.gft, main.lv, index)
+    mesa_cost = refs(mesa) - before
+
+    wide = build_image("i1")
+    wmain = wide.instance_of("Main")
+    windex = wmain.module.imports.index(("Lib", "add"))
+    before = refs(wide)
+    resolve_external_wide(wide.memory, wide.code, wmain.lv, windex)
+    wide_cost = refs(wide) - before
+
+    direct = build_image("i3")
+    lib = direct.instance_of("Lib")
+    add = lib.module.procedure_named("add")
+    before = refs(direct)
+    resolve_direct(direct.code, lib.code_base + add.direct_offset)
+    direct_cost = refs(direct) - before
+
+    assert direct_cost < wide_cost < mesa_cost

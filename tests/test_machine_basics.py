@@ -1,0 +1,201 @@
+"""Machine tests: arithmetic, logic, jumps, globals, output."""
+
+import pytest
+
+from repro.errors import StepLimitExceeded, TrapError
+from tests.conftest import run_source
+
+
+def expr_program(expression):
+    return [
+        f"MODULE Main;\nPROCEDURE main(): INT;\nBEGIN\n  RETURN {expression};\nEND;\nEND."
+    ]
+
+
+@pytest.mark.parametrize(
+    "expression,expected",
+    [
+        ("1 + 2", 3),
+        ("10 - 3", 7),
+        ("6 * 7", 42),
+        ("17 DIV 5", 3),
+        ("17 MOD 5", 2),
+        ("-17 DIV 5", -3),  # truncation toward zero
+        ("-17 MOD 5", -2),
+        ("-(3 + 4)", -7),
+        ("1 AND 3", 1),
+        ("1 OR 2", 3),
+        ("NOT 0", 1),
+        ("NOT 5", 0),
+        ("(2 < 3) + (3 < 2)", 1),
+        ("(2 <= 2) + (2 >= 3)", 1),
+        ("(4 = 4) + (4 # 4)", 1),
+        ("(0 - 1) < 1", 1),  # signed comparison
+        ("2 * 3 + 4 * 5", 26),
+        ("(1 + 2) * (3 + 4)", 21),
+        ("32000 + 1000", -32536),  # 16-bit wraparound, signed result
+    ],
+)
+def test_expressions(expression, expected):
+    results, _ = run_source(expr_program(expression))
+    assert results == [expected]
+
+
+def test_divide_by_zero_traps():
+    with pytest.raises(TrapError):
+        run_source(expr_program("1 DIV 0"))
+    with pytest.raises(TrapError):
+        run_source(expr_program("1 MOD 0"))
+
+
+def test_while_loop():
+    source = """
+MODULE Main;
+PROCEDURE main(): INT;
+VAR i, total: INT;
+BEGIN
+  total := 0;
+  i := 1;
+  WHILE i <= 100 DO
+    total := total + i;
+    i := i + 1;
+  END;
+  RETURN total;
+END;
+END.
+"""
+    results, _ = run_source([source])
+    assert results == [5050]
+
+
+def test_if_else_chains():
+    source = """
+MODULE Main;
+PROCEDURE sign(x): INT;
+BEGIN
+  IF x > 0 THEN
+    RETURN 1;
+  ELSE
+    IF x < 0 THEN
+      RETURN 0 - 1;
+    END;
+  END;
+  RETURN 0;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN sign(5) * 100 + sign(0 - 5) * 10 + sign(0);
+END;
+END.
+"""
+    results, _ = run_source([source])
+    assert results == [100 - 10]
+
+
+def test_globals_persist_across_calls():
+    source = """
+MODULE Main;
+VAR counter: INT;
+PROCEDURE tick();
+BEGIN
+  counter := counter + 1;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  tick(); tick(); tick();
+  RETURN counter;
+END;
+END.
+"""
+    results, _ = run_source([source])
+    assert results == [3]
+
+
+def test_output_channel():
+    source = """
+MODULE Main;
+PROCEDURE main(): INT;
+VAR i: INT;
+BEGIN
+  i := 0;
+  WHILE i < 4 DO
+    OUTPUT i * i;
+    i := i + 1;
+  END;
+  RETURN 0;
+END;
+END.
+"""
+    results, machine = run_source([source])
+    assert machine.output == [0, 1, 4, 9]
+
+
+def test_step_limit_enforced():
+    source = """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  WHILE 1 DO
+  END;
+  RETURN 0;
+END;
+END.
+"""
+    with pytest.raises(StepLimitExceeded):
+        run_source([source], step_limit=1000)
+
+
+def test_many_locals_use_long_forms():
+    names = ", ".join(f"v{i}" for i in range(12))
+    assignments = "\n".join(f"  v{i} := {i};" for i in range(12))
+    total = " + ".join(f"v{i}" for i in range(12))
+    source = f"""
+MODULE Main;
+PROCEDURE main(): INT;
+VAR {names}: INT;
+BEGIN
+{assignments}
+  RETURN {total};
+END;
+END.
+"""
+    results, _ = run_source([source])
+    assert results == [sum(range(12))]
+
+
+def test_arguments_passed_in_order():
+    source = """
+MODULE Main;
+PROCEDURE weigh(a, b, c): INT;
+BEGIN
+  RETURN a * 100 + b * 10 + c;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN weigh(1, 2, 3);
+END;
+END.
+"""
+    for preset in ("i1", "i2", "i3", "i4"):
+        results, _ = run_source([source], preset=preset)
+        assert results == [123]
+
+
+def test_start_with_arguments():
+    source = """
+MODULE Main;
+PROCEDURE addmul(a, b): INT;
+BEGIN
+  RETURN a * b + a + b;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN 0;
+END;
+END.
+"""
+    for preset in ("i1", "i2", "i3", "i4"):
+        results, _ = run_source(
+            [source], preset=preset, args=(6, 7), entry=("Main", "addmul")
+        )
+        assert results == [55]

@@ -1,0 +1,213 @@
+"""Edge cases: long forms, wide jumps, big modules, machine lifecycle."""
+
+import pytest
+
+from repro.errors import MachineHalted
+from repro.isa.opcodes import Op
+from repro.isa.disassembler import disassemble
+from repro.lang.compiler import compile_module
+from tests.conftest import ALL_PRESETS, build, run_source
+
+
+def test_more_than_eight_imports_use_efcb():
+    lib_procs = "\n".join(
+        f"PROCEDURE p{i}(): INT;\nBEGIN\n  RETURN {i};\nEND;" for i in range(12)
+    )
+    lib = f"MODULE Lib;\n{lib_procs}\nEND."
+    calls = " + ".join(f"Lib.p{i}()" for i in range(12))
+    main = f"MODULE Main;\nPROCEDURE main(): INT;\nBEGIN\n  RETURN {calls};\nEND;\nEND."
+    results, machine = run_source([main, lib], preset="i2")
+    assert results == [sum(range(12))]
+    ops = [
+        item.instruction.op
+        for item in disassemble(
+            machine.image.instance_of("Main").module.procedure_named("main").body
+        )
+    ]
+    assert Op.EFCB in ops  # indices 8..11 need the two-byte form
+    assert Op.EFC0 in ops
+
+
+def test_long_jump_widening_in_a_real_program():
+    """A THEN branch too big for a signed-byte displacement forces JW."""
+    fat_branch = "\n".join(f"    acc := acc + {i % 7};" for i in range(80))
+    source = f"""
+MODULE Main;
+PROCEDURE main(): INT;
+VAR acc: INT;
+BEGIN
+  acc := 0;
+  IF 1 THEN
+{fat_branch}
+  ELSE
+    acc := 999;
+  END;
+  RETURN acc;
+END;
+END.
+"""
+    results, machine = run_source([source])
+    assert results == [sum(i % 7 for i in range(80))]
+    body = machine.image.instance_of("Main").module.procedure_named("main").body
+    ops = {item.instruction.op for item in disassemble(body)}
+    assert Op.JZW in ops or Op.JW in ops
+
+
+def test_deep_parameter_lists():
+    params = ", ".join(f"x{i}" for i in range(10))
+    total = " + ".join(f"x{i}" for i in range(10))
+    args = ", ".join(str(i * i) for i in range(10))
+    source = f"""
+MODULE Main;
+PROCEDURE wide({params}): INT;
+BEGIN
+  RETURN {total};
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN wide({args});
+END;
+END.
+"""
+    for preset in ALL_PRESETS:
+        results, _ = run_source([source], preset=preset)
+        assert results == [sum(i * i for i in range(10))]
+
+
+def test_sdfc_backward_displacement():
+    """Under DIRECT, a later procedure SDFC-calls an earlier one: the
+    PC-relative displacement is negative."""
+    source = """
+MODULE Main;
+PROCEDURE early(x): INT;
+BEGIN
+  RETURN x + 1;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN early(41);
+END;
+END.
+"""
+    results, machine = run_source([source], preset="i3")
+    assert results == [42]
+    from repro.ifu.ifu import TransferKind
+
+    assert machine.fetch.fast.get(TransferKind.SHORT_DIRECT_CALL, 0) == 1
+
+
+def test_step_after_halt_rejected():
+    results, machine = run_source(
+        ["MODULE Main;\nPROCEDURE main(): INT;\nBEGIN\n  RETURN 1;\nEND;\nEND."]
+    )
+    assert machine.halted
+    with pytest.raises(MachineHalted):
+        machine.step()
+
+
+def test_restart_reuses_machine():
+    source = [
+        """
+MODULE Main;
+PROCEDURE double(x): INT;
+BEGIN
+  RETURN x + x;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN double(4);
+END;
+END.
+"""
+    ]
+    machine = build(source)
+    machine.start()
+    assert machine.run() == [8]
+    machine.stack.clear()
+    machine.start("Main", "double", 11)
+    assert machine.run() == [22]
+
+
+def test_report_structure():
+    _, machine = run_source(
+        ["MODULE Main;\nPROCEDURE main(): INT;\nBEGIN\n  RETURN 1;\nEND;\nEND."],
+        preset="i4",
+    )
+    report = machine.report()
+    assert report["steps"] == machine.steps
+    assert "fetch" in report and "alloc" in report
+    assert "return_stack_hit_rate" in report
+    assert "bank_overflow_rate" in report
+
+
+def test_yield_without_scheduler_resumable():
+    source = [
+        """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  YIELD;
+  RETURN 5;
+END;
+END.
+"""
+    ]
+    machine = build(source)
+    machine.start()
+    machine.run()  # breaks at the YIELD
+    assert machine.yield_requested and not machine.halted
+    machine.yield_requested = False
+    assert machine.run() == [5]
+
+
+def test_output_is_signed():
+    source = [
+        "MODULE Main;\nPROCEDURE main(): INT;\nBEGIN\n  OUTPUT 0 - 7;\n  RETURN 0;\nEND;\nEND."
+    ]
+    _, machine = run_source([*source])
+    assert machine.output == [-7]
+
+
+def test_globals_are_per_machine():
+    source = [
+        """
+MODULE Main;
+VAR g: INT;
+PROCEDURE main(): INT;
+BEGIN
+  g := g + 1;
+  RETURN g;
+END;
+END.
+"""
+    ]
+    first = build(source)
+    first.start()
+    assert first.run() == [1]
+    second = build(source)
+    second.start()
+    assert second.run() == [1]  # fresh image, fresh globals
+
+
+def test_compile_module_alone_with_unknown_extern_fails_late():
+    from repro.errors import SemanticError
+
+    with pytest.raises(SemanticError):
+        compile_module(
+            "MODULE M;\nPROCEDURE f(): INT;\nBEGIN\n  RETURN Ext.g();\nEND;\nEND."
+        )
+
+
+def test_signed_boundary_arithmetic():
+    cases = [
+        ("32767 + 1", -32768),
+        ("0 - 32767 - 1", -32768),
+        ("0 - 32768 + 65535 + 1", -32768),  # wraps all the way around
+        ("32767 * 2", -2),
+    ]
+    for expression, expected in cases:
+        src = [
+            f"MODULE Main;\nPROCEDURE main(): INT;\nBEGIN\n  RETURN {expression};\nEND;\nEND."
+        ]
+        results, _ = run_source(src)
+        assert results == [expected], expression

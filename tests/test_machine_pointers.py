@@ -1,0 +1,158 @@
+"""Machine tests: pointers to locals under every section 7.4 policy."""
+
+import pytest
+
+from repro.banks.pointers import PointerPolicy
+from repro.errors import TrapError
+from tests.conftest import ALL_PRESETS, run_source
+
+VAR_PARAM = [
+    """
+MODULE Main;
+PROCEDURE store(p, v);
+BEGIN
+  ^p := v;
+END;
+PROCEDURE fetch(p): INT;
+BEGIN
+  RETURN ^p;
+END;
+PROCEDURE main(): INT;
+VAR x: INT;
+BEGIN
+  x := 1;
+  store(@x, 41);
+  RETURN fetch(@x) + x;
+END;
+END.
+"""
+]
+
+SELF_POINTER = [
+    """
+MODULE Main;
+PROCEDURE main(): INT;
+VAR x, p: INT;
+BEGIN
+  x := 5;
+  p := @x;
+  ^p := 9;
+  RETURN x + ^p;
+END;
+END.
+"""
+]
+
+
+@pytest.mark.parametrize("preset", ALL_PRESETS)
+def test_var_parameters_under_flag_flush(preset):
+    """C2's flagged-frame rule: the pointee's frame is flushed when
+    control leaves it, so the callee's WR/RD see current values, and the
+    bank is refilled on return."""
+    results, _ = run_source(VAR_PARAM, preset=preset)
+    assert results == [82]
+
+
+def test_var_parameters_under_divert():
+    results, machine = run_source(
+        VAR_PARAM, preset="i4", pointer_policy=PointerPolicy.DIVERT
+    )
+    assert results == [82]
+
+
+def test_self_pointer_under_divert():
+    """Reading/writing your own shadowed local through a pointer only
+    works under DIVERT — "the reference can be diverted to read or write
+    the proper register"."""
+    results, machine = run_source(
+        SELF_POINTER, preset="i4", pointer_policy=PointerPolicy.DIVERT
+    )
+    assert results == [18]
+    assert machine.divert_stats.diversions >= 2
+
+
+def test_divert_comparators_checked_only_in_frame_region():
+    _, machine = run_source(
+        VAR_PARAM, preset="i4", pointer_policy=PointerPolicy.DIVERT
+    )
+    stats = machine.divert_stats
+    assert stats.references_checked >= stats.region_hits >= stats.diversions
+
+
+def test_avoid_policy_outlaws_lla():
+    """"The simplest solution is avoidance: outlaw pointers to local
+    variables" — taking the address traps."""
+    with pytest.raises(TrapError):
+        run_source(SELF_POINTER, preset="i4", pointer_policy=PointerPolicy.AVOID)
+
+
+def test_avoid_policy_only_bites_with_banks():
+    """Without banks there is no multiple-copy problem; AVOID on I2 does
+    not forbid anything."""
+    results, _ = run_source(
+        SELF_POINTER, preset="i2", pointer_policy=PointerPolicy.AVOID
+    )
+    assert results == [18]
+
+
+def test_lla_materializes_deferred_frame():
+    """C1: "if there is a special operation for generating a pointer to a
+    local variable, this operation can do the allocation"."""
+    _, machine = run_source(SELF_POINTER, preset="i4")
+    # main's frame had to materialize for @x to exist.
+    assert machine.frames.by_address or machine.counter.memory_references > 0
+
+
+def test_flagged_frame_flushes_on_call_out():
+    _, machine = run_source(VAR_PARAM, preset="i4")
+    # The flag-flush policy forced bank spills when main called store/fetch.
+    assert machine.bankfile.stats.words_spilled > 0
+
+
+def test_global_pointers_work_everywhere():
+    source = [
+        """
+MODULE Main;
+VAR g: INT;
+PROCEDURE bump(p);
+BEGIN
+  ^p := ^p + 1;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  g := 10;
+  bump(@g);
+  bump(@g);
+  RETURN g;
+END;
+END.
+"""
+    ]
+    for preset in ALL_PRESETS:
+        results, _ = run_source(source, preset=preset)
+        assert results == [12]
+
+
+def test_pointer_arithmetic_arrays():
+    """The @base + i idiom over contiguous globals (the corpus's arrays)."""
+    source = [
+        """
+MODULE Main;
+VAR a0, a1, a2, a3: INT;
+PROCEDURE main(): INT;
+VAR base, i: INT;
+BEGIN
+  base := @a0;
+  i := 0;
+  WHILE i < 4 DO
+    ^(base + i) := i * i;
+    i := i + 1;
+  END;
+  RETURN ^(base) + ^(base + 1) + ^(base + 2) + ^(base + 3);
+END;
+END.
+"""
+    ]
+    for preset in ALL_PRESETS:
+        results, _ = run_source(source, preset=preset)
+        assert results == [0 + 1 + 4 + 9]

@@ -1,0 +1,170 @@
+"""Machine tests: general XFER — coroutines, descriptors, error cases."""
+
+import pytest
+
+from repro.errors import DanglingFrame, InvalidContext
+from repro.ifu.ifu import TransferKind
+from tests.conftest import run_source
+
+COROUTINE = [
+    """
+MODULE Main;
+PROCEDURE evens(seed): INT;
+VAR who, v: INT;
+BEGIN
+  who := SOURCE();
+  v := seed;
+  WHILE 1 DO
+    who := XFER(who, v);
+    who := SOURCE();
+    v := v + 2;
+  END;
+  RETURN 0;
+END;
+PROCEDURE main(): INT;
+VAR co, a, b, c: INT;
+BEGIN
+  a := XFER(PROC(evens), 10);
+  co := SOURCE();
+  b := XFER(co, 0);
+  co := SOURCE();
+  c := XFER(co, 0);
+  RETURN a * 10000 + b * 100 + c;
+END;
+END.
+"""
+]
+
+
+def as_signed_word(value):
+    value &= 0xFFFF
+    return value - 0x10000 if value >= 0x8000 else value
+
+
+@pytest.mark.parametrize("preset", ("i2", "i3", "i4"))
+def test_coroutine_on_every_tabled_implementation(preset):
+    results, machine = run_source(COROUTINE, preset=preset)
+    assert results == [as_signed_word(10 * 10000 + 12 * 100 + 14)]
+    assert machine.fetch.slow.get(TransferKind.XFER, 0) >= 5
+
+
+def test_xfer_flushes_return_stack():
+    """Section 6: "any XFER other than a simple call or return" flushes.
+    The XFER must happen while calls are in flight for the flush to have
+    victims, so the transfer is buried inside a helper call."""
+    source = [
+        """
+MODULE Main;
+PROCEDURE child(x): INT;
+BEGIN
+  RETURN x * 2;
+END;
+PROCEDURE wrapper(x): INT;
+VAR r: INT;
+BEGIN
+  r := XFER(PROC(child), x);
+  RETURN r + 1;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN wrapper(10);
+END;
+END.
+"""
+    ]
+    results, machine = run_source(source, preset="i3")
+    assert results == [21]
+    assert machine.rstack.stats.flushes.get("xfer", 0) >= 1
+    assert machine.rstack.stats.entries_flushed >= 1
+
+
+def test_xfer_to_descriptor_creates_context():
+    """An XFER to a procedure descriptor runs the creation-context loop:
+    a fresh frame, with the transferring context as its return link."""
+    source = [
+        """
+MODULE Main;
+PROCEDURE child(x): INT;
+BEGIN
+  RETURN x + 1;
+END;
+PROCEDURE main(): INT;
+VAR r: INT;
+BEGIN
+  r := XFER(PROC(child), 41);
+  RETURN r;
+END;
+END.
+"""
+    ]
+    # child RETURNs: its return link is main (the XFER source), so main's
+    # XFER expression receives child's result record.
+    results, _ = run_source(source, preset="i2")
+    assert results == [42]
+
+
+def test_xfer_to_nil_rejected():
+    source = [
+        "MODULE Main;\nPROCEDURE main(): INT;\nVAR r: INT;\nBEGIN\n"
+        "  r := XFER(0, 1);\n  RETURN r;\nEND;\nEND."
+    ]
+    with pytest.raises(InvalidContext):
+        run_source(source, preset="i2")
+
+
+def test_xfer_to_garbage_frame_rejected():
+    source = [
+        "MODULE Main;\nPROCEDURE main(): INT;\nVAR r: INT;\nBEGIN\n"
+        "  r := XFER(4096, 1);\n  RETURN r;\nEND;\nEND."
+    ]
+    with pytest.raises(InvalidContext):
+        run_source(source, preset="i2")
+
+
+def test_transfer_to_freed_frame_is_dangling():
+    """Keep a context word past its frame's return: F2's explicit-free
+    discipline makes the later transfer an error the machine catches."""
+    source = [
+        """
+MODULE Main;
+VAR saved: INT;
+PROCEDURE victim(x): INT;
+BEGIN
+  saved := MYCONTEXT();
+  RETURN x;
+END;
+PROCEDURE main(): INT;
+VAR r: INT;
+BEGIN
+  r := victim(1);
+  r := XFER(saved, 2);
+  RETURN r;
+END;
+END.
+"""
+    ]
+    with pytest.raises((DanglingFrame, InvalidContext)):
+        run_source(source, preset="i2")
+
+
+def test_mycontext_materializes_frame():
+    source = [
+        """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN MYCONTEXT() > 0;
+END;
+END.
+"""
+    ]
+    results, machine = run_source(source, preset="i4")
+    assert results == [1]
+
+
+def test_simple_linkage_rejects_descriptor_xfer():
+    """I1 has no packed descriptors; PROC literals fail at link time."""
+    from repro.errors import LinkError
+
+    with pytest.raises(LinkError):
+        run_source(COROUTINE, preset="i1")

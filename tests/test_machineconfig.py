@@ -1,0 +1,70 @@
+"""Tests for the machine configuration presets and validation."""
+
+import pytest
+
+from repro.interp.machineconfig import (
+    ArgConvention,
+    FrameAllocatorKind,
+    LinkageKind,
+    MachineConfig,
+)
+
+
+def test_presets_match_the_paper():
+    i1 = MachineConfig.i1()
+    assert i1.linkage is LinkageKind.SIMPLE
+    assert i1.allocator is FrameAllocatorKind.FIRST_FIT
+    assert not i1.use_return_stack and not i1.use_banks
+
+    i2 = MachineConfig.i2()
+    assert i2.linkage is LinkageKind.MESA
+    assert i2.allocator is FrameAllocatorKind.AV_HEAP
+
+    i3 = MachineConfig.i3()
+    assert i3.linkage is LinkageKind.DIRECT
+    assert i3.use_return_stack and not i3.use_banks
+
+    i4 = MachineConfig.i4()
+    assert i4.use_banks and i4.deferred_allocation
+    assert i4.arg_convention is ArgConvention.RENAME
+    assert i4.allocator is FrameAllocatorKind.FAST_STACK
+    assert i4.bank_count == 4 and i4.bank_words == 16
+
+
+def test_preset_lookup():
+    assert MachineConfig.preset("i3") == MachineConfig.i3()
+    with pytest.raises(ValueError):
+        MachineConfig.preset("i9")
+
+
+def test_preset_overrides():
+    config = MachineConfig.preset("i4", bank_count=8)
+    assert config.bank_count == 8
+    assert config.linkage is LinkageKind.DIRECT
+
+
+def test_but_returns_modified_copy():
+    base = MachineConfig.i2()
+    tweaked = base.but(return_stack_depth=4)
+    assert tweaked.use_return_stack and not base.use_return_stack
+
+
+def test_validation_rules():
+    with pytest.raises(ValueError):
+        MachineConfig(bank_count=2)
+    with pytest.raises(ValueError):
+        MachineConfig(bank_count=4, bank_words=8, eval_stack_depth=16)
+    with pytest.raises(ValueError):
+        MachineConfig(deferred_allocation=True)
+    with pytest.raises(ValueError):
+        MachineConfig(
+            bank_count=4, deferred_allocation=True, return_stack_depth=0
+        )
+    with pytest.raises(ValueError):
+        MachineConfig(arg_convention=ArgConvention.RENAME)
+
+
+def test_configs_are_immutable():
+    config = MachineConfig.i2()
+    with pytest.raises(Exception):
+        config.bank_count = 8

@@ -1,0 +1,132 @@
+"""Unit tests for the word-addressed memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault, UnwritableMemory, WordRangeError
+from repro.machine.costs import Event
+from repro.machine.memory import Memory, from_signed, to_signed, to_word
+
+
+def test_read_write_roundtrip(memory):
+    memory.write(100, 0x1234)
+    assert memory.read(100) == 0x1234
+
+
+def test_write_truncates_to_word(memory):
+    memory.write(5, 0x12345)
+    assert memory.read(5) == 0x2345
+
+
+def test_reads_and_writes_are_counted(memory, counter):
+    memory.write(1, 2)
+    memory.read(1)
+    memory.read(1)
+    assert counter.count(Event.MEMORY_WRITE) == 1
+    assert counter.count(Event.MEMORY_READ) == 2
+
+
+def test_peek_poke_uncounted(memory, counter):
+    memory.poke(7, 99)
+    assert memory.peek(7) == 99
+    assert counter.memory_references == 0
+
+
+def test_out_of_range_faults(memory):
+    with pytest.raises(MemoryFault):
+        memory.read(memory.size)
+    with pytest.raises(MemoryFault):
+        memory.write(-1, 0)
+
+
+def test_block_access(memory, counter):
+    memory.write_block(10, [1, 2, 3])
+    assert memory.read_block(10, 3) == [1, 2, 3]
+    assert counter.count(Event.MEMORY_WRITE) == 3
+    assert counter.count(Event.MEMORY_READ) == 3
+
+
+def test_regions_no_overlap(memory):
+    memory.add_region("a", 0, 100)
+    with pytest.raises(ValueError):
+        memory.add_region("b", 50, 100)
+    memory.add_region("b", 100, 50)
+    assert memory.region_named("b").base == 100
+
+
+def test_region_lookup(memory):
+    region = memory.add_region("frames", 1000, 500)
+    assert memory.region_of(1000) is region
+    assert memory.region_of(1499) is region
+    assert memory.region_of(1500) is None
+    assert region.contains(1200)
+
+
+def test_region_named_missing(memory):
+    with pytest.raises(KeyError):
+        memory.region_named("nope")
+
+
+def test_readonly_region(memory):
+    memory.add_region("code", 0, 16, writable=False)
+    memory.poke(3, 1)  # loader writes bypass protection
+    with pytest.raises(UnwritableMemory):
+        memory.write(3, 2)
+
+
+def test_region_bounds_checking(memory):
+    with pytest.raises(ValueError):
+        memory.add_region("x", memory.size - 1, 2)
+    with pytest.raises(ValueError):
+        memory.add_region("x", 0, 0)
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        Memory(0)
+
+
+# -- word conversions -------------------------------------------------------
+
+
+def test_signed_conversions():
+    assert to_signed(0xFFFF) == -1
+    assert to_signed(0x7FFF) == 0x7FFF
+    assert to_signed(0x8000) == -0x8000
+    assert from_signed(-1) == 0xFFFF
+
+
+def test_from_signed_range():
+    with pytest.raises(WordRangeError):
+        from_signed(0x8000)
+    with pytest.raises(WordRangeError):
+        from_signed(-0x8001)
+
+
+@given(st.integers(min_value=-0x8000, max_value=0x7FFF))
+def test_signed_roundtrip(value):
+    assert to_signed(from_signed(value)) == value
+
+
+@given(st.integers())
+def test_to_word_always_16_bits(value):
+    assert 0 <= to_word(value) <= 0xFFFF
+
+
+def test_traffic_attribution(memory):
+    memory.add_region("frames", 100, 50)
+    memory.add_region("tables", 200, 10)
+    memory.write(110, 1)
+    memory.read(110)
+    memory.read(205)
+    memory.read(10)  # unmapped
+    assert memory.traffic == {"frames": 2, "tables": 1, "": 1}
+    assert memory.traffic_fraction("frames") == 0.5
+
+
+def test_traffic_ignores_uncounted_access(memory):
+    memory.add_region("frames", 100, 50)
+    memory.poke(110, 3)
+    memory.peek(110)
+    assert memory.traffic == {}
+    assert memory.traffic_fraction("frames") == 0.0

@@ -1,0 +1,78 @@
+"""Multiple processes at the model level — a scheduler from raw XFER.
+
+Section 3 promises the model covers "process switches" with the same
+primitive as everything else.  This test builds a round-robin scheduler
+as ordinary context code: the scheduler context XFERs to each process
+chain in turn; a process "yields" by XFERing back to whoever resumed it
+(its ``source``).  No machinery beyond contexts and XFER.
+"""
+
+from repro.core import AbstractMachine
+
+
+def test_model_level_round_robin():
+    machine = AbstractMachine()
+    log: list[tuple[str, int]] = []
+
+    @machine.procedure
+    def worker(ctx):
+        name, rounds = ctx.args
+        scheduler_ctx = ctx.source
+        for index in range(rounds):
+            log.append((name, index))
+            record = yield from ctx.xfer(scheduler_ctx, 1)  # 1 = still alive
+            scheduler_ctx = ctx.source
+        yield from ctx.xfer(scheduler_ctx, 0)  # 0 = done (never resumed)
+
+    @machine.procedure
+    def scheduler(ctx):
+        specs = ctx.args  # tuples of (name, rounds)
+        chains = [machine.create(worker) for _ in specs]
+        pending = list(zip(chains, specs))
+        ready = []
+        # First transfer starts each chain with its arguments.
+        finished = 0
+        while pending or ready:
+            if pending:
+                chain, spec = pending.pop(0)
+                (alive,) = yield from ctx.xfer(chain, *spec)
+            else:
+                chain = ready.pop(0)
+                (alive,) = yield from ctx.xfer(chain, 0)
+            if alive:
+                ready.append(ctx.source)
+            else:
+                finished += 1
+        yield from ctx.ret(finished)
+
+    (finished,) = machine.call(scheduler, ("a", 3), ("b", 2))
+    assert finished == 2
+    assert log == [
+        ("a", 0),
+        ("b", 0),
+        ("a", 1),
+        ("b", 1),
+        ("a", 2),
+    ]
+
+
+def test_model_processes_share_no_stack():
+    """F2 again: each chain's contexts live independently; interleaving
+    two recursions through a scheduler cannot corrupt either."""
+    machine = AbstractMachine()
+
+    @machine.procedure
+    def countdown(ctx):
+        (n,) = ctx.args
+        if n == 0:
+            yield from ctx.ret(0)
+        (below,) = yield from ctx.call(countdown, n - 1)
+        yield from ctx.ret(below + 1)
+
+    @machine.procedure
+    def interleaver(ctx):
+        (a,) = yield from ctx.call(countdown, 7)
+        (b,) = yield from ctx.call(countdown, 4)
+        yield from ctx.ret(a * 10 + b)
+
+    assert machine.call(interleaver) == (74,)

@@ -1,0 +1,193 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_module
+
+
+def parse(body, header="MODULE M;\n", footer="\nEND."):
+    return parse_module(header + body + footer)
+
+
+WRAP = """
+PROCEDURE p(): INT;
+BEGIN
+  {body}
+END;
+"""
+
+
+def parse_stmt(statement):
+    module = parse(WRAP.format(body=statement))
+    return module.procedures[0].body
+
+
+def test_module_shape():
+    module = parse(
+        """
+VAR g, h: INT;
+PROCEDURE f(a, b): INT;
+VAR x: INT;
+BEGIN
+  RETURN a + b;
+END;
+"""
+    )
+    assert module.name == "M"
+    assert module.globals == ["g", "h"]
+    procedure = module.procedures[0]
+    assert [p.name for p in procedure.params] == ["a", "b"]
+    assert procedure.returns_value
+    assert procedure.locals == ("x",)
+
+
+def test_void_procedure():
+    module = parse("PROCEDURE p();\nBEGIN\nEND;\n")
+    assert not module.procedures[0].returns_value
+
+
+def test_precedence():
+    (stmt,) = parse_stmt("RETURN 1 + 2 * 3;")
+    value = stmt.value
+    assert isinstance(value, ast.BinOp) and value.op == "+"
+    assert isinstance(value.right, ast.BinOp) and value.right.op == "*"
+
+
+def test_relational_binds_loosest():
+    (stmt,) = parse_stmt("RETURN 1 + 2 < 3 * 4;")
+    assert stmt.value.op == "<"
+
+
+def test_unary_minus_and_not():
+    (stmt,) = parse_stmt("RETURN -1 + NOT 0;")
+    assert isinstance(stmt.value.left, ast.UnOp)
+
+
+def test_parenthesized():
+    (stmt,) = parse_stmt("RETURN (1 + 2) * 3;")
+    assert stmt.value.op == "*"
+
+
+def test_if_else():
+    module = parse(
+        """
+PROCEDURE p(x): INT;
+BEGIN
+  IF x < 0 THEN RETURN 0 - x; ELSE RETURN x; END;
+END;
+"""
+    )
+    (stmt,) = module.procedures[0].body
+    assert isinstance(stmt, ast.If)
+    assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+
+def test_while():
+    stmts = parse_stmt("WHILE 1 DO YIELD; END;\n  RETURN 0;")
+    stmt = stmts[0]
+    assert isinstance(stmt, ast.While)
+    assert isinstance(stmt.body[0], ast.YieldStmt)
+
+
+def test_calls_qualified_and_local():
+    stmts = parse_stmt("RETURN f(1) + Lib.g(2, 3);")
+    call = stmts[0].value.left
+    assert isinstance(call, ast.Call) and call.module is None and call.proc == "f"
+    external = stmts[0].value.right
+    assert external.module == "Lib" and len(external.args) == 2
+
+
+def test_call_statement_discards():
+    module = parse("PROCEDURE p();\nBEGIN\n  Lib.poke(1);\nEND;\n")
+    (stmt,) = module.procedures[0].body
+    assert isinstance(stmt, ast.ExprStmt)
+
+
+def test_pointers():
+    stmts = parse_stmt("RETURN ^(@x + 1);")
+    deref = stmts[0].value
+    assert isinstance(deref, ast.Deref)
+    assert isinstance(deref.pointer.left, ast.AddrOf)
+
+
+def test_store_through():
+    module = parse("PROCEDURE p(q);\nBEGIN\n  ^q := 5;\nEND;\n")
+    (stmt,) = module.procedures[0].body
+    assert isinstance(stmt, ast.StoreThrough)
+
+
+def test_xfer_forms():
+    stmts = parse_stmt("RETURN XFER(SOURCE(), 1, 2) + MYCONTEXT();")
+    xfer = stmts[0].value.left
+    assert isinstance(xfer, ast.XferExpr)
+    assert isinstance(xfer.dest, ast.SourceCtx)
+    assert len(xfer.args) == 2
+
+
+def test_proc_literal():
+    stmts = parse_stmt("RETURN PROC(Lib.f) + PROC(g);")
+    left = stmts[0].value.left
+    right = stmts[0].value.right
+    assert (left.module, left.proc) == ("Lib", "f")
+    assert (right.module, right.proc) == (None, "g")
+
+
+def test_output_statement():
+    module = parse("PROCEDURE p();\nBEGIN\n  OUTPUT 42;\nEND;\n")
+    assert isinstance(module.procedures[0].body[0], ast.Output)
+
+
+def test_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse("PROCEDURE p();\nBEGIN\n  OUTPUT 1\nEND;\n")
+
+
+def test_trailing_garbage():
+    with pytest.raises(ParseError):
+        parse_module("MODULE M;\nEND.\nextra")
+
+
+def test_error_position():
+    with pytest.raises(ParseError) as excinfo:
+        parse_module("MODULE M;\nPROCEDURE ();\nEND.")
+    assert excinfo.value.line == 2
+
+
+def test_empty_bodies_allowed():
+    module = parse("PROCEDURE p();\nBEGIN\nEND;\n")
+    assert module.procedures[0].body == ()
+
+
+def test_empty_then_and_else():
+    module = parse(
+        "PROCEDURE p();\nBEGIN\n  IF 1 THEN ELSE END;\nEND;\n"
+    )
+    (stmt,) = module.procedures[0].body
+    assert stmt.then_body == () and stmt.else_body == ()
+
+
+def test_allocate_dispose_retain_parse():
+    module = parse(
+        """
+PROCEDURE p(): INT;
+VAR r: INT;
+BEGIN
+  RETAIN;
+  r := ALLOCATE(4 + 4);
+  DISPOSE r;
+  RETURN 0;
+END;
+"""
+    )
+    kinds = [type(s).__name__ for s in module.procedures[0].body]
+    assert kinds == ["RetainStmt", "Assign", "Dispose", "Return"]
+
+
+def test_deeply_nested_parentheses():
+    expr = "1"
+    for _ in range(40):
+        expr = f"({expr})"
+    stmts = parse_stmt(f"RETURN {expr};")
+    assert isinstance(stmts[0].value, ast.Num)

@@ -1,0 +1,51 @@
+"""Unit tests for the section 7.4 pointer machinery."""
+
+from repro.banks.bankfile import BankFile, BankRole
+from repro.banks.pointers import DivertStats, PointerPolicy, divert_lookup
+
+
+class Frame:
+    def __init__(self, base):
+        self.base = base
+
+
+def test_policies_enumerated():
+    assert {p.value for p in PointerPolicy} == {"avoid", "flag_flush", "divert"}
+
+
+def test_divert_lookup_hits_shadowed_word():
+    banks = BankFile(4, bank_words=8)
+    frame = Frame(base=1000)
+    bank = banks.acquire_free(BankRole.LOCAL, frame)
+
+    def shadow_base(candidate):
+        if candidate.frame is frame:
+            return frame.base
+        return None
+
+    hit = divert_lookup(banks, 1003, shadow_base)
+    assert hit == (bank, 3)
+    assert divert_lookup(banks, 1008, shadow_base) is None  # past the bank
+    assert divert_lookup(banks, 999, shadow_base) is None
+
+
+def test_divert_lookup_skips_non_local_roles():
+    banks = BankFile(4, bank_words=8)
+    banks.acquire_free(BankRole.STACK)
+    assert divert_lookup(banks, 0, lambda bank: 0) is None
+
+
+def test_divert_lookup_skips_deferred_frames():
+    """A deferred frame has no address, so no pointer can denote it."""
+    banks = BankFile(4, bank_words=8)
+    banks.acquire_free(BankRole.LOCAL, Frame(None))
+    assert divert_lookup(banks, 123, lambda bank: None) is None
+
+
+def test_divert_stats_rate():
+    stats = DivertStats()
+    assert stats.diversion_rate == 0.0
+    stats.references_checked = 100
+    stats.region_hits = 10
+    stats.diversions = 5
+    assert stats.diversion_rate == 0.05

@@ -1,0 +1,80 @@
+"""Tests for dynamic opcode profiling."""
+
+from repro.isa.opcodes import Op
+from tests.conftest import build
+
+SOURCE = [
+    """
+MODULE Main;
+PROCEDURE leaf(x): INT;
+BEGIN
+  RETURN x + 1;
+END;
+PROCEDURE main(): INT;
+VAR i, acc: INT;
+BEGIN
+  acc := 0;
+  i := 0;
+  WHILE i < 20 DO
+    acc := acc + leaf(i);
+    i := i + 1;
+  END;
+  RETURN acc;
+END;
+END.
+"""
+]
+
+
+def test_profile_off_by_default():
+    machine = build(SOURCE)
+    machine.start()
+    machine.run()
+    assert machine.profile is None
+    assert machine.hot_opcodes() == []
+
+
+def test_profile_counts_match_steps():
+    machine = build(SOURCE)
+    machine.enable_profile()
+    machine.start()
+    machine.run()
+    assert sum(machine.profile.values()) == machine.steps
+    assert machine.profile[Op.LFC] == 20  # one local call per iteration
+    assert machine.profile[Op.RET] == 21  # 20 leaf returns + main's
+
+
+def test_hot_opcodes_ranked():
+    machine = build(SOURCE)
+    machine.enable_profile()
+    machine.start()
+    machine.run()
+    hot = machine.hot_opcodes(3)
+    assert len(hot) == 3
+    counts = [executed for _, executed in hot]
+    assert counts == sorted(counts, reverse=True)
+    names = dict(machine.hot_opcodes(50))
+    # Local-variable traffic dominates, as the encoding assumes.
+    assert names["LL0"] + names.get("LL1", 0) >= names["LFC"]
+
+
+def test_transfer_log_records_sequence():
+    machine = build(SOURCE)
+    machine.log_transfers()
+    machine.start()
+    machine.run()
+    log = machine.transfer_log
+    assert log is not None
+    calls = [entry for entry in log if entry[0] in ("local_call", "short_direct_call")]
+    returns = [entry for entry in log if entry[0] == "return"]
+    assert len(calls) == 20
+    assert len(returns) == 21
+    assert calls[0][1] == "Main.main" and calls[0][2] == "Main.leaf"
+    assert log[-1] == ("return", "Main.main", "<halt>")
+
+
+def test_transfer_log_off_by_default():
+    machine = build(SOURCE)
+    machine.start()
+    machine.run()
+    assert machine.transfer_log is None

@@ -1,0 +1,161 @@
+"""Unit tests for module segments and the code space."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa.assembler import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import (
+    DFC_HEADER_BYTES,
+    EV_ENTRY_BYTES,
+    CodeSpace,
+    ModuleCode,
+    Procedure,
+)
+from repro.machine.costs import CycleCounter, Event
+
+
+def simple_module(name="M", direct=False, procedures=2) -> ModuleCode:
+    module = ModuleCode(name=name)
+    for index in range(procedures):
+        module.procedures.append(
+            Procedure(
+                name=f"p{index}",
+                ev_index=index,
+                arg_count=0,
+                result_count=0,
+                frame_words=8,
+                body=assemble([Instruction(Op.LI1), Instruction(Op.RET)]),
+            )
+        )
+    module.build_segment({f"p{i}": 3 for i in range(procedures)}, direct_headers=direct)
+    return module
+
+
+def test_ev_starts_at_code_base():
+    """Section 5.1: "EV starts at the code base", one 16-bit entry per
+    procedure, each holding the offset of the fsi byte."""
+    module = simple_module()
+    segment = module.segment
+    first_entry = (segment[0] << 8) | segment[1]
+    assert first_entry == 2 * EV_ENTRY_BYTES  # right after the EV
+    assert segment[first_entry] == 3  # the fsi byte
+
+
+def test_procedure_code_follows_fsi_byte():
+    module = simple_module()
+    p0 = module.procedure_named("p0")
+    assert module.segment[p0.entry_offset] == 3
+    assert module.segment[p0.entry_offset + 1] == int(Op.LI1)
+
+
+def test_direct_headers_precede_fsi():
+    module = simple_module(direct=True)
+    p0 = module.procedure_named("p0")
+    assert p0.direct_offset == p0.entry_offset - 2
+    # The GF slot is zero until the linker patches it.
+    assert module.segment[p0.direct_offset : p0.direct_offset + 2] == b"\x00\x00"
+    assert DFC_HEADER_BYTES == 3
+
+
+def test_entry_offsets_distinct_and_ordered():
+    module = simple_module(procedures=5)
+    offsets = [p.entry_offset for p in module.procedures]
+    assert offsets == sorted(offsets)
+    assert len(set(offsets)) == 5
+
+
+def test_missing_procedure_lookup():
+    module = simple_module()
+    with pytest.raises(EncodingError):
+        module.procedure_named("nope")
+
+
+def test_import_index_appends_and_reuses():
+    module = ModuleCode(name="M")
+    a = module.import_index("X", "f")
+    b = module.import_index("X", "g")
+    again = module.import_index("X", "f")
+    assert (a, b, again) == (0, 1, 0)
+
+
+def test_empty_module_rejected():
+    module = ModuleCode(name="Empty")
+    with pytest.raises(EncodingError):
+        module.build_segment({})
+
+
+def test_fsi_byte_range_checked():
+    module = ModuleCode(name="M")
+    module.procedures.append(
+        Procedure("p", 0, 0, 0, 8, assemble([Instruction(Op.RET)]))
+    )
+    with pytest.raises(EncodingError):
+        module.build_segment({"p": 300})
+
+
+# -- CodeSpace ---------------------------------------------------------------
+
+
+def test_place_and_fetch():
+    counter = CycleCounter()
+    code = CodeSpace(counter)
+    module = simple_module()
+    base = code.place(module)
+    assert base == 0
+    other = simple_module(name="N")
+    second = code.place(other)
+    assert second == len(module.segment)
+    assert code.base_of("N") == second
+
+
+def test_place_twice_rejected():
+    code = CodeSpace()
+    module = simple_module()
+    code.place(module)
+    with pytest.raises(EncodingError):
+        code.place(module)
+
+
+def test_unbuilt_segment_rejected():
+    code = CodeSpace()
+    with pytest.raises(EncodingError):
+        code.place(ModuleCode(name="raw", procedures=[], imports=[]))
+
+
+def test_counted_vs_uncounted_reads():
+    counter = CycleCounter()
+    code = CodeSpace(counter)
+    module = simple_module()
+    code.place(module)
+    code.fetch_byte(0)
+    assert counter.count(Event.MEMORY_READ) == 0
+    code.read_byte(0)
+    code.read_word(0)
+    assert counter.count(Event.MEMORY_READ) == 2
+
+
+def test_read_ev_entry():
+    counter = CycleCounter()
+    code = CodeSpace(counter)
+    module = simple_module()
+    base = code.place(module)
+    entry = code.read_ev_entry(base, 1)
+    assert entry == module.procedure_named("p1").entry_offset
+
+
+def test_patch_word():
+    code = CodeSpace()
+    module = simple_module(direct=True)
+    base = code.place(module)
+    p0 = module.procedure_named("p0")
+    code.patch_word(base + p0.direct_offset, 0xBEEF)
+    assert code.fetch_byte(base + p0.direct_offset) == 0xBE
+    assert code.fetch_byte(base + p0.direct_offset + 1) == 0xEF
+
+
+def test_out_of_range_code_access():
+    code = CodeSpace()
+    with pytest.raises(EncodingError):
+        code.fetch_byte(0)

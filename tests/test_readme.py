@@ -1,0 +1,34 @@
+"""The README's code blocks must actually work."""
+
+import re
+from pathlib import Path
+
+README = (Path(__file__).resolve().parent.parent / "README.md").read_text()
+
+
+def test_quickstart_block_executes():
+    blocks = re.findall(r"```python\n(.*?)```", README, re.DOTALL)
+    assert blocks, "README must contain a python quickstart"
+    namespace: dict = {}
+    exec(blocks[0], namespace)  # raises on any failure
+
+
+def test_quickstart_output_numbers_are_current():
+    """The README shows the measured ladder; keep it honest."""
+    from repro import MachineConfig, build_machine
+
+    source_block = re.findall(r'SOURCE = """\n(.*?)"""', README, re.DOTALL)[0]
+    shown = dict(
+        re.findall(r"^(i\d) \[144\] (\d+)$", README, re.MULTILINE)
+    )
+    assert set(shown) == {"i1", "i2", "i3", "i4"}
+    for preset, refs in shown.items():
+        machine = build_machine([source_block], MachineConfig.preset(preset))
+        assert machine.run() == [144]
+        assert machine.counter.memory_references == int(refs), preset
+
+
+def test_docs_referenced_in_readme_exist():
+    root = Path(__file__).resolve().parent.parent
+    for relative in re.findall(r"\]\((docs/[\w./]+|EXPERIMENTS\.md|DESIGN\.md)\)", README):
+        assert (root / relative).exists(), relative

@@ -1,0 +1,34 @@
+"""Tests for the report formatter."""
+
+from repro.analysis.report import banner, format_table
+
+
+def test_alignment():
+    table = format_table(
+        ["name", "value"],
+        [["a", 1], ["longer", 123456]],
+    )
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert len(lines) == 4
+    # Columns align: "value" entries start at the same offset.
+    offset = lines[0].index("value")
+    assert lines[2][offset:].strip() == "1"
+
+
+def test_float_formatting():
+    table = format_table(["x"], [[0.123456], [1234.5678]])
+    assert "0.123" in table
+    assert "1234.6" in table
+
+
+def test_banner():
+    text = banner("Hello")
+    assert "Hello" in text
+    assert "=====" in text
+
+
+def test_empty_rows():
+    table = format_table(["a", "b"], [])
+    assert len(table.splitlines()) == 2

@@ -1,0 +1,99 @@
+"""Unit tests for the IFU return stack (section 6)."""
+
+import pytest
+
+from repro.ifu.returnstack import OverflowPolicy, ReturnStack, ReturnStackEntry
+
+
+def entry(tag):
+    return ReturnStackEntry(frame=tag, pc=tag * 10)
+
+
+def test_lifo_order():
+    stack = ReturnStack(4)
+    stack.push(entry(1))
+    stack.push(entry(2))
+    assert stack.pop().frame == 2
+    assert stack.pop().frame == 1
+
+
+def test_pop_empty_is_a_miss():
+    stack = ReturnStack(4)
+    assert stack.pop() is None
+    assert stack.stats.misses == 1
+    assert stack.stats.hits == 0
+
+
+def test_hit_rate():
+    stack = ReturnStack(4)
+    stack.push(entry(1))
+    stack.pop()
+    stack.pop()
+    assert stack.stats.hit_rate == 0.5
+
+
+def test_push_full_is_an_error_without_prior_flush():
+    stack = ReturnStack(2)
+    stack.push(entry(1))
+    stack.push(entry(2))
+    with pytest.raises(OverflowError):
+        stack.push(entry(3))
+
+
+def test_full_flush_policy_empties_everything():
+    """The paper's rule: overflow is an "unusual" event and flushes the
+    whole stack."""
+    stack = ReturnStack(3, OverflowPolicy.FULL_FLUSH)
+    for tag in range(3):
+        stack.push(entry(tag))
+    victims = stack.overflow_victims()
+    assert [v.frame for v in victims] == [0, 1, 2]  # oldest first
+    assert stack.empty
+
+
+def test_spill_oldest_policy_removes_one():
+    stack = ReturnStack(3, OverflowPolicy.SPILL_OLDEST)
+    for tag in range(3):
+        stack.push(entry(tag))
+    victims = stack.overflow_victims()
+    assert [v.frame for v in victims] == [0]
+    assert len(stack) == 2
+    assert stack.peek().frame == 2
+
+
+def test_take_all_for_unusual_xfers():
+    stack = ReturnStack(4)
+    stack.push(entry(1))
+    stack.push(entry(2))
+    victims = stack.take_all()
+    assert [v.frame for v in victims] == [1, 2]
+    assert stack.empty
+
+
+def test_flush_stats():
+    stack = ReturnStack(4)
+    stack.stats.on_flush("xfer", 3)
+    stack.stats.on_flush("xfer", 1)
+    stack.stats.on_flush("overflow", 2)
+    assert stack.stats.flushes == {"xfer": 2, "overflow": 1}
+    assert stack.stats.entries_flushed == 6
+
+
+def test_peek_does_not_pop():
+    stack = ReturnStack(4)
+    stack.push(entry(9))
+    assert stack.peek().frame == 9
+    assert len(stack) == 1
+    assert stack.stats.hits == 0
+
+
+def test_entries_snapshot_oldest_first():
+    stack = ReturnStack(4)
+    stack.push(entry(1))
+    stack.push(entry(2))
+    assert [e.frame for e in stack.entries()] == [1, 2]
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        ReturnStack(0)

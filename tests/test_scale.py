@@ -1,0 +1,46 @@
+"""Scale tests: bigger generated programs across the whole ladder.
+
+These guard against accidental quadratic behaviour in the linker and
+machine, and exercise the tables at realistic sizes (dozens of modules,
+hundreds of procedures, thousands of dynamic transfers).
+"""
+
+import pytest
+
+from repro.workloads.generator import GeneratorConfig, generate_program
+from tests.conftest import ALL_PRESETS, build
+
+
+@pytest.mark.parametrize("preset", ALL_PRESETS)
+def test_twenty_module_program(preset):
+    gp = generate_program(
+        GeneratorConfig(modules=20, procs_per_module=6, seed=2024, loop_iterations=10)
+    )
+    machine = build(gp.sources, preset=preset, entry=gp.entry)
+    machine.start(*gp.entry)
+    assert machine.run() == [gp.expected]
+    assert len(machine.image.instances) == 20
+
+
+def test_large_program_meters_are_sane():
+    gp = generate_program(
+        GeneratorConfig(modules=10, procs_per_module=10, seed=77, loop_iterations=20)
+    )
+    refs = {}
+    for preset in ("i2", "i4"):
+        machine = build(gp.sources, preset=preset, entry=gp.entry)
+        machine.start(*gp.entry)
+        results = machine.run()
+        assert results == [gp.expected]
+        refs[preset] = machine.counter.memory_references
+    # The ladder's shape survives at scale.
+    assert refs["i4"] < refs["i2"] / 3
+
+
+def test_deep_module_chain_links():
+    gp = generate_program(
+        GeneratorConfig(modules=30, procs_per_module=2, seed=5, loop_iterations=2)
+    )
+    machine = build(gp.sources, preset="i2", entry=gp.entry)
+    machine.start(*gp.entry)
+    assert machine.run() == [gp.expected]

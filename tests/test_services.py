@@ -1,0 +1,150 @@
+"""Tests for code swapping, relocation, and procedure replacement.
+
+These exercise the mobility that section 5.1 credits to the indirection
+levels: moving a code segment re-binds every suspended activation by
+updating one global-frame word (T2); replacing a procedure re-points one
+entry-vector slot (T3 / "EV permits a procedure to be moved").
+"""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.interp.services import relocate_module, replace_procedure
+from repro.isa.assembler import Assembler
+from repro.isa.opcodes import Op
+from tests.conftest import build
+
+SOURCES = [
+    """
+MODULE Main;
+VAR phase: INT;
+PROCEDURE main(): INT;
+VAR a, b: INT;
+BEGIN
+  a := Lib.step(10);
+  phase := 1;
+  b := Lib.step(20);
+  RETURN a * 100 + b;
+END;
+END.
+""",
+    """
+MODULE Lib;
+PROCEDURE step(x): INT;
+BEGIN
+  RETURN deeper(x) + 1;
+END;
+PROCEDURE deeper(x): INT;
+BEGIN
+  RETURN x * 2;
+END;
+END.
+""",
+]
+# main = (10*2+1)*100 + (20*2+1) = 2141
+
+
+def machine_for(preset="i2"):
+    machine = build(SOURCES, preset=preset)
+    machine.start()
+    return machine
+
+
+def test_relocate_idle_module():
+    machine = machine_for()
+    old_base = machine.image.instance_of("Lib").code_base
+    new_base = relocate_module(machine, "Lib")
+    assert new_base > old_base
+    assert machine.run() == [2141]
+
+
+def test_relocate_while_suspended_inside():
+    """Move Lib's code while an activation of Lib.step is suspended
+    mid-call: its relative saved PC must land in the moved copy."""
+    machine = machine_for()
+    # Run until we are inside Lib.deeper (step suspended in Lib.step).
+    while machine.frame.proc.qualified_name != "Lib.deeper":
+        machine.step()
+    relocate_module(machine, "Lib")
+    assert machine.run() == [2141]
+
+
+def test_relocate_running_module():
+    """Move the module whose code is currently executing."""
+    machine = machine_for()
+    while machine.frame.proc.qualified_name != "Lib.deeper":
+        machine.step()
+    relocate_module(machine, "Main")  # Main.main is suspended
+    relocate_module(machine, "Lib")  # Lib.deeper is running
+    assert machine.run() == [2141]
+
+
+def test_relocate_flushes_return_stack():
+    machine = machine_for("i3")
+    # i3 is direct-linked: relocation must refuse (D3).
+    with pytest.raises(LinkError):
+        relocate_module(machine, "Lib")
+
+
+def test_relocate_unknown_module():
+    machine = machine_for()
+    with pytest.raises(LinkError):
+        relocate_module(machine, "Nope")
+
+
+def test_relocate_twice():
+    machine = machine_for()
+    first = relocate_module(machine, "Lib")
+    second = relocate_module(machine, "Lib")
+    assert second > first
+    assert machine.run() == [2141]
+
+
+def test_replace_procedure_changes_new_calls_only():
+    """Replace Lib.deeper with a version returning x*3; in-flight
+    activations of the old code are unaffected, later calls use it."""
+    machine = machine_for()
+    asm = Assembler()
+    asm.emit(Op.SL0)  # COPY prologue: pop the argument
+    asm.emit(Op.LL0)
+    asm.emit(Op.LI3)
+    asm.emit(Op.MUL)
+    asm.emit(Op.RET)
+    replace_procedure(machine, "Lib", "deeper", asm.assemble())
+    # Both calls to step happen after the swap: (30+1)*100 + (60+1).
+    assert machine.run() == [3161]
+
+
+def test_replace_mid_flight():
+    machine = machine_for()
+    while machine.frame.proc.qualified_name != "Lib.deeper":
+        machine.step()
+    asm = Assembler()
+    asm.emit(Op.SL0)
+    asm.emit(Op.LL0)
+    asm.emit(Op.LI3)
+    asm.emit(Op.MUL)
+    asm.emit(Op.RET)
+    replace_procedure(machine, "Lib", "deeper", asm.assemble())
+    # The running activation finishes with the old x*2 code; the second
+    # call picks up x*3: (10*2+1)*100 + (20*3+1).
+    assert machine.run() == [2161]
+
+
+def test_replace_on_relocated_module():
+    machine = machine_for()
+    relocate_module(machine, "Lib")
+    asm = Assembler()
+    asm.emit(Op.SL0)
+    asm.emit(Op.LL0)
+    asm.emit(Op.LL0)
+    asm.emit(Op.ADD)
+    asm.emit(Op.RET)  # x + x: same as original
+    replace_procedure(machine, "Lib", "deeper", asm.assemble())
+    assert machine.run() == [2141]
+
+
+def test_replace_rejected_under_direct():
+    machine = machine_for("i3")
+    with pytest.raises(LinkError):
+        replace_procedure(machine, "Lib", "deeper", b"\x4d")

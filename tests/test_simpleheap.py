@@ -1,0 +1,124 @@
+"""Unit tests for the first-fit heap (implementation I1's allocator)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc.simpleheap import SimpleHeap
+from repro.errors import DoubleFree, HeapExhausted
+from repro.machine.costs import CycleCounter
+from repro.machine.memory import Memory
+
+
+def make_heap(arena_words=4096):
+    counter = CycleCounter()
+    memory = Memory(1 << 15, counter)
+    heap = SimpleHeap(memory, head_base=8, arena_base=64, arena_words=arena_words)
+    return heap, memory, counter
+
+
+def test_allocate_even_pointers():
+    heap, _, _ = make_heap()
+    for words in (1, 5, 12, 100):
+        assert heap.allocate(words) % 2 == 0
+
+
+def test_distinct_blocks():
+    heap, _, _ = make_heap()
+    a = heap.allocate(10)
+    b = heap.allocate(10)
+    assert abs(a - b) >= 10
+
+
+def test_free_and_reuse():
+    heap, _, _ = make_heap()
+    a = heap.allocate(10)
+    heap.free(a)
+    b = heap.allocate(10)
+    assert b == a  # first fit finds the freed block first
+
+
+def test_free_without_size_uses_header():
+    heap, memory, _ = make_heap()
+    pointer = heap.allocate(10)
+    # Header holds the (rounded-odd) body size.
+    assert memory.peek(pointer - 1) >= 10
+    heap.free(pointer)
+
+
+def test_double_free():
+    heap, _, _ = make_heap()
+    pointer = heap.allocate(4)
+    heap.free(pointer)
+    with pytest.raises(DoubleFree):
+        heap.free(pointer)
+
+
+def test_exhaustion():
+    heap, _, _ = make_heap(arena_words=128)
+    with pytest.raises(HeapExhausted):
+        for _ in range(100):
+            heap.allocate(20)
+
+
+def test_first_fit_costs_more_than_av_fast_path():
+    """The motivation for section 5.3: a conventional heap's allocate
+    walks a list; after fragmentation it costs more than 3 references."""
+    heap, _, counter = make_heap()
+    blocks = [heap.allocate(6) for _ in range(10)]
+    for block in blocks[:9]:
+        heap.free(block)
+    heap.coalesce()
+    # Allocate something that skips several small blocks.
+    snap = counter.snapshot()
+    heap.allocate(40)
+    delta = counter.delta_since(snap)
+    assert delta["memory_read"] + delta["memory_write"] >= 3
+
+
+def test_coalesce_merges_adjacent():
+    heap, _, _ = make_heap()
+    blocks = [heap.allocate(6) for _ in range(5)]
+    for block in blocks:
+        heap.free(block)
+    before = heap.free_words()
+    merges = heap.coalesce()
+    assert merges >= 4
+    # Coalescing recovers the header words of merged blocks.
+    assert heap.free_words() >= before
+
+
+def test_big_allocation_after_coalesce():
+    heap, _, _ = make_heap(arena_words=256)
+    blocks = [heap.allocate(20) for _ in range(8)]
+    for block in blocks:
+        heap.free(block)
+    heap.coalesce()
+    big = heap.allocate(150)
+    assert heap.is_live(big)
+
+
+def test_invalid_requests():
+    heap, _, _ = make_heap()
+    with pytest.raises(ValueError):
+        heap.allocate(0)
+    with pytest.raises(ValueError):
+        SimpleHeap(Memory(256), 0, 8, 2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=60), min_size=1, max_size=40))
+def test_no_overlapping_live_blocks(sizes):
+    """Property: live blocks never overlap, under any interleaving."""
+    heap, memory, _ = make_heap(arena_words=1 << 13)
+    live: dict[int, int] = {}
+    for index, words in enumerate(sizes):
+        pointer = heap.allocate(words)
+        # The allocator may round up; read the actual block size back.
+        actual = memory.peek(pointer - 1)
+        for other, other_size in live.items():
+            assert pointer + actual <= other or other + other_size <= pointer
+        live[pointer] = actual
+        if index % 4 == 3:
+            victim = next(iter(live))
+            heap.free(victim)
+            del live[victim]

@@ -1,0 +1,121 @@
+"""Tests for the space analyses: T1, D1, censuses."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.space import (
+    byte_census,
+    code_size_by_linkage,
+    d1_call_space,
+    one_byte_fraction,
+    sdfc_reach_model,
+    t1_savings,
+)
+from repro.lang.compiler import compile_program
+from repro.workloads.programs import CORPUS
+
+
+def test_t1_paper_example():
+    """"if n=3, i=10 (1024 table entries) and f=32, then 96 - 62 = 34
+    bits are saved, or about one-third"."""
+    model = t1_savings(3, 10, 32)
+    assert model.direct_bits == 96
+    assert model.indirect_bits == 62
+    assert model.saved_bits == 34
+    assert 0.3 <= model.saved_fraction <= 0.4
+
+
+def test_t1_break_even():
+    model = t1_savings(1, 10, 32)
+    # One use: indirection costs more (10 + 32 > 32).
+    assert model.saved_bits < 0
+    assert 1 < model.break_even_uses < 2
+
+
+def test_t1_degenerate():
+    assert t1_savings(0, 10, 32).saved_fraction == 0.0
+    assert t1_savings(3, 32, 32).break_even_uses == float("inf")
+
+
+@given(
+    st.integers(min_value=1, max_value=100),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=17, max_value=64),
+)
+def test_t1_savings_grow_with_uses(n, i, f):
+    small = t1_savings(n, i, f)
+    bigger = t1_savings(n + 1, i, f)
+    assert bigger.saved_bits > small.saved_bits
+
+
+def test_d1_single_call():
+    """"the space is only 30% more if the procedure is called only once
+    from the module" (4 bytes vs 1 + 2)."""
+    space = d1_call_space(1)
+    assert space.external_bytes == 3
+    assert space.direct_bytes == 4
+    assert space.direct_overhead == pytest.approx(1 / 3)
+    # SHORTDIRECTCALL: "the space is the same as in the current scheme
+    # for a single call".
+    assert space.short_direct_bytes == 3
+    assert space.short_direct_overhead == 0.0
+
+
+def test_d1_two_calls():
+    """"and 50% more (6 bytes instead of 4) for two calls" (SDFC)."""
+    space = d1_call_space(2)
+    assert space.external_bytes == 4
+    assert space.short_direct_bytes == 6
+    assert space.short_direct_overhead == pytest.approx(0.5)
+
+
+def test_d1_external_wins_at_scale():
+    """With many call sites, the shared LV entry amortizes and the
+    1-byte EFC dominates every direct variant."""
+    space = d1_call_space(20)
+    assert space.external_bytes < space.short_direct_bytes < space.direct_bytes
+
+
+def test_d1_two_byte_opcode_variant():
+    space = d1_call_space(1, one_byte_opcode=False)
+    assert space.external_bytes == 4
+    assert space.direct_overhead == 0.0
+
+
+def test_d1_validates():
+    with pytest.raises(ValueError):
+        d1_call_space(0)
+
+
+def test_sdfc_reach():
+    """"With 16 such SHORTDIRECTCALL opcodes, a three byte instruction
+    can address one megabyte around the instruction"."""
+    assert sdfc_reach_model(16, 16) == 1 << 20
+
+
+def test_byte_census_two_thirds_one_byte():
+    """C2: "about two-thirds of the instructions ... occupy a single
+    byte" — measured over the whole compiled corpus."""
+    modules = []
+    for entry in CORPUS.values():  # programs share module names: compile apart
+        modules.extend(compile_program(list(entry.sources)))
+    for module in modules:
+        module.build_segment({p.name: 0 for p in module.procedures})
+    census = byte_census(modules)
+    fraction = one_byte_fraction(census)
+    assert 0.55 <= fraction <= 0.85
+    assert set(census) <= {1, 2, 3, 4}
+
+
+def test_code_size_by_linkage_ordering():
+    """I2 (mesa) never takes more code than I3 (direct): direct call
+    sites are wider and carry inline GF headers."""
+    entry = CORPUS["pipeline"]
+    mesa, direct = None, None
+    for space in code_size_by_linkage(list(entry.sources)):
+        if space.linkage == "mesa":
+            mesa = space
+        elif space.linkage == "direct":
+            direct = space
+    assert mesa.code_bytes < direct.code_bytes
+    assert mesa.total_bytes < direct.total_bytes

@@ -1,0 +1,233 @@
+"""Tests for RETAIN / ALLOCATE / DISPOSE and trap contexts.
+
+Section 4's storage story beyond plain call/return: retained frames
+("frames which must outlive a return"), long argument records ("space is
+allocated from the heap to hold the record, and a pointer is passed"),
+and traps as XFERs to trap contexts.
+"""
+
+import pytest
+
+from repro.errors import DanglingFrame, InvalidContext, TrapError
+from repro.interp.traps import TRAP_CODES, TrapKind
+from tests.conftest import ALL_PRESETS, build, run_source
+
+RETAINED = [
+    """
+MODULE Main;
+VAR lastframe: INT;
+PROCEDURE makecell(v): INT;
+VAR slot: INT;
+BEGIN
+  RETAIN;
+  lastframe := MYCONTEXT();
+  slot := v;
+  RETURN @slot;
+END;
+PROCEDURE main(): INT;
+VAR p, q, fp, fq, total: INT;
+BEGIN
+  p := makecell(30);
+  fp := lastframe;
+  q := makecell(12);
+  fq := lastframe;
+  ^p := ^p + 1;
+  total := ^p + ^q;
+  DISPOSE fp;
+  DISPOSE fq;
+  RETURN total;
+END;
+END.
+"""
+]
+
+LONG_RECORD = [
+    """
+MODULE Main;
+PROCEDURE sum(rec, n): INT;
+VAR i, total: INT;
+BEGIN
+  total := 0;
+  i := 0;
+  WHILE i < n DO
+    total := total + ^(rec + i);
+    i := i + 1;
+  END;
+  DISPOSE rec;
+  RETURN total;
+END;
+PROCEDURE main(): INT;
+VAR rec, i: INT;
+BEGIN
+  rec := ALLOCATE(12);
+  i := 0;
+  WHILE i < 12 DO
+    ^(rec + i) := i * 3;
+    i := i + 1;
+  END;
+  RETURN sum(rec, 12);
+END;
+END.
+"""
+]
+
+
+@pytest.mark.parametrize("preset", ALL_PRESETS)
+def test_retained_frames_outlive_returns(preset):
+    results, machine = run_source(RETAINED, preset=preset)
+    assert results == [31 + 12]
+    assert not machine.frames.by_address  # both cells explicitly freed
+
+
+@pytest.mark.parametrize("preset", ALL_PRESETS)
+def test_long_argument_records(preset):
+    """Section 4: "Such long argument records are treated like local
+    frames for the purposes of allocation: there is just one reference
+    to each one, and the receiver can therefore free it"."""
+    results, machine = run_source(LONG_RECORD, preset=preset)
+    assert results == [sum(3 * i for i in range(12))]
+
+
+def test_record_freed_exactly_once():
+    source = [
+        """
+MODULE Main;
+PROCEDURE main(): INT;
+VAR rec: INT;
+BEGIN
+  rec := ALLOCATE(6);
+  DISPOSE rec;
+  DISPOSE rec;
+  RETURN 0;
+END;
+END.
+"""
+    ]
+    from repro.errors import DoubleFree
+
+    with pytest.raises(DoubleFree):
+        run_source(source)
+
+
+def test_free_of_running_frame_rejected():
+    source = [
+        """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  DISPOSE MYCONTEXT();
+  RETURN 0;
+END;
+END.
+"""
+    ]
+    with pytest.raises(InvalidContext):
+        run_source(source)
+
+
+def test_xfer_to_disposed_retained_frame_dangles():
+    source = [
+        """
+MODULE Main;
+VAR saved: INT;
+PROCEDURE cell(): INT;
+BEGIN
+  RETAIN;
+  saved := MYCONTEXT();
+  RETURN 0;
+END;
+PROCEDURE main(): INT;
+VAR r: INT;
+BEGIN
+  r := cell();
+  DISPOSE saved;
+  r := XFER(saved, 1);
+  RETURN r;
+END;
+END.
+"""
+    ]
+    with pytest.raises((DanglingFrame, InvalidContext)):
+        run_source(source, preset="i2")
+
+
+def test_allocate_zero_rejected():
+    source = [
+        "MODULE Main;\nPROCEDURE main(): INT;\nVAR r: INT;\nBEGIN\n"
+        "  r := ALLOCATE(0);\n  RETURN r;\nEND;\nEND."
+    ]
+    with pytest.raises(InvalidContext):
+        run_source(source)
+
+
+# -- trap contexts ------------------------------------------------------------
+
+
+TRAPPY = [
+    """
+MODULE Main;
+PROCEDURE onzero(code): INT;
+BEGIN
+  OUTPUT code;
+  RETURN 7777;
+END;
+PROCEDURE main(): INT;
+VAR z: INT;
+BEGIN
+  z := 0;
+  RETURN 100 + (5 DIV z);
+END;
+END.
+"""
+]
+
+
+@pytest.mark.parametrize("preset", ("i2", "i3", "i4"))
+def test_trap_context_receives_control_and_returns_result(preset):
+    machine = build(TRAPPY, preset=preset)
+    machine.set_trap_context(TrapKind.DIVIDE_BY_ZERO, "Main", "onzero")
+    machine.start()
+    results = machine.run()
+    # The handler's result replaces the quotient; the stashed 100 rides
+    # through the trap transfer.
+    assert results == [100 + 7777]
+    assert machine.output == [TRAP_CODES[TrapKind.DIVIDE_BY_ZERO]]
+
+
+def test_trap_context_on_simple_linkage_rejected():
+    machine = build(TRAPPY, preset="i1")
+    with pytest.raises(InvalidContext):
+        machine.set_trap_context(TrapKind.DIVIDE_BY_ZERO, "Main", "onzero")
+
+
+def test_trap_without_context_or_handler_raises():
+    machine = build(TRAPPY, preset="i2")
+    machine.start()
+    with pytest.raises(TrapError):
+        machine.run()
+
+
+def test_trap_context_preserves_stack_residue():
+    """The expression residue parked at trap time must come back under
+    the handler's result — checked by an expression whose left operand
+    is on the stack when the trap fires."""
+    source = [
+        """
+MODULE Main;
+PROCEDURE onzero(code): INT;
+BEGIN
+  RETURN 10;
+END;
+PROCEDURE main(): INT;
+VAR z: INT;
+BEGIN
+  z := 0;
+  RETURN (3 * 4) + (9 DIV z) * 2;
+END;
+END.
+"""
+    ]
+    machine = build(source, preset="i2")
+    machine.set_trap_context(TrapKind.DIVIDE_BY_ZERO, "Main", "onzero")
+    machine.start()
+    assert machine.run() == [12 + 10 * 2]

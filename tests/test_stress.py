@@ -1,0 +1,98 @@
+"""Stress tests: maximal-adversity configurations.
+
+The fallback machinery ("when life gets complicated ... fall back to the
+general scheme") must be correct under arbitrary interruption, so these
+tests preempt at every instruction, shrink every fast structure to its
+minimum, and still demand exact answers.
+"""
+
+import pytest
+
+from repro.ifu.returnstack import OverflowPolicy
+from repro.interp.processes import Scheduler
+from tests.conftest import build, run_source
+
+RECURSIVE = [
+    """
+MODULE Main;
+PROCEDURE fib(n): INT;
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN fib(n - 1) + fib(n - 2);
+END;
+PROCEDURE spin(limit): INT;
+VAR i, acc: INT;
+BEGIN
+  i := 0;
+  acc := 0;
+  WHILE i < limit DO
+    acc := acc + fib(6);
+    i := i + 1;
+  END;
+  RETURN acc;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN 0;
+END;
+END.
+"""
+]
+
+
+@pytest.mark.parametrize("preset", ("i2", "i3", "i4"))
+def test_preemption_every_instruction(preset):
+    """quantum=1: a process switch (full flush) between every two
+    instructions, with recursion in flight."""
+    machine = build(RECURSIVE, preset=preset)
+    machine.halted = True
+    machine.stack.clear()
+    scheduler = Scheduler(machine, quantum=1)
+    a = scheduler.spawn("Main", "spin", 3)
+    b = scheduler.spawn("Main", "spin", 2)
+    scheduler.run(max_steps=2_000_000)
+    assert a.results == [3 * 8]
+    assert b.results == [2 * 8]
+    assert scheduler.stats.preemptions > 100
+
+
+def test_minimal_fast_structures():
+    """Return stack of 1, 3 banks of 4 words, 6-word eval stack: every
+    fast structure thrashes constantly; the answer must not change."""
+    results, machine = run_source(
+        RECURSIVE,
+        preset="i4",
+        entry=("Main", "spin"),
+        args=(2,),
+        return_stack_depth=1,
+        bank_count=3,
+        bank_words=8,
+        eval_stack_depth=8,
+    )
+    assert results == [16]
+    assert machine.rstack.stats.misses > 0
+    assert machine.bankfile.stats.overflows > 0
+
+
+def test_spill_oldest_minimal_depth():
+    results, _ = run_source(
+        RECURSIVE,
+        preset="i3",
+        entry=("Main", "spin"),
+        args=(2,),
+        return_stack_depth=2,
+        return_stack_policy=OverflowPolicy.SPILL_OLDEST,
+    )
+    assert results == [16]
+
+
+def test_dirty_tracking_off_under_stress():
+    results, _ = run_source(
+        RECURSIVE,
+        preset="i4",
+        entry=("Main", "spin"),
+        args=(2,),
+        bank_count=3,
+        track_dirty=False,
+    )
+    assert results == [16]

@@ -1,0 +1,103 @@
+"""Tests for the calibrated synthetic workload generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.synthetic import (
+    FrameSizeModel,
+    TraceConfig,
+    call_return_trace,
+    depth_profile,
+    frame_size_samples,
+)
+from repro.workloads.traces import TraceOp
+
+
+def test_frame_sizes_hit_the_95th_percentile():
+    """Section 7.1: "95% of all frames allocated are smaller than 80
+    bytes" (40 words)."""
+    samples = frame_size_samples(20_000, seed=7)
+    model = FrameSizeModel()
+    fraction = model.percentile_check(samples)
+    assert 0.93 <= fraction <= 0.97
+
+
+def test_frame_sizes_respect_bounds():
+    model = FrameSizeModel()
+    samples = frame_size_samples(5000)
+    assert min(samples) >= model.min_words
+    assert max(samples) <= model.max_words
+
+
+def test_frame_model_validation():
+    with pytest.raises(ValueError):
+        FrameSizeModel(min_words=40, p95_words=40).rate
+
+
+def test_trace_is_reproducible():
+    a = call_return_trace(TraceConfig(length=1000, seed=3))
+    b = call_return_trace(TraceConfig(length=1000, seed=3))
+    assert a == b
+    c = call_return_trace(TraceConfig(length=1000, seed=4))
+    assert a != c
+
+
+def test_trace_depth_never_negative():
+    trace = call_return_trace(TraceConfig(length=20_000, seed=11))
+    depth = 0
+    for event in trace:
+        if event.op is TraceOp.CALL:
+            depth += 1
+        elif event.op is TraceOp.RETURN:
+            depth -= 1
+        assert depth >= 0
+
+
+def test_trace_oscillates_near_mean_depth():
+    config = TraceConfig(length=30_000, mean_depth=6)
+    peak, mean = depth_profile(call_return_trace(config))
+    assert 3 < mean < 9
+    assert peak < 20  # excursions exist but are bounded by reversion
+
+
+def test_leaf_probability_shapes_locality():
+    """More leaf calls = narrower depth oscillation = fewer long runs of
+    calls — the section 7.1 statistic the defaults are calibrated to."""
+    leafy = call_return_trace(TraceConfig(length=20_000, leaf_prob=0.9, seed=5))
+    walky = call_return_trace(TraceConfig(length=20_000, leaf_prob=0.0, seed=5))
+
+    def longest_call_run(trace):
+        best = run = 0
+        for event in trace:
+            if event.op is TraceOp.CALL:
+                run += 1
+                best = max(best, run)
+            else:
+                run = 0
+        return best
+
+    assert longest_call_run(leafy) <= longest_call_run(walky)
+
+
+def test_xfer_events_present_when_requested():
+    trace = call_return_trace(TraceConfig(length=5000, xfer_prob=0.05, seed=2))
+    xfers = sum(1 for event in trace if event.op is TraceOp.XFER)
+    assert 100 < xfers < 500
+
+
+def test_calls_carry_sizes_returns_do_not():
+    trace = call_return_trace(TraceConfig(length=2000))
+    for event in trace:
+        if event.op is TraceOp.CALL:
+            assert event.frame_words >= FrameSizeModel().min_words
+        else:
+            assert event.frame_words == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=100, max_value=3000), st.integers(min_value=0, max_value=9999))
+def test_trace_length_exact(length, seed):
+    trace = call_return_trace(TraceConfig(length=length, seed=seed))
+    assert len(trace) == length

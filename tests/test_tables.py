@@ -1,0 +1,102 @@
+"""Unit tests for the GFT and the link vectors (section 5.1)."""
+
+import pytest
+
+from repro.errors import LinkError, OperandRangeError
+from repro.machine.costs import CycleCounter, Event
+from repro.machine.memory import Memory
+from repro.mesa.tables import GlobalFrameTable, LinkVector, WideLinkVector
+
+
+@pytest.fixture
+def memory():
+    return Memory(1 << 14, CycleCounter())
+
+
+def test_gft_entry_packs_address_and_bias(memory):
+    gft = GlobalFrameTable(memory, base=16, capacity=8)
+    index = gft.add_entry(0x1000, bias=2)
+    assert index == 0
+    assert gft.read_entry(0) == (0x1000, 2)
+
+
+def test_gft_requires_quad_alignment(memory):
+    gft = GlobalFrameTable(memory, 16, 8)
+    with pytest.raises(LinkError):
+        gft.add_entry(0x1002)
+
+
+def test_gft_bias_range(memory):
+    gft = GlobalFrameTable(memory, 16, 8)
+    with pytest.raises(OperandRangeError):
+        gft.add_entry(0x1000, bias=4)
+
+
+def test_gft_capacity(memory):
+    gft = GlobalFrameTable(memory, 16, 2)
+    gft.add_entry(0x1000)
+    gft.add_entry(0x1004)
+    with pytest.raises(LinkError):
+        gft.add_entry(0x1008)
+
+
+def test_gft_read_is_counted(memory):
+    gft = GlobalFrameTable(memory, 16, 8)
+    gft.add_entry(0x1000)
+    before = memory.counter.count(Event.MEMORY_READ)
+    gft.read_entry(0)
+    assert memory.counter.count(Event.MEMORY_READ) == before + 1
+    gft.peek_entry(0)
+    assert memory.counter.count(Event.MEMORY_READ) == before + 1
+
+
+def test_gft_unpopulated_index(memory):
+    gft = GlobalFrameTable(memory, 16, 8)
+    with pytest.raises(LinkError):
+        gft.read_entry(0)
+
+
+def test_gft_invalid_capacity(memory):
+    with pytest.raises(ValueError):
+        GlobalFrameTable(memory, 16, 0)
+
+
+def test_packed_lv_one_word_per_entry(memory):
+    lv = LinkVector(memory, base=100, capacity=4)
+    assert lv.words() == 4
+    lv.set_entry(2, 0x1235)
+    assert lv.read_entry(2) == 0x1235
+
+
+def test_packed_lv_read_counted(memory):
+    lv = LinkVector(memory, 100, 4)
+    lv.set_entry(0, 7)
+    before = memory.counter.count(Event.MEMORY_READ)
+    lv.read_entry(0)
+    assert memory.counter.count(Event.MEMORY_READ) == before + 1
+
+
+def test_wide_lv_two_words_per_entry(memory):
+    """I1's representation: full (entry address, GF address) pairs —
+    double the space, one less level of indirection (T1's trade)."""
+    lv = WideLinkVector(memory, base=100, capacity=4)
+    assert lv.words() == 8
+    lv.set_entry(1, 0x4444, 0x1000)
+    assert lv.read_entry(1) == (0x4444, 0x1000)
+
+
+def test_wide_lv_read_costs_two(memory):
+    lv = WideLinkVector(memory, 100, 4)
+    lv.set_entry(0, 1, 2)
+    before = memory.counter.count(Event.MEMORY_READ)
+    lv.read_entry(0)
+    assert memory.counter.count(Event.MEMORY_READ) == before + 2
+
+
+def test_lv_bounds(memory):
+    packed = LinkVector(memory, 100, 2)
+    wide = WideLinkVector(memory, 200, 2)
+    with pytest.raises(LinkError):
+        packed.read_entry(2)
+    with pytest.raises(LinkError):
+        wide.set_entry(-1, 0, 0)

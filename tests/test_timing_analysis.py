@@ -1,0 +1,69 @@
+"""Tests for the timing analyses (the section 8 triangle, measured)."""
+
+from repro.analysis.timing import call_density, measure_program, transfer_cost_table
+from repro.interp.machineconfig import MachineConfig
+from repro.workloads.programs import CORPUS
+
+
+def test_transfer_cost_table_runs_whole_ladder():
+    entry = CORPUS["calls"]
+    rows = transfer_cost_table(list(entry.sources))
+    assert [row.label for row in rows] == [
+        "I1 simple",
+        "I2 mesa",
+        "I3 direct+rstack",
+        "I4 banks",
+    ]
+    # Same answers everywhere.
+    assert len({row.results for row in rows}) == 1
+    assert all(row.results == entry.expect_results for row in rows)
+
+
+def test_ladder_orders_by_memory_cost():
+    entry = CORPUS["calls"]
+    rows = transfer_cost_table(list(entry.sources))
+    by_label = {row.label: row for row in rows}
+    assert by_label["I3 direct+rstack"].memory_refs < by_label["I2 mesa"].memory_refs
+    assert by_label["I4 banks"].memory_refs < by_label["I3 direct+rstack"].memory_refs / 3
+    assert by_label["I4 banks"].cycles_per_transfer < by_label["I1 simple"].cycles_per_transfer
+
+
+def test_jump_speed_reported():
+    entry = CORPUS["calls"]
+    rows = transfer_cost_table(list(entry.sources))
+    by_label = {row.label: row for row in rows}
+    assert by_label["I4 banks"].jump_speed_fraction >= 0.95
+    assert by_label["I2 mesa"].jump_speed_fraction < 0.6
+
+
+def test_call_density_near_paper_figure():
+    """Section 1: "one call or return for every 10 instructions executed
+    is not uncommon" — the call-dense corpus programs sit around or
+    below that."""
+    entry = CORPUS["calls"]
+    transfers, steps, per = call_density(list(entry.sources))
+    assert transfers > 0
+    assert per <= 12  # at least as call-dense as the paper's figure
+
+
+def test_measure_program_with_args():
+    sources = [
+        """
+MODULE Main;
+PROCEDURE double(x): INT;
+BEGIN
+  RETURN x + x;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN 0;
+END;
+END.
+"""
+    ]
+    costs = measure_program(
+        sources, MachineConfig.i2(), "t", entry=("Main", "double"), args=(21,)
+    )
+    assert costs.results == (42,)
+    assert costs.calls == 0  # double makes no further calls
+    assert costs.returns == 1

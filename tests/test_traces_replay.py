@@ -1,0 +1,114 @@
+"""Tests for mechanism-level trace replay (the ablation engines)."""
+
+from repro.ifu.returnstack import OverflowPolicy
+from repro.workloads.synthetic import TraceConfig, call_return_trace
+from repro.workloads.traces import (
+    TraceEvent,
+    TraceOp,
+    replay_on_banks,
+    replay_on_heap,
+    replay_on_return_stack,
+)
+
+
+def trace(**kwargs):
+    return call_return_trace(TraceConfig(length=kwargs.pop("length", 20_000), **kwargs))
+
+
+# -- return stack -------------------------------------------------------------
+
+
+def test_return_stack_perfect_on_shallow_lifo():
+    events = [TraceEvent(TraceOp.CALL, 10), TraceEvent(TraceOp.RETURN)] * 100
+    replay = replay_on_return_stack(events, depth=8)
+    assert replay.hit_rate == 1.0
+    assert replay.jump_speed_fraction == 1.0
+
+
+def test_return_stack_hit_rate_grows_with_depth():
+    events = trace()
+    shallow = replay_on_return_stack(events, depth=2)
+    deep = replay_on_return_stack(events, depth=16)
+    assert deep.hit_rate > shallow.hit_rate
+    assert deep.hit_rate > 0.98
+
+
+def test_full_flush_vs_spill_oldest():
+    events = trace(reversion=0.0, leaf_prob=0.0)  # adversarial walk
+    full = replay_on_return_stack(events, depth=4, policy=OverflowPolicy.FULL_FLUSH)
+    oldest = replay_on_return_stack(events, depth=4, policy=OverflowPolicy.SPILL_OLDEST)
+    assert oldest.hit_rate >= full.hit_rate
+    assert full.entries_flushed >= oldest.entries_flushed
+
+
+def test_xfers_flush_the_return_stack():
+    events = trace(xfer_prob=0.02)
+    replay = replay_on_return_stack(events, depth=8)
+    assert replay.xfers > 0
+    assert replay.flush_events.get("xfer", 0) > 0
+    assert replay.hit_rate < 1.0
+
+
+def test_jump_speed_meets_the_claim_on_calibrated_traces():
+    replay = replay_on_return_stack(trace(), depth=8)
+    assert replay.jump_speed_fraction >= 0.95
+
+
+# -- banks -------------------------------------------------------------------
+
+
+def test_bank_rates_match_the_paper():
+    """Section 7.1: "<5% of XFERs" with 4 banks; "[4] reports that with
+    4-8 banks the rate is less than 1%"."""
+    events = trace(length=40_000)
+    four = replay_on_banks(events, bank_count=4)
+    eight = replay_on_banks(events, bank_count=8)
+    assert four.overflow_rate < 0.06
+    assert eight.overflow_rate < 0.01
+
+
+def test_bank_rate_decreases_monotonically():
+    events = trace(length=30_000)
+    rates = [replay_on_banks(events, bank_count=n).overflow_rate for n in (3, 4, 6, 8, 12)]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+
+def test_bank_spill_traffic_counted():
+    events = trace(length=10_000, reversion=0.0, leaf_prob=0.0)
+    replay = replay_on_banks(events, bank_count=4)
+    assert replay.memory_writes > 0  # spills
+    assert replay.memory_reads > 0  # fills
+
+
+def test_banks_with_xfers():
+    events = trace(length=10_000, xfer_prob=0.02)
+    replay = replay_on_banks(events, bank_count=6)
+    assert replay.stats.xfers > 0
+
+
+# -- heap -------------------------------------------------------------------
+
+
+def test_heap_replay_fast_path_costs():
+    """Figure 2's costs measured in steady state: exactly 3 references
+    per allocation, 4 per free."""
+    replay = replay_on_heap(trace(length=30_000))
+    assert replay.refs_per_allocate == 3.0
+    assert replay.refs_per_free == 4.0
+
+
+def test_heap_fragmentation_near_ten_percent():
+    """Section 5.3: "wastes only 10% of the space in fragmentation"."""
+    replay = replay_on_heap(trace(length=30_000))
+    assert 0.05 <= replay.lifetime_fragmentation <= 0.15
+
+
+def test_heap_trap_rate_falls_off():
+    replay = replay_on_heap(trace(length=30_000))
+    assert replay.trap_rate < 0.02  # steady state reuses free lists
+
+
+def test_heap_handles_non_lifo_chains():
+    replay = replay_on_heap(trace(length=20_000, xfer_prob=0.02))
+    assert replay.allocations > 0
+    assert replay.frees > 0
