@@ -19,7 +19,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from repro.interp.machine import Machine
 from repro.interp.machineconfig import MachineConfig
 from repro.lang.compiler import CompileOptions, compile_program
-from repro.lang.linker import LinkOptions, link
+from repro.lang.linker import link
 
 
 def build_machine(sources, config, entry=("Main", "main"), multi_instance=frozenset()):

@@ -2,16 +2,25 @@
 
 Usage::
 
-    python benchmarks/run_all.py            # all experiments
-    python benchmarks/run_all.py f2 c5 c13  # a subset
+    python benchmarks/run_all.py                 # all experiments
+    python benchmarks/run_all.py f2 c5 c13       # a subset
+    python benchmarks/run_all.py --json host     # + write BENCH_host.json
+    python benchmarks/run_all.py --json f1 c5    # smoke: reports as JSON
 
 The output of a full run is recorded in EXPERIMENTS.md.  Timing-oriented
 micro-benchmarks live in the same modules and run separately with
 ``pytest benchmarks/ --benchmark-only``.
+
+With ``--json``, results are also written machine-readably (default
+``BENCH_host.json``, override with ``--json-out``): experiments that
+expose a ``json_payload()`` contribute structured data (the host-speed
+experiment's timings live here), the rest contribute their report text.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -35,6 +44,7 @@ import bench_c13_implementations
 import bench_c14_pointer_locals
 import bench_c15_local_traffic
 import bench_c16_hybrid
+import bench_host_speed
 
 EXPERIMENTS = {
     "f1": bench_f1_indirection,
@@ -55,19 +65,52 @@ EXPERIMENTS = {
     "c14": bench_c14_pointer_locals,
     "c15": bench_c15_local_traffic,
     "c16": bench_c16_hybrid,
+    "host": bench_host_speed,
 }
 
 
 def main(argv: list[str]) -> int:
-    wanted = [name.lower() for name in argv] or list(EXPERIMENTS)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"subset to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write machine-readable results (see --json-out)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default="BENCH_host.json",
+        metavar="PATH",
+        help="where --json writes its results (default: BENCH_host.json)",
+    )
+    args = parser.parse_args(argv)
+
+    wanted = [name.lower() for name in args.experiments] or list(EXPERIMENTS)
     unknown = [name for name in wanted if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+
+    collected: dict[str, object] = {}
     for name in wanted:
-        print(EXPERIMENTS[name].report())
+        module = EXPERIMENTS[name]
+        text = module.report()
+        print(text)
         print()
+        if args.json:
+            payload_fn = getattr(module, "json_payload", None)
+            collected[name] = payload_fn() if payload_fn else {"report": text}
+
+    if args.json:
+        out = Path(args.json_out)
+        out.write_text(json.dumps({"experiments": collected}, indent=2) + "\n")
+        print(f"wrote {out}", file=sys.stderr)
     return 0
 
 

@@ -10,7 +10,6 @@ Run::
     python examples/under_the_hood.py
 """
 
-from repro.analysis.report import format_table
 from repro.analysis.space import byte_census, one_byte_fraction
 from repro.interp.machineconfig import MachineConfig
 from repro.isa.disassembler import format_listing

@@ -22,6 +22,7 @@ the local frame."
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
 
 
@@ -97,7 +98,9 @@ class ReturnStack:
         self.depth = depth
         self.policy = policy
         self.stats = ReturnStackStats()
-        self._entries: list[ReturnStackEntry] = []
+        # A deque so SPILL_OLDEST's bottom-entry removal is O(1) instead
+        # of list.pop(0)'s O(depth); iteration order stays oldest-first.
+        self._entries: deque[ReturnStackEntry] = deque()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -139,16 +142,16 @@ class ReturnStack:
         return links correctly.
         """
         if self.policy is OverflowPolicy.FULL_FLUSH:
-            victims = self._entries
-            self._entries = []
+            victims = list(self._entries)
+            self._entries.clear()
         else:
-            victims = [self._entries.pop(0)]
+            victims = [self._entries.popleft()]
         return victims
 
     def take_all(self) -> list[ReturnStackEntry]:
         """Remove and return all entries, oldest first (for full flushes)."""
-        victims = self._entries
-        self._entries = []
+        victims = list(self._entries)
+        self._entries.clear()
         return victims
 
     def entries(self) -> tuple[ReturnStackEntry, ...]:

@@ -33,6 +33,7 @@ from repro.banks.pointers import DivertStats, PointerPolicy, divert_lookup
 from repro.banks.renaming import BankManager
 from repro.errors import (
     DanglingFrame,
+    EvalStackOverflow,
     InvalidContext,
     MachineHalted,
     StepLimitExceeded,
@@ -59,6 +60,7 @@ from repro.machine.memory import to_signed, to_word
 from repro.mesa.descriptor import is_descriptor
 from repro.mesa.globalframe import GF_CODE_BASE, GF_HEADER_WORDS
 from repro.mesa.linkage import (
+    LinkageCache,
     ResolvedTarget,
     resolve_descriptor,
     resolve_direct,
@@ -133,10 +135,18 @@ class Machine:
 
         self._dispatch = self._build_dispatch()
         # Decode cache: programs are static between code-space epochs, so
-        # each pc decodes once.  (A simulation shortcut, not machine
-        # state: decode is still charged per executed instruction.)
-        self._decode_cache: dict[int, object] = {}
+        # each pc decodes once.  Entries are (instruction, handler,
+        # next_pc) triples so the run loop skips the dispatch-table
+        # lookup and length arithmetic too.  (A
+        # simulation shortcut, not machine state: decode is still charged
+        # per executed instruction.)
+        self._decode_cache: dict[int, tuple] = {}
         self._code_epoch = self.code.epoch
+        # Call-site linkage cache (host-side; see LinkageCache): shares
+        # the epoch discipline with the decode cache.
+        self.linkage_cache: LinkageCache | None = (
+            LinkageCache(self.counter) if self.config.host_linkage_cache else None
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -172,12 +182,69 @@ class Machine:
         self._pass_arguments(list(args), frame)
 
     def run(self, max_steps: int | None = None) -> list[int]:
-        """Execute until HALT / final return; returns the result stack."""
-        budget = max_steps if max_steps is not None else self.config.step_limit
+        """Execute until HALT / final return; returns the result stack.
+
+        *max_steps* is a budget for **this call**: a resumed machine
+        (scheduler yield, REPL-style re-run) gets the full allowance
+        again rather than a budget shrunken by steps already executed.
+        ``config.step_limit`` remains the cumulative backstop over the
+        machine's whole life.
+
+        This is the fused host loop: it inlines :meth:`step` with the
+        dispatch table, decode cache, and counter hoisted into locals.
+        Semantics are identical to calling ``step()`` in a loop; the
+        only observable difference is host wall-clock time.  (A hook
+        installed mid-run by a trap handler — e.g. ``enable_profile`` —
+        takes effect on the next ``run()``/``step()``.)
+        """
+        limit = self.config.step_limit
+        ceiling = limit if max_steps is None else min(limit, self.steps + max_steps)
+
+        # Hoisted hot-path state.  The code buffer is a live bytearray
+        # (growing it preserves identity), so holding it is safe; epoch
+        # changes are still checked every iteration.  The per-step DECODE
+        # charge is applied directly to the counter's counts/cycles —
+        # exactly what CycleCounter.record does, minus two calls per step.
+        dispatch = self._dispatch
+        cache = self._decode_cache
+        cache_get = cache.get
+        buffer = self.code.buffer
+        code = self.code
+        counter = self.counter
+        counts = counter.counts
+        decode_event = Event.DECODE
+        decode_charge = counter.model.charge(decode_event)
+        profile = self.profile
+
         while not self.halted:
-            if self.steps >= budget:
-                raise StepLimitExceeded(budget)
-            self.step()
+            if self.steps >= ceiling:
+                raise StepLimitExceeded(
+                    max_steps if ceiling < limit else limit
+                )
+            if self._code_epoch != code.epoch:
+                self.invalidate_linkage()  # clears in place; locals stay valid
+            pc = self.pc
+            pair = cache_get(pc)
+            if pair is None:
+                instruction = decode(buffer, pc)
+                pair = (instruction, dispatch[instruction.op], pc + instruction.length)
+                cache[pc] = pair
+            instruction, handler, next_pc = pair
+            counts[decode_event] += 1
+            counter.cycles += decode_charge
+            self.steps += 1
+            if profile is not None:
+                profile[instruction.op] = profile.get(instruction.op, 0) + 1
+            self.pc = next_pc
+            try:
+                handler(instruction, next_pc)
+            except TrapTransfer:
+                pass  # control is already in the trap context
+            except EvalStackOverflow as fault:
+                try:
+                    self.trap(TrapKind.STACK_OVERFLOW, str(fault))
+                except TrapTransfer:
+                    pass
             if self.yield_requested:
                 break
         return self.results()
@@ -196,22 +263,24 @@ class Machine:
         if self.halted:
             raise MachineHalted("step() on a halted machine")
         if self._code_epoch != self.code.epoch:
-            self._decode_cache.clear()
-            self._code_epoch = self.code.epoch
-        instruction = self._decode_cache.get(self.pc)
-        if instruction is None:
+            self.invalidate_linkage()
+        pair = self._decode_cache.get(self.pc)
+        if pair is None:
             instruction = decode(self.code.buffer, self.pc)
-            self._decode_cache[self.pc] = instruction
+            pair = (
+                instruction,
+                self._dispatch[instruction.op],
+                self.pc + instruction.length,
+            )
+            self._decode_cache[self.pc] = pair
+        instruction, handler, next_pc = pair
         self.counter.record(Event.DECODE)
         self.steps += 1
         if self.profile is not None:
             self.profile[instruction.op] = self.profile.get(instruction.op, 0) + 1
-        next_pc = self.pc + instruction.length
         self.pc = next_pc
-        from repro.errors import EvalStackOverflow
-
         try:
-            self._dispatch[instruction.op](instruction, next_pc)
+            handler(instruction, next_pc)
         except TrapTransfer:
             pass  # control is already in the trap context
         except EvalStackOverflow as fault:
@@ -219,6 +288,21 @@ class Machine:
                 self.trap(TrapKind.STACK_OVERFLOW, str(fault))
             except TrapTransfer:
                 pass
+
+    def invalidate_linkage(self) -> None:
+        """Drop all host-side caches of code-derived state.
+
+        Called whenever the code space's epoch bumps, and explicitly by
+        the code-swapping services (:func:`repro.interp.services.
+        relocate_module`, :func:`~repro.interp.services.
+        replace_procedure`) — the same "unusual event" fallback
+        discipline as the IFU return stack.  Clears in place so hoisted
+        references in the fused run loop stay valid.
+        """
+        self._decode_cache.clear()
+        self._code_epoch = self.code.epoch
+        if self.linkage_cache is not None:
+            self.linkage_cache.invalidate()
 
     def enable_profile(self) -> None:
         """Start counting executed instructions per opcode (``profile``)."""
@@ -255,6 +339,8 @@ class Machine:
         }
         if self.rstack is not None:
             data["return_stack_hit_rate"] = self.rstack.stats.hit_rate
+        if self.linkage_cache is not None:
+            data["linkage_cache"] = self.linkage_cache.stats()
         if self.bankfile is not None:
             data["bank_overflow_rate"] = self.bankfile.stats.overflow_rate
         if self.image.av_heap is not None:
@@ -554,17 +640,53 @@ class Machine:
         )
 
     def _op_external_call(self, lv_index: int, next_pc: int) -> None:
-        resolved = self._resolve_external(lv_index)
+        # The call site is identified by its end address (next_pc) plus
+        # the current global frame: the same code byte executed from a
+        # different module instance resolves through a different LV.
+        cache = self.linkage_cache
+        if cache is None:
+            resolved = self._resolve_external(lv_index)
+        else:
+            key = (next_pc, self.gf)
+            resolved = cache.lookup(key)
+            if resolved is None:
+                before = cache.begin()
+                resolved = self._resolve_external(lv_index)
+                cache.store(key, resolved, before)
         self._do_call(resolved, TransferKind.EXTERNAL_CALL, next_pc)
 
     def _op_local_call(self, ev_index: int, next_pc: int) -> None:
-        resolved = resolve_local(
-            self.memory, self.code, self.gf, self._current_code_base(), ev_index
-        )
+        # The lazy CB fetch stays *outside* the cached region: whether it
+        # charges a read depends on machine state (was CB discovered?),
+        # not on the call site, so memoizing it would skew the metrics.
+        code_base = self._current_code_base()
+        cache = self.linkage_cache
+        if cache is None:
+            resolved = resolve_local(
+                self.memory, self.code, self.gf, code_base, ev_index
+            )
+        else:
+            key = (next_pc, self.gf)
+            resolved = cache.lookup(key)
+            if resolved is None:
+                before = cache.begin()
+                resolved = resolve_local(
+                    self.memory, self.code, self.gf, code_base, ev_index
+                )
+                cache.store(key, resolved, before)
         self._do_call(resolved, TransferKind.LOCAL_CALL, next_pc)
 
     def _op_direct_call(self, target: int, next_pc: int, short: bool) -> None:
-        resolved = resolve_direct(self.code, target)
+        cache = self.linkage_cache
+        if cache is None:
+            resolved = resolve_direct(self.code, target)
+        else:
+            key = (next_pc, self.gf)
+            resolved = cache.lookup(key)
+            if resolved is None:
+                before = cache.begin()
+                resolved = resolve_direct(self.code, target)
+                cache.store(key, resolved, before)
         kind = TransferKind.SHORT_DIRECT_CALL if short else TransferKind.DIRECT_CALL
         self._do_call(resolved, kind, next_pc)
 

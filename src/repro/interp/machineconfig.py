@@ -83,6 +83,14 @@ class MachineConfig:
     #: Execution budget (instructions) before StepLimitExceeded.
     step_limit: int = 5_000_000
 
+    #: Host-side call-site linkage caching (a simulation speedup, not a
+    #: modelled mechanism): the first execution of a call instruction
+    #: memoizes its resolved target, and later executions skip the table
+    #: walk while still charging the *modelled* memory-reference events,
+    #: so paper metrics are bit-identical either way.  Off is useful only
+    #: for the metrics-equivalence regression test.
+    host_linkage_cache: bool = True
+
     def __post_init__(self) -> None:
         if self.bank_count and self.bank_count < 3:
             raise ValueError("bank_count must be 0 (off) or at least 3")

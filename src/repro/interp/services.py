@@ -97,6 +97,10 @@ def relocate_module(machine: Machine, module_name: str) -> int:
 
     new_base = code.size
     _append_segment(code, segment)
+    # Host-side caches hold resolutions through the old code base; drop
+    # them now (the epoch bump would catch it on the next step, but an
+    # explicit invalidation keeps the discipline visible and exact).
+    machine.invalidate_linkage()
 
     # Rebind: one word per instance (the GFT entries are untouched).
     for linked in linked_instances:
@@ -173,6 +177,9 @@ def replace_procedure(
     # use the patch interface as the paper's loader would).
     ev_address = linked.code_base + procedure.ev_index * EV_ENTRY_BYTES
     image.code.patch_word(ev_address, offset)
+    # Any cached call-site resolution of the old EV entry is now stale;
+    # running old code silently would be the classic inline-cache bug.
+    machine.invalidate_linkage()
 
     new_meta = ProcMeta(
         module=old_meta.module,

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.isa.program import CodeSpace, DFC_HEADER_BYTES
+from repro.machine.costs import CycleCounter, Event
 from repro.machine.memory import Memory
 from repro.mesa.descriptor import effective_entry_index, unpack_descriptor
 from repro.mesa.globalframe import read_code_base
@@ -144,6 +145,83 @@ def resolve_external_wide(
         fsi=fsi,
         levels=2,
     )
+
+
+class LinkageCache:
+    """Host-side memoization of call-site resolution (a simulation
+    speedup, never a modelled mechanism).
+
+    Call targets are overwhelmingly static — the link vector, GFT, EV
+    and DIRECTCALL headers only change under the explicit code-swapping
+    services — so a call site's :class:`ResolvedTarget` can be computed
+    once and replayed.  To keep the paper metrics bit-identical, the
+    first (miss) resolution records which counter events the table walk
+    charged, and every hit replays exactly those charges without
+    touching the tables.
+
+    Invalidation follows the same "unusual event" discipline as the IFU
+    return stack: any code-space epoch bump (relocation, procedure
+    replacement, segment growth) empties the cache, and
+    :mod:`repro.interp.services` also invalidates explicitly.
+    """
+
+    def __init__(self, counter: CycleCounter) -> None:
+        self.counter = counter
+        self._entries: dict[tuple[int, int], tuple[ResolvedTarget, tuple[tuple[Event, int], ...]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple[int, int]) -> ResolvedTarget | None:
+        """Return the cached target for *key*, replaying its modelled
+        charges, or None on a miss (the caller resolves and stores)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        resolved, charges = entry
+        record = self.counter.record
+        for event, times in charges:
+            record(event, times)
+        return resolved
+
+    def begin(self) -> dict[Event, int]:
+        """Snapshot the counter before a miss's real table walk."""
+        return dict(self.counter.counts)
+
+    def store(
+        self,
+        key: tuple[int, int],
+        resolved: ResolvedTarget,
+        before: dict[Event, int],
+    ) -> None:
+        """Memoize *resolved* along with the events the walk charged."""
+        counts = self.counter.counts
+        charges = tuple(
+            (event, counts[event] - seen)
+            for event, seen in before.items()
+            if counts[event] != seen
+        )
+        self._entries[key] = (resolved, charges)
+
+    def invalidate(self) -> None:
+        """Drop everything (code epoch bump or an explicit service)."""
+        if self._entries:
+            self._entries.clear()
+        self.invalidations += 1
+
+    def stats(self) -> dict[str, int]:
+        """Host-side effectiveness counters (not paper metrics)."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
 
 
 def resolve_direct(code: CodeSpace, target_address: int, counted: bool = False) -> ResolvedTarget:

@@ -1,0 +1,243 @@
+"""The host performance layer: linkage caching, fused run loop, budgets.
+
+The contract of every host-side speedup is that it changes *nothing*
+the paper measures: modelled cycles, memory references, step counts and
+results must be bit-identical with the call-site linkage cache on and
+off, across the whole I1-I4 ladder.  The cache must also honour the
+"unusual event" invalidation discipline — a stale resolved target after
+``relocate_module``/``replace_procedure`` would silently run old code.
+
+The run-budget tests pin the fix for the resumed-machine bug: ``run
+(max_steps)`` used to compare the *cumulative* step count against the
+per-call budget, so a resumed machine got a shrunken budget or an
+instant StepLimitExceeded.
+"""
+
+import pytest
+
+from repro.errors import StepLimitExceeded
+from repro.ifu.returnstack import OverflowPolicy, ReturnStack, ReturnStackEntry
+from repro.interp.services import relocate_module, replace_procedure
+from repro.isa.assembler import Assembler
+from repro.isa.opcodes import Op
+from repro.workloads.programs import CORPUS
+from tests.conftest import ALL_PRESETS, build
+
+
+# ---------------------------------------------------------------------------
+# Paper metrics are independent of the host linkage cache
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("preset", ALL_PRESETS)
+@pytest.mark.parametrize("name", ["calls", "fib", "pipeline", "mutual"])
+def test_paper_metrics_identical_with_and_without_cache(preset, name):
+    entry = CORPUS[name]
+    outcomes = []
+    for cached in (False, True):
+        machine = build(
+            entry.sources,
+            preset=preset,
+            entry=entry.entry,
+            host_linkage_cache=cached,
+        )
+        machine.start(entry.entry[0], entry.entry[1], *entry.args)
+        results = machine.run()
+        outcomes.append((tuple(results), machine.steps, machine.counter.snapshot()))
+    off, on = outcomes
+    assert off == on
+
+
+def test_cache_serves_the_call_dense_hot_path():
+    entry = CORPUS["calls"]
+    machine = build(entry.sources)
+    machine.start()
+    machine.run()
+    stats = machine.linkage_cache.stats()
+    assert stats["misses"] > 0  # each site resolved once...
+    assert stats["hits"] > 10 * stats["misses"]  # ...and replayed after
+
+
+def test_cache_disabled_when_configured_off():
+    entry = CORPUS["calls"]
+    machine = build(entry.sources, host_linkage_cache=False)
+    assert machine.linkage_cache is None
+    machine.start()
+    assert machine.run() == list(entry.expect_results)
+
+
+# ---------------------------------------------------------------------------
+# Run budgets: per-call allowance, cumulative backstop
+# ---------------------------------------------------------------------------
+
+_LOOP = """
+MODULE Main;
+PROCEDURE main(): INT;
+VAR i, acc: INT;
+BEGIN
+  acc := 0;
+  i := 0;
+  WHILE i < 200 DO
+    acc := acc + i;
+    i := i + 1;
+  END;
+  RETURN acc;
+END;
+END.
+"""
+
+_YIELDER = """
+MODULE Main;
+PROCEDURE main(): INT;
+VAR i: INT;
+BEGIN
+  i := 0;
+  WHILE i < 50 DO
+    YIELD;
+    i := i + 1;
+  END;
+  RETURN i;
+END;
+END.
+"""
+
+
+def test_resumed_run_gets_a_fresh_budget():
+    """run -> StepLimitExceeded -> run again must make progress; under
+    the old cumulative comparison the second call died instantly."""
+    machine = build([_LOOP])
+    machine.start()
+    resumes = 0
+    while True:
+        try:
+            machine.run(max_steps=100)
+            break
+        except StepLimitExceeded:
+            resumes += 1
+            assert resumes < 100, "resumed runs are not making progress"
+    assert machine.results() == [sum(range(200))]
+    assert resumes >= 2  # the program needs several slices of 100
+
+
+def test_yielded_run_resumes_with_full_allowance():
+    """Scheduler-style slices: each run() after a YIELD gets the whole
+    per-call budget again."""
+    machine = build([_YIELDER])
+    machine.start()
+    slices = 0
+    while not machine.halted:
+        machine.run(max_steps=40)
+        machine.yield_requested = False
+        slices += 1
+        assert slices < 500
+    assert machine.results() == [50]
+    assert slices > 5
+
+
+def test_step_limit_remains_the_cumulative_backstop():
+    machine = build([_LOOP], step_limit=100)
+    machine.start()
+    with pytest.raises(StepLimitExceeded):
+        machine.run(max_steps=1_000_000)
+    assert machine.steps == 100
+
+
+def test_budget_tighter_than_backstop_reports_budget():
+    machine = build([_LOOP], step_limit=5_000)
+    machine.start()
+    with pytest.raises(StepLimitExceeded):
+        machine.run(max_steps=10)
+    assert machine.steps == 10
+
+
+# ---------------------------------------------------------------------------
+# Cache invalidation by the code-swapping services
+# ---------------------------------------------------------------------------
+
+_SWAP_SOURCES = [
+    """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN Lib.f(10);
+END;
+END.
+""",
+    """
+MODULE Lib;
+PROCEDURE f(x): INT;
+BEGIN
+  RETURN x * 2;
+END;
+END.
+""",
+]
+
+
+def _triple_body() -> bytes:
+    asm = Assembler()
+    asm.emit(Op.SL0)  # COPY prologue: store the argument in local 0
+    asm.emit(Op.LL0)
+    asm.emit(Op.LI3)
+    asm.emit(Op.MUL)
+    asm.emit(Op.RET)
+    return asm.assemble()
+
+
+def test_replace_procedure_invalidates_warm_cache():
+    """A cached resolution of Lib.f must not survive replacement —
+    running the old code silently is the classic stale-inline-cache
+    bug, asserted impossible here."""
+    machine = build(_SWAP_SOURCES)
+    assert machine.call("Main", "main") == [20]  # cache is now warm
+    replace_procedure(machine, "Lib", "f", _triple_body())
+    assert machine.linkage_cache.stats()["invalidations"] >= 1
+    machine.stack.clear()
+    assert machine.call("Main", "main") == [30]
+
+
+def test_relocate_then_replace_uses_the_new_segment():
+    """Relocation moves Lib's segment (old bytes remain in place — the
+    perfect trap for a stale cache); a replacement after the move must
+    repoint new calls, not resurrect the original body."""
+    machine = build(_SWAP_SOURCES)
+    assert machine.call("Main", "main") == [20]
+    relocate_module(machine, "Lib")
+    assert machine.linkage_cache.stats()["invalidations"] >= 1
+    machine.stack.clear()
+    assert machine.call("Main", "main") == [20]  # rebuilt against new base
+    replace_procedure(machine, "Lib", "f", _triple_body())
+    machine.stack.clear()
+    assert machine.call("Main", "main") == [30]
+
+
+def test_replacement_metrics_identical_with_and_without_cache():
+    """The invalidation path must also preserve the modelled meters."""
+    outcomes = []
+    for cached in (False, True):
+        machine = build(_SWAP_SOURCES, host_linkage_cache=cached)
+        assert machine.call("Main", "main") == [20]
+        replace_procedure(machine, "Lib", "f", _triple_body())
+        machine.stack.clear()
+        assert machine.call("Main", "main") == [30]
+        outcomes.append((machine.steps, machine.counter.snapshot()))
+    assert outcomes[0] == outcomes[1]
+
+
+# ---------------------------------------------------------------------------
+# Return stack: deque-backed SPILL_OLDEST keeps order and stats
+# ---------------------------------------------------------------------------
+
+
+def test_spill_oldest_preserves_order_and_stats_at_depth():
+    stack = ReturnStack(4, OverflowPolicy.SPILL_OLDEST)
+    for serial in range(4):
+        stack.push(ReturnStackEntry(frame=serial, pc=serial * 10))
+    for serial in range(4, 12):
+        victims = stack.overflow_victims()
+        assert [v.frame for v in victims] == [serial - 4]  # oldest only
+        stack.push(ReturnStackEntry(frame=serial, pc=serial * 10))
+    assert [entry.frame for entry in stack.entries()] == [8, 9, 10, 11]
+    assert stack.pop().frame == 11  # LIFO from the top, unchanged
+    assert stack.stats.pushes == 12
+    assert stack.stats.hits == 1

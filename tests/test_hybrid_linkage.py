@@ -9,8 +9,6 @@ which allows both the generality of §5 and the early binding of §6 is
 attractive."
 """
 
-import pytest
-
 from repro.ifu.ifu import TransferKind
 from repro.interp.machine import Machine
 from repro.interp.machineconfig import MachineConfig

@@ -6,7 +6,7 @@ from repro.errors import HeapExhausted, LinkError, TrapError
 from repro.interp.machineconfig import MachineConfig
 from repro.lang.compiler import CompileOptions, compile_program
 from repro.lang.linker import LinkOptions, link
-from tests.conftest import build, run_source
+from tests.conftest import run_source
 
 
 def test_eval_stack_overflow_traps():

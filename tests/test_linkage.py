@@ -5,12 +5,9 @@ code inspection — the number of counted references each discipline
 performs, which is exactly what Figure 1 diagrams.
 """
 
-import pytest
-
 from repro.interp.machineconfig import MachineConfig
 from repro.lang.compiler import CompileOptions, compile_program
 from repro.lang.linker import link
-from repro.machine.costs import Event
 from repro.mesa.descriptor import pack_descriptor
 from repro.mesa.linkage import (
     resolve_descriptor,

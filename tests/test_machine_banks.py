@@ -1,7 +1,5 @@
 """Machine tests: register banks, renaming, deferred allocation (I4)."""
 
-import pytest
-
 from repro.machine.costs import Event
 from tests.conftest import run_source
 

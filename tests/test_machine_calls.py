@@ -5,7 +5,7 @@ import pytest
 from repro.ifu.ifu import TransferKind
 from repro.ifu.returnstack import OverflowPolicy
 from repro.machine.costs import Event
-from tests.conftest import ALL_PRESETS, build, run_source
+from tests.conftest import ALL_PRESETS, run_source
 
 RECURSIVE = [
     """

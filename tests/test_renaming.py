@@ -1,7 +1,5 @@
 """Tests for stack-bank renaming — including the exact Figure 3 trace."""
 
-import pytest
-
 from repro.banks.bankfile import Bank, BankFile, BankRole
 from repro.banks.renaming import BankManager
 

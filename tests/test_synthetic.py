@@ -1,7 +1,5 @@
 """Tests for the calibrated synthetic workload generators."""
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
