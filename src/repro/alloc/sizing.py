@@ -44,7 +44,7 @@ class SizeLadder:
     def __post_init__(self) -> None:
         if not self.sizes:
             raise FrameSizeError("size ladder must have at least one class")
-        if any(b <= a for a, b in zip(self.sizes, self.sizes[1:])):
+        if any(b <= a for a, b in zip(self.sizes, self.sizes[1:], strict=False)):
             raise FrameSizeError(f"size ladder must strictly increase: {self.sizes}")
         if self.sizes[0] <= 0:
             raise FrameSizeError("size classes must be positive")

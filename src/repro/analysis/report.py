@@ -8,7 +8,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 
 def _cell(value) -> str:

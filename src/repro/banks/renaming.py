@@ -28,7 +28,7 @@ its event trace without a full machine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from repro.banks.bankfile import Bank, BankFile, BankRole
 

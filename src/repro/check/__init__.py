@@ -1,0 +1,44 @@
+"""Static verification of compiled modules and linked XFER images.
+
+The subsystem the machine's trust story leans on: before an image runs,
+:func:`check_modules` / :func:`check_image` prove the properties the
+interpreter otherwise discovers by trapping — clean decode, jumps on
+instruction boundaries, path-independent eval-stack depths, transfer
+records matching target signatures, linkage tables whose every
+descriptor resolves, and fsi bytes the allocation vector can honour.
+
+See ``docs/checker.md`` for the full catalogue of checks and the paper
+sections each one guards.
+"""
+
+from repro.check.callgraph import CallGraph, ProcNode
+from repro.check.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.check.checker import check_image, check_modules
+from repro.check.diagnostics import (
+    CheckReport,
+    Diagnostic,
+    Severity,
+    instruction_context,
+)
+from repro.check.effects import DYNAMIC_OPS, FIXED_EFFECTS, OperandLimits
+from repro.check.stackcheck import CallEffect, StackRules, verify_stack_depths
+
+__all__ = [
+    "BasicBlock",
+    "CallEffect",
+    "CallGraph",
+    "CheckReport",
+    "ControlFlowGraph",
+    "DYNAMIC_OPS",
+    "Diagnostic",
+    "FIXED_EFFECTS",
+    "OperandLimits",
+    "ProcNode",
+    "Severity",
+    "StackRules",
+    "build_cfg",
+    "check_image",
+    "check_modules",
+    "instruction_context",
+    "verify_stack_depths",
+]

@@ -1,0 +1,207 @@
+"""Control-flow graph construction over disassembled procedure bodies.
+
+The builder performs the first tier of static verification:
+
+* the body must decode linearly into instructions with no undefined
+  opcodes and no operand running past the end (structured
+  :class:`~repro.errors.DecodeError` diagnostics);
+* every jump target must land on an instruction boundary *inside* the
+  body — a displacement into the middle of an instruction would make the
+  machine decode operand bytes as opcodes, the classic way a one-byte
+  corruption cascades;
+* execution must not fall off the end of the body: the last reachable
+  instruction must be a return, halt, or unconditional jump.
+
+Basic blocks are maximal straight-line runs; edges are fall-through,
+jump, and conditional-jump pairs.  Calls do *not* end a block — under
+the matched call/return discipline control comes back to the next
+instruction (the CFA2-style treatment; raw ``XF`` likewise resumes at
+the saved PC when something transfers back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DecodeError
+from repro.isa.disassembler import DecodedInstruction, disassemble
+from repro.isa.opcodes import JUMP_OPS, Op
+
+from repro.check.diagnostics import CheckReport, Severity, instruction_context
+
+#: Instructions after which control cannot continue to the next offset.
+_NO_FALL_THROUGH: frozenset[Op] = frozenset({Op.RET, Op.HALT, Op.JB, Op.JW})
+
+#: Conditional jumps: both the target and the fall-through are live.
+_CONDITIONAL_JUMPS: frozenset[Op] = frozenset({Op.JZB, Op.JNZB, Op.JZW, Op.JNZW})
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run."""
+
+    start: int
+    instructions: list[DecodedInstruction] = field(default_factory=list)
+    #: Start offsets of successor blocks.
+    successors: list[int] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """Offset one past the last instruction byte."""
+        last = self.instructions[-1]
+        return last.offset + last.length
+
+    @property
+    def terminator(self) -> DecodedInstruction:
+        return self.instructions[-1]
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks of one procedure body, keyed by start offset."""
+
+    body: bytes
+    blocks: dict[int, BasicBlock]
+    instruction_starts: frozenset[int]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def block_order(self) -> list[BasicBlock]:
+        return [self.blocks[start] for start in sorted(self.blocks)]
+
+    def reachable_blocks(self) -> set[int]:
+        """Block starts reachable from the entry block."""
+        seen: set[int] = set()
+        work = [0]
+        while work:
+            start = work.pop()
+            if start in seen or start not in self.blocks:
+                continue
+            seen.add(start)
+            work.extend(self.blocks[start].successors)
+        return seen
+
+
+def build_cfg(
+    body: bytes,
+    report: CheckReport,
+    module: str | None = None,
+    procedure: str | None = None,
+) -> ControlFlowGraph | None:
+    """Decode *body*, validate its control flow, and build the CFG.
+
+    Emits diagnostics on *report*; returns None when the body cannot be
+    decoded at all (later passes have nothing to work on).
+    """
+    if not body:
+        report.add(
+            "empty-body",
+            Severity.ERROR,
+            "procedure body has no instructions; execution falls off the end",
+            module,
+            procedure,
+            offset=0,
+        )
+        return None
+    try:
+        items = disassemble(body)
+    except DecodeError as fault:
+        report.add(
+            "decode-error",
+            Severity.ERROR,
+            str(fault),
+            module,
+            procedure,
+            offset=fault.offset,
+            context=instruction_context(body, fault.offset),
+        )
+        return None
+
+    starts = frozenset(item.offset for item in items)
+    end = len(body)
+
+    # Validate jump targets before carving blocks: a bad target is an
+    # error, and the block builder then treats that edge as absent.
+    bad_targets: set[int] = set()
+    for item in items:
+        target = item.target()
+        if target is None:
+            continue
+        if not 0 <= target < end:
+            report.add(
+                "jump-out-of-range",
+                Severity.ERROR,
+                f"{item.instruction} at {item.offset:#06x} jumps to "
+                f"{target:#06x}, outside the {end}-byte body",
+                module,
+                procedure,
+                offset=item.offset,
+                context=instruction_context(body, item.offset),
+            )
+            bad_targets.add(item.offset)
+        elif target not in starts:
+            report.add(
+                "jump-into-instruction",
+                Severity.ERROR,
+                f"{item.instruction} at {item.offset:#06x} jumps to "
+                f"{target:#06x}, the middle of an instruction",
+                module,
+                procedure,
+                offset=item.offset,
+                context=instruction_context(body, item.offset),
+            )
+            bad_targets.add(item.offset)
+
+    # Leaders: offset 0, every jump target, every offset after a jump or
+    # a no-fall-through instruction.
+    leaders: set[int] = {0}
+    for item in items:
+        op = item.instruction.op
+        target = item.target()
+        if target is not None and item.offset not in bad_targets:
+            leaders.add(target)
+        if op in JUMP_OPS or op in _NO_FALL_THROUGH:
+            following = item.offset + item.length
+            if following < end:
+                leaders.add(following)
+
+    blocks: dict[int, BasicBlock] = {}
+    current: BasicBlock | None = None
+    for item in items:
+        if item.offset in leaders:
+            current = BasicBlock(start=item.offset)
+            blocks[item.offset] = current
+        assert current is not None
+        current.instructions.append(item)
+
+    for block in blocks.values():
+        last = block.terminator
+        op = last.instruction.op
+        target = last.target()
+        falls_through = op not in _NO_FALL_THROUGH
+        if target is not None and last.offset not in bad_targets:
+            block.successors.append(target)
+            if op in _CONDITIONAL_JUMPS:
+                falls_through = True
+            else:
+                falls_through = False
+        if falls_through:
+            following = last.offset + last.length
+            if following >= end:
+                report.add(
+                    "falls-off-end",
+                    Severity.ERROR,
+                    f"execution can run past the last instruction "
+                    f"({last.instruction} at {last.offset:#06x}); bodies must "
+                    "end in RET, HALT, or a jump",
+                    module,
+                    procedure,
+                    offset=last.offset,
+                    context=instruction_context(body, last.offset),
+                )
+            else:
+                block.successors.append(following)
+
+    return ControlFlowGraph(body=body, blocks=blocks, instruction_starts=starts)

@@ -1,0 +1,813 @@
+"""The static verifier: compiled modules and linked images, checked.
+
+Two entry points:
+
+* :func:`check_modules` — pre-link, over :class:`ModuleCode` values as
+  the compiler or assembler produced them.  Call targets resolve through
+  the modules' import lists and recorded fixups; table geometry does not
+  exist yet, so the checks are control flow, stack discipline, operand
+  ranges, import-order hygiene, and call-graph reachability.
+* :func:`check_image` — post-link, over a :class:`ProgramImage`.  All
+  of the above on the *placed* code bytes (fixups applied), plus the
+  linkage-table checks of section 5: descriptor tag bits, LV/GFT/EV
+  indices in range, GFT bias decoding, entry-vector words, the fsi byte
+  against the geometric ladder and the procedure's frame need, and the
+  inline GF word of every DIRECTCALL header.
+
+Both return a :class:`~repro.check.diagnostics.CheckReport`; ``ok`` on
+the report is the pass/fail verdict (errors fail, warnings and notes do
+not).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import EncodingError, FrameSizeError
+from repro.interp.image import LinkedModule, ProgramImage
+from repro.interp.machineconfig import ArgConvention, LinkageKind
+from repro.isa.disassembler import DecodedInstruction
+from repro.isa.opcodes import Op
+from repro.isa.program import EV_ENTRY_BYTES, ModuleCode, Procedure
+from repro.mesa.descriptor import effective_entry_index, is_descriptor, unpack_descriptor
+
+from repro.check.callgraph import CallGraph, ProcNode
+from repro.check.cfg import ControlFlowGraph, build_cfg
+from repro.check.diagnostics import CheckReport, Severity, instruction_context
+from repro.check.effects import (
+    DIRECT_CALL_OPS,
+    EXTERNAL_CALL_INDEX,
+    LOCAL_CALL_OPS,
+    OperandLimits,
+    external_index_of,
+    global_index_of,
+    local_index_of,
+)
+from repro.check.stackcheck import CallEffect, StackRules, verify_stack_depths
+
+#: MachineConfig's default evaluation stack depth, for pre-link checks.
+DEFAULT_STACK_LIMIT = 16
+
+
+# -- shared per-procedure machinery -------------------------------------------
+
+
+def _verify_body(
+    body: bytes,
+    node: ProcNode,
+    limits: OperandLimits,
+    rules: StackRules,
+    resolver,
+    report: CheckReport,
+) -> ControlFlowGraph | None:
+    """Decode, CFG-check, operand-check, and stack-verify one body."""
+    cfg = build_cfg(body, report, node.module, node.name)
+    if cfg is None:
+        return None
+    for block in cfg.block_order():
+        for item in block.instructions:
+            _check_data_operands(item, body, limits, report, node)
+            _note_dynamic(item, body, report, node)
+    verify_stack_depths(cfg, rules, resolver, report, node.module, node.name)
+    return cfg
+
+
+def _check_data_operands(
+    item: DecodedInstruction,
+    body: bytes,
+    limits: OperandLimits,
+    report: CheckReport,
+    node: ProcNode,
+) -> None:
+    """Range-check local/global indices (calls are the resolver's job)."""
+    local = local_index_of(item.instruction)
+    if local is not None and local >= limits.local_words:
+        report.add(
+            "local-index",
+            Severity.ERROR,
+            f"{item.instruction} touches local {local} but the frame has "
+            f"{limits.local_words} local word(s); the access would read the "
+            "next frame",
+            node.module,
+            node.name,
+            offset=item.offset,
+            context=instruction_context(body, item.offset),
+        )
+    index = global_index_of(item.instruction)
+    if index is not None and index >= limits.global_words:
+        report.add(
+            "global-index",
+            Severity.ERROR,
+            f"{item.instruction} touches global {index} but the module has "
+            f"{limits.global_words} global word(s)",
+            node.module,
+            node.name,
+            offset=item.offset,
+            context=instruction_context(body, item.offset),
+        )
+
+
+def _note_dynamic(
+    item: DecodedInstruction,
+    body: bytes,
+    report: CheckReport,
+    node: ProcNode,
+) -> None:
+    """NOTE data-dependent instructions that bound the static guarantee."""
+    op = item.instruction.op
+    if op is Op.XF:
+        report.add(
+            "dynamic-transfer",
+            Severity.NOTE,
+            "XF transfers to a computed context word; its destination and "
+            "linkage cannot be verified statically",
+            node.module,
+            node.name,
+            offset=item.offset,
+            context=instruction_context(body, item.offset),
+        )
+    elif op in (Op.ALOC, Op.FREE):
+        report.add(
+            "dynamic-frame",
+            Severity.NOTE,
+            f"{op.name} sizes or frees a frame from a run-time value; frame "
+            "faults on this path cannot be excluded statically",
+            node.module,
+            node.name,
+            offset=item.offset,
+            context=instruction_context(body, item.offset),
+        )
+
+
+def _count_external_sites(cfg: ControlFlowGraph, import_count: int, counts: Counter) -> None:
+    """Tally EFC call sites per link-vector index (for the hot-order check)."""
+    for block in cfg.block_order():
+        for item in block.instructions:
+            if item.instruction.op in EXTERNAL_CALL_INDEX:
+                index = external_index_of(item.instruction)
+                if index is not None and index < import_count:
+                    counts[index] += 1
+
+
+def _check_import_order(
+    module_name: str,
+    imports: list[tuple[str, str]],
+    counts: Counter,
+    report: CheckReport,
+) -> None:
+    """Section 5.1 hygiene: link vectors ordered hottest-first.
+
+    The one-byte opcodes EFC0-EFC7 only pay off when the statically most
+    frequent external targets occupy the first link-vector slots — the
+    contract :func:`repro.lang.analysis.external_call_frequencies`
+    establishes.  A colder import ahead of a hotter one wastes the short
+    encodings, so the site counts must be non-increasing by index.
+    """
+    for left in range(len(imports) - 1):
+        right = left + 1
+        if counts[right] > counts[left]:
+            cold = ".".join(imports[left])
+            hot = ".".join(imports[right])
+            report.add(
+                "import-order",
+                Severity.WARNING,
+                f"link-vector index {right} ({hot}, {counts[right]} site(s)) "
+                f"is hotter than index {left} ({cold}, {counts[left]} "
+                "site(s)); order imports by static frequency so EFC0-EFC7 "
+                "cover the hottest targets (section 5.1)",
+                module_name,
+            )
+
+
+# -- pre-link: check_modules ---------------------------------------------------
+
+
+def check_modules(
+    modules: list[ModuleCode],
+    convention: ArgConvention = ArgConvention.COPY,
+    stack_limit: int = DEFAULT_STACK_LIMIT,
+    entry: tuple[str, str] | None = None,
+    report: CheckReport | None = None,
+) -> CheckReport:
+    """Verify compiled modules before linking.
+
+    *entry* names the call-graph root as ``(module, procedure)``; without
+    one, every procedure counts as a root (so nothing is flagged
+    unreachable — there is no program yet, only a library).
+    """
+    report = report or CheckReport()
+    by_name: dict[str, ModuleCode] = {}
+    for module in modules:
+        if module.name in by_name:
+            report.add(
+                "duplicate-module",
+                Severity.ERROR,
+                f"module {module.name!r} appears twice",
+                module.name,
+            )
+            continue
+        by_name[module.name] = module
+
+    graph = CallGraph()
+    for module in by_name.values():
+        for procedure in module.procedures:
+            graph.add_node(ProcNode(module.name, procedure.name))
+    for module in by_name.values():
+        _check_one_module(module, by_name, convention, stack_limit, graph, report)
+
+    if entry is not None:
+        roots = [ProcNode(*entry)]
+        if roots[0] not in graph.nodes:
+            report.add(
+                "missing-entry",
+                Severity.ERROR,
+                f"entry procedure {roots[0]} does not exist",
+                entry[0],
+                entry[1],
+            )
+            roots = sorted(graph.nodes)
+    else:
+        roots = sorted(graph.nodes)
+    graph.report_unreachable(roots, report)
+    return report
+
+
+def _check_one_module(
+    module: ModuleCode,
+    by_name: dict[str, ModuleCode],
+    convention: ArgConvention,
+    stack_limit: int,
+    graph: CallGraph,
+    report: CheckReport,
+) -> None:
+    ev_map = {procedure.ev_index: procedure for procedure in module.procedures}
+    direct_fixups = {
+        (fixup.procedure, fixup.site_offset): fixup
+        for fixup in module.fixups
+        if fixup.kind in ("dfc", "sdfc")
+    }
+    counts: Counter = Counter()
+
+    for fixup in module.fixups:
+        target = _lookup(by_name, fixup.target_module, fixup.target_procedure)
+        if target is None:
+            report.add(
+                "unresolved-import",
+                Severity.ERROR,
+                f"{fixup.kind} fixup targets unknown procedure "
+                f"{fixup.target_module}.{fixup.target_procedure}",
+                module.name,
+                fixup.procedure,
+                offset=fixup.site_offset,
+            )
+        elif fixup.kind == "desc":
+            graph.add_reference(
+                ProcNode(module.name, fixup.procedure),
+                ProcNode(fixup.target_module, fixup.target_procedure),
+            )
+            key = (fixup.target_module, fixup.target_procedure)
+            if key in module.imports:
+                counts[module.imports.index(key)] += 1
+
+    for procedure in module.procedures:
+        node = ProcNode(module.name, procedure.name)
+        limits = OperandLimits(
+            local_words=procedure.local_words,
+            global_words=module.global_words,
+            import_count=len(module.imports),
+            proc_count=len(module.procedures),
+        )
+        rules = StackRules(
+            entry_depth=procedure.arg_count if convention is ArgConvention.COPY else 0,
+            result_count=procedure.result_count,
+            stack_limit=stack_limit,
+        )
+        resolver = _module_resolver(
+            module, procedure, by_name, ev_map, direct_fixups, graph, node, report
+        )
+        cfg = _verify_body(procedure.body, node, limits, rules, resolver, report)
+        if cfg is not None:
+            _count_external_sites(cfg, len(module.imports), counts)
+
+    if not direct_fixups:
+        # Under DIRECT linkage most external calls compile to DFC/SDFC,
+        # so EFC site counts no longer mirror the static frequencies.
+        _check_import_order(module.name, module.imports, counts, report)
+
+
+def _lookup(
+    by_name: dict[str, ModuleCode], module_name: str, proc_name: str
+) -> Procedure | None:
+    owner = by_name.get(module_name)
+    if owner is None:
+        return None
+    try:
+        return owner.procedure_named(proc_name)
+    except EncodingError:
+        return None
+
+
+def _module_resolver(
+    module: ModuleCode,
+    procedure: Procedure,
+    by_name: dict[str, ModuleCode],
+    ev_map: dict[int, Procedure],
+    direct_fixups: dict,
+    graph: CallGraph,
+    node: ProcNode,
+    report: CheckReport,
+):
+    body = procedure.body
+
+    def fail(check: str, message: str, item: DecodedInstruction) -> None:
+        report.add(
+            check,
+            Severity.ERROR,
+            message,
+            node.module,
+            node.name,
+            offset=item.offset,
+            context=instruction_context(body, item.offset),
+        )
+        return None
+
+    def resolved(target_module: str, target: Procedure) -> CallEffect:
+        graph.add_call(node, ProcNode(target_module, target.name))
+        return CallEffect(
+            target.arg_count, target.result_count, f"{target_module}.{target.name}"
+        )
+
+    def resolve(item: DecodedInstruction) -> CallEffect | None:
+        op = item.instruction.op
+        if op in LOCAL_CALL_OPS:
+            index = item.instruction.operand
+            target = ev_map.get(index)
+            if target is None:
+                return fail(
+                    "ev-index",
+                    f"{item.instruction} targets entry {index} but module "
+                    f"{module.name!r} has {len(ev_map)} procedure(s)",
+                    item,
+                )
+            return resolved(module.name, target)
+        if op in EXTERNAL_CALL_INDEX:
+            index = external_index_of(item.instruction)
+            if index >= len(module.imports):
+                return fail(
+                    "lv-index",
+                    f"{item.instruction} uses link-vector index {index} but "
+                    f"module {module.name!r} imports "
+                    f"{len(module.imports)} procedure(s)",
+                    item,
+                )
+            target_module, target_name = module.imports[index]
+            target = _lookup(by_name, target_module, target_name)
+            if target is None:
+                return fail(
+                    "unresolved-import",
+                    f"{item.instruction} resolves to "
+                    f"{target_module}.{target_name}, which no module provides",
+                    item,
+                )
+            return resolved(target_module, target)
+        assert op in DIRECT_CALL_OPS
+        fixup = direct_fixups.get((procedure.name, item.offset))
+        if fixup is None:
+            return fail(
+                "direct-unbound",
+                f"{item.instruction} has no recorded link fixup; its operand "
+                "cannot be resolved before linking",
+                item,
+            )
+        target = _lookup(by_name, fixup.target_module, fixup.target_procedure)
+        if target is None:
+            return None  # the fixup pass reported unresolved-import already
+        return resolved(fixup.target_module, target)
+
+    return resolve
+
+
+# -- post-link: check_image -----------------------------------------------------
+
+
+def check_image(image: ProgramImage, report: CheckReport | None = None) -> CheckReport:
+    """Verify a linked program image without executing it."""
+    report = report or CheckReport()
+    raw = image.code.raw
+    graph = CallGraph()
+
+    primaries = {
+        name: linked for (name, inst), linked in image.instances.items() if inst == 0
+    }
+    instance_counts = Counter(name for (name, _inst) in image.instances)
+
+    direct_headers: dict[int, tuple[LinkedModule, Procedure]] = {}
+    for linked in primaries.values():
+        for procedure in linked.module.procedures:
+            graph.add_node(ProcNode(linked.name, procedure.name))
+            if procedure.direct_offset >= 0:
+                direct_headers[linked.code_base + procedure.direct_offset] = (
+                    linked,
+                    procedure,
+                )
+
+    _check_gft(image, report)
+    for name in sorted(primaries):
+        _check_linked_module(
+            image,
+            primaries[name],
+            direct_headers,
+            graph,
+            report,
+            instance_counts[name],
+        )
+
+    graph.report_unreachable([ProcNode(image.entry.module, image.entry.name)], report)
+    return report
+
+
+def _check_gft(image: ProgramImage, report: CheckReport) -> None:
+    """Every populated GFT entry must name a real global frame, and its
+    bias bits must agree with the owner's recorded bias slots."""
+    if image.gft is None:
+        return
+    for index in range(len(image.gft)):
+        gf_address, bias = image.gft.peek_entry(index)
+        owner = image.by_gf.get(gf_address)
+        if owner is None:
+            report.add(
+                "gft-entry",
+                Severity.ERROR,
+                f"GFT entry {index} holds {gf_address:#06x}, which is not "
+                "any instance's global frame",
+                offset=index,
+            )
+        elif bias >= len(owner.env_indices) or owner.env_indices[bias] != index:
+            report.add(
+                "gft-bias",
+                Severity.ERROR,
+                f"GFT entry {index} carries bias {bias}, but module "
+                f"{owner.name!r} assigns that bias slot to GFT entry "
+                f"{owner.env_indices[bias] if bias < len(owner.env_indices) else '<none>'}",
+                offset=index,
+            )
+
+
+def _descriptor_target(
+    image: ProgramImage, word: int
+) -> tuple[tuple[LinkedModule, Procedure] | None, str, str]:
+    """Chase a packed descriptor through GFT and EV.
+
+    Returns ``(target, check, message)``: on success *target* is the
+    ``(linked module, procedure)`` pair and the rest is empty; on failure
+    *target* is None and *check*/*message* describe the first broken link.
+    """
+    if not is_descriptor(word):
+        return None, "descriptor-tag", (
+            f"word {word:#06x} has no descriptor tag bit; the machine would "
+            "treat it as a frame pointer"
+        )
+    env, code = unpack_descriptor(word)
+    if image.gft is None:
+        return None, "descriptor-tag", (
+            "packed descriptors need a GFT, but SIMPLE linkage builds none"
+        )
+    if env >= len(image.gft):
+        return None, "gft-index", (
+            f"descriptor {word:#06x} has env {env}, outside the "
+            f"{len(image.gft)}-entry GFT"
+        )
+    gf_address, bias = image.gft.peek_entry(env)
+    linked = image.by_gf.get(gf_address)
+    if linked is None:
+        return None, "gft-entry", (
+            f"descriptor {word:#06x} reaches GFT entry {env} holding "
+            f"{gf_address:#06x}, not a global frame"
+        )
+    effective = effective_entry_index(code, bias)
+    for procedure in linked.module.procedures:
+        if procedure.ev_index == effective:
+            return (linked, procedure), "", ""
+    return None, "ev-index", (
+        f"descriptor {word:#06x} selects entry {effective} (code {code}, "
+        f"bias {bias}) but module {linked.name!r} has "
+        f"{len(linked.module.procedures)} procedure(s)"
+    )
+
+
+def _check_linked_module(
+    image: ProgramImage,
+    linked: LinkedModule,
+    direct_headers: dict[int, tuple[LinkedModule, Procedure]],
+    graph: CallGraph,
+    report: CheckReport,
+    instance_count: int,
+) -> None:
+    module = linked.module
+    base = linked.code_base
+    raw = image.code.raw
+    config = image.config
+    use_tables = config.linkage is not LinkageKind.SIMPLE
+    counts: Counter = Counter()
+    desc_fixups_by_proc: dict[str, list] = {}
+    for fixup in module.fixups:
+        if fixup.kind == "desc":
+            desc_fixups_by_proc.setdefault(fixup.procedure, []).append(fixup)
+            key = (fixup.target_module, fixup.target_procedure)
+            if key in module.imports:
+                counts[module.imports.index(key)] += 1
+
+    for procedure in module.procedures:
+        node = ProcNode(module.name, procedure.name)
+        entry = base + procedure.entry_offset
+
+        ev_word = _word(raw, base + procedure.ev_index * EV_ENTRY_BYTES)
+        if ev_word != procedure.entry_offset:
+            report.add(
+                "ev-entry",
+                Severity.ERROR,
+                f"entry-vector word {procedure.ev_index} holds "
+                f"{ev_word:#06x}, but the procedure's fsi byte is at "
+                f"segment offset {procedure.entry_offset:#06x}",
+                module.name,
+                procedure.name,
+                offset=procedure.ev_index,
+            )
+
+        _check_fsi(image, linked, procedure, raw[entry], report)
+
+        if procedure.direct_offset >= 0:
+            header = _word(raw, base + procedure.direct_offset)
+            expected = linked.gf_address if instance_count == 1 else 0
+            if header != expected:
+                report.add(
+                    "direct-header-gf",
+                    Severity.ERROR,
+                    f"DIRECTCALL header holds GF {header:#06x}, expected "
+                    f"{expected:#06x}",
+                    module.name,
+                    procedure.name,
+                    offset=procedure.direct_offset,
+                )
+
+        body = raw[entry + 1 : entry + 1 + len(procedure.body)]
+        limits = OperandLimits(
+            local_words=procedure.local_words,
+            global_words=module.global_words,
+            import_count=len(module.imports),
+            proc_count=len(module.procedures),
+        )
+        rules = StackRules(
+            entry_depth=(
+                procedure.arg_count
+                if config.arg_convention is ArgConvention.COPY
+                else 0
+            ),
+            result_count=procedure.result_count,
+            stack_limit=config.eval_stack_depth,
+        )
+        resolver = _image_resolver(
+            image, linked, procedure, body, direct_headers, graph, node, report
+        )
+        cfg = _verify_body(body, node, limits, rules, resolver, report)
+        if cfg is not None:
+            _count_external_sites(cfg, len(module.imports), counts)
+            _check_desc_literals(
+                image,
+                cfg,
+                desc_fixups_by_proc.get(procedure.name, ()),
+                node,
+                graph,
+                report,
+            )
+
+    if use_tables and config.linkage is not LinkageKind.DIRECT:
+        _check_import_order(module.name, module.imports, counts, report)
+
+
+def _check_fsi(
+    image: ProgramImage,
+    linked: LinkedModule,
+    procedure: Procedure,
+    fsi: int,
+    report: CheckReport,
+) -> None:
+    """The frame-size byte against the ladder and the frame's real need."""
+    ladder = image.ladder
+    if fsi >= len(ladder):
+        report.add(
+            "fsi-range",
+            Severity.ERROR,
+            f"fsi byte {fsi} is outside the {len(ladder)}-class allocation "
+            "vector; LOCALCALL would index past the AV",
+            linked.name,
+            procedure.name,
+            offset=procedure.entry_offset,
+        )
+        return
+    if ladder.size_of(fsi) < procedure.frame_words:
+        report.add(
+            "fsi-too-small",
+            Severity.ERROR,
+            f"fsi {fsi} allocates {ladder.size_of(fsi)}-word frames but the "
+            f"procedure needs {procedure.frame_words} words; its locals "
+            "would overrun the frame",
+            linked.name,
+            procedure.name,
+            offset=procedure.entry_offset,
+        )
+        return
+    try:
+        tight = ladder.fsi_for(procedure.frame_words)
+    except FrameSizeError:
+        tight = fsi
+    if fsi != tight:
+        report.add(
+            "fsi-loose",
+            Severity.WARNING,
+            f"fsi {fsi} ({ladder.size_of(fsi)} words) is not the smallest "
+            f"class fitting the {procedure.frame_words}-word frame "
+            f"(fsi {tight}, {ladder.size_of(tight)} words); the excess is "
+            "internal fragmentation (section 5.3)",
+            linked.name,
+            procedure.name,
+            offset=procedure.entry_offset,
+        )
+
+
+def _check_desc_literals(
+    image: ProgramImage,
+    cfg: ControlFlowGraph,
+    fixups,
+    node: ProcNode,
+    graph: CallGraph,
+    report: CheckReport,
+) -> None:
+    """Validate the patched descriptor of every ``PROC(M.p)`` literal."""
+    body = cfg.body
+    for fixup in fixups:
+        offset = fixup.site_offset
+        if offset not in cfg.instruction_starts or body[offset] != Op.LIW:
+            report.add(
+                "desc-literal",
+                Severity.ERROR,
+                f"descriptor fixup at {offset:#06x} does not land on a LIW "
+                "literal",
+                node.module,
+                node.name,
+                offset=offset,
+                context=instruction_context(body, offset),
+            )
+            continue
+        word = _word(body, offset + 1)
+        target, check, message = _descriptor_target(image, word)
+        if target is None:
+            report.add(
+                check,
+                Severity.ERROR,
+                message,
+                node.module,
+                node.name,
+                offset=offset,
+                context=instruction_context(body, offset),
+            )
+            continue
+        linked, procedure = target
+        if (linked.name, procedure.name) != (fixup.target_module, fixup.target_procedure):
+            report.add(
+                "desc-mismatch",
+                Severity.ERROR,
+                f"PROC literal resolves to {linked.name}.{procedure.name} "
+                f"but was compiled for "
+                f"{fixup.target_module}.{fixup.target_procedure}",
+                node.module,
+                node.name,
+                offset=offset,
+                context=instruction_context(body, offset),
+            )
+        graph.add_reference(node, ProcNode(linked.name, procedure.name))
+
+
+def _image_resolver(
+    image: ProgramImage,
+    linked: LinkedModule,
+    procedure: Procedure,
+    body: bytes,
+    direct_headers: dict[int, tuple[LinkedModule, Procedure]],
+    graph: CallGraph,
+    node: ProcNode,
+    report: CheckReport,
+):
+    module = linked.module
+    memory = image.memory
+
+    def fail(check: str, message: str, item: DecodedInstruction) -> None:
+        report.add(
+            check,
+            Severity.ERROR,
+            message,
+            node.module,
+            node.name,
+            offset=item.offset,
+            context=instruction_context(body, item.offset),
+        )
+        return None
+
+    def resolved(owner_name: str, target: Procedure) -> CallEffect:
+        graph.add_call(node, ProcNode(owner_name, target.name))
+        return CallEffect(
+            target.arg_count, target.result_count, f"{owner_name}.{target.name}"
+        )
+
+    def check_import(item: DecodedInstruction, index: int, owner: str, name: str) -> None:
+        if (owner, name) != module.imports[index]:
+            expected = ".".join(module.imports[index])
+            report.add(
+                "import-mismatch",
+                Severity.ERROR,
+                f"link-vector entry {index} resolves to {owner}.{name} but "
+                f"the module imported {expected}",
+                node.module,
+                node.name,
+                offset=item.offset,
+                context=instruction_context(body, item.offset),
+            )
+
+    def resolve(item: DecodedInstruction) -> CallEffect | None:
+        op = item.instruction.op
+        if op in LOCAL_CALL_OPS:
+            index = item.instruction.operand
+            for target in module.procedures:
+                if target.ev_index == index:
+                    return resolved(module.name, target)
+            return fail(
+                "ev-index",
+                f"{item.instruction} targets entry {index} but module "
+                f"{module.name!r} has {len(module.procedures)} procedure(s)",
+                item,
+            )
+        if op in EXTERNAL_CALL_INDEX:
+            index = external_index_of(item.instruction)
+            if index >= len(module.imports):
+                return fail(
+                    "lv-index",
+                    f"{item.instruction} uses link-vector index {index} but "
+                    f"the link vector has {len(module.imports)} populated "
+                    "entr(ies)",
+                    item,
+                )
+            if image.config.linkage is LinkageKind.SIMPLE:
+                entry_address = memory.peek(linked.lv_base + 2 * index)
+                gf_address = memory.peek(linked.lv_base + 2 * index + 1)
+                meta = image.procs_by_entry.get(entry_address)
+                if meta is None:
+                    return fail(
+                        "lv-wide-entry",
+                        f"wide link-vector entry {index} holds entry address "
+                        f"{entry_address:#06x}, which is no procedure's fsi "
+                        "byte",
+                        item,
+                    )
+                if gf_address not in image.by_gf:
+                    return fail(
+                        "lv-wide-gf",
+                        f"wide link-vector entry {index} holds GF "
+                        f"{gf_address:#06x}, which is not any instance's "
+                        "global frame",
+                        item,
+                    )
+                check_import(item, index, meta.module, meta.name)
+                target_linked = image.by_gf[gf_address]
+                for target in target_linked.module.procedures:
+                    if target.name == meta.name:
+                        return resolved(meta.module, target)
+                return None  # unreachable: procs_by_entry and by_gf agree
+            word = memory.peek(linked.lv_base + index)
+            target, check, message = _descriptor_target(image, word)
+            if target is None:
+                return fail(check, f"link-vector entry {index}: {message}", item)
+            target_linked, target_proc = target
+            check_import(item, index, target_linked.name, target_proc.name)
+            return resolved(target_linked.name, target_proc)
+        assert op in DIRECT_CALL_OPS
+        if op is Op.DFC:
+            address = item.instruction.operand
+        else:
+            site = linked.code_base + procedure.entry_offset + 1 + item.offset
+            address = site + 3 + item.instruction.operand
+        entry = direct_headers.get(address)
+        if entry is None:
+            return fail(
+                "direct-target",
+                f"{item.instruction} transfers to {address:#08x}, which is "
+                "not any procedure's DIRECTCALL header",
+                item,
+            )
+        target_linked, target_proc = entry
+        return resolved(target_linked.name, target_proc)
+
+    return resolve
+
+
+def _word(raw: bytes, address: int) -> int:
+    return (raw[address] << 8) | raw[address + 1]

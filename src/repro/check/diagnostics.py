@@ -1,0 +1,171 @@
+"""Diagnostics for the static verifier.
+
+A :class:`Diagnostic` pins one finding to a place: a module, usually a
+procedure, and — for code findings — a byte offset into the procedure
+body plus a disassembled context window, so the report reads like a
+compiler error citing source lines.  Table findings (link vector, GFT,
+fsi) cite the table index or entry address instead of a code offset.
+
+Severities:
+
+* ``ERROR`` — a property the machine relies on is violated; executing
+  the image can corrupt control flow or trap.  Errors fail the check.
+* ``WARNING`` — legal but suspicious (dead code, unreachable
+  procedures, a cold import occupying a one-byte EFC slot).
+* ``NOTE`` — information that bounds what the verifier can promise
+  (e.g. a raw ``XF`` whose destination is data-dependent).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DecodeError
+from repro.isa.disassembler import DecodedInstruction, disassemble
+
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: check id, severity, location, message, context."""
+
+    check: str  # kebab-case check id, e.g. "stack-underflow"
+    severity: Severity
+    message: str
+    module: str | None = None
+    procedure: str | None = None
+    #: Byte offset within the procedure body (code findings) or a table
+    #: index / entry address (table findings); None when not applicable.
+    offset: int | None = None
+    #: Disassembled context around the offset ("" when not applicable).
+    context: str = ""
+
+    @property
+    def location(self) -> str:
+        """``Module.proc+0x0012``-style location string."""
+        place = ""
+        if self.module:
+            place = self.module
+            if self.procedure:
+                place += f".{self.procedure}"
+        if self.offset is not None:
+            mark = f"+{self.offset:#06x}" if place else f"{self.offset:#06x}"
+            place += mark
+        return place or "<image>"
+
+    def format(self, listing: bool = False) -> str:
+        """Render the diagnostic; with *listing*, include the context."""
+        line = f"{self.severity.value}[{self.check}] {self.location}: {self.message}"
+        if listing and self.context:
+            line += "\n" + "\n".join(f"    {ctx}" for ctx in self.context.splitlines())
+        return line
+
+
+@dataclass
+class CheckReport:
+    """Accumulates diagnostics across every pass of a check run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        check: str,
+        severity: Severity,
+        message: str,
+        module: str | None = None,
+        procedure: str | None = None,
+        offset: int | None = None,
+        context: str = "",
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(check, severity, message, module, procedure, offset, context)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def notes(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.NOTE]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity diagnostics were recorded."""
+        return not self.errors
+
+    def by_check(self, check: str) -> list[Diagnostic]:
+        """All diagnostics of one check id (test and fuzz convenience)."""
+        return [d for d in self.diagnostics if d.check == check]
+
+    def format(self, listing: bool = False) -> str:
+        """Human-readable report, errors first."""
+        order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.NOTE: 2}
+        ranked = sorted(
+            self.diagnostics, key=lambda d: (order[d.severity], d.module or "", d.offset or 0)
+        )
+        lines = [d.format(listing=listing) for d in ranked]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.notes)} note(s)"
+        )
+        return "\n".join(lines)
+
+
+def instruction_context(body: bytes, offset: int, before: int = 2, after: int = 1) -> str:
+    """A ``--listing``-style window around *offset*, the bad line marked.
+
+    Decodes the body defensively: a decode failure truncates the window
+    rather than raising (the context is a courtesy, never a check).
+    """
+    try:
+        items = disassemble(body)
+    except DecodeError as fault:
+        items = _decode_prefix(body, fault.offset)
+    window: list[str] = []
+    shown: list[DecodedInstruction] = []
+    for item in items:
+        if item.offset <= offset:
+            shown = (shown + [item])[-(before + 1) :]
+        elif len(shown) < before + 1 + after:
+            shown.append(item)
+        else:
+            break
+    for item in shown:
+        raw = body[item.offset : item.offset + item.length].hex(" ")
+        marker = ">" if item.offset == offset else " "
+        window.append(f"{marker} {item.offset:#06x}  {raw:<12} {item.instruction}")
+    if not any(item.offset == offset for item in shown) and 0 <= offset < len(body):
+        window.append(f"> {offset:#06x}  {body[offset]:#04x}          <undecodable>")
+    return "\n".join(window)
+
+
+def _decode_prefix(body: bytes, stop: int) -> list[DecodedInstruction]:
+    """Decode as much of *body* as is well-formed before *stop*."""
+    try:
+        return disassemble(body, 0, stop)
+    except DecodeError:
+        items: list[DecodedInstruction] = []
+        offset = 0
+        from repro.isa.instruction import decode
+
+        while offset < stop:
+            try:
+                instruction = decode(body, offset)
+            except DecodeError:
+                break
+            items.append(DecodedInstruction(offset, instruction))
+            offset += instruction.length
+        return items

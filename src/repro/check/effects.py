@@ -1,0 +1,171 @@
+"""Static stack effects and operand-range limits per opcode.
+
+The fixed-effect table gives ``(pops, pushes)`` for every instruction
+whose effect does not depend on linkage: loads push one, stores pop one,
+binary operators pop two and push one, and so on.  Control transfers
+(calls, ``RET``, ``XF``) are resolved by the verifier against the
+target's signature — the whole point of call/return-matched analysis.
+
+Operand limits are the second tier: a ``LLB 12`` in a procedure with a
+9-word frame reads a word that belongs to the *next* frame, silently.
+The machine has no bounds check there (a real machine would not either),
+which is exactly why the checker verifies local, global, entry-vector,
+and link-vector indices statically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import CALL_OPS, Op
+
+#: (pops, pushes) for every opcode with a linkage-independent effect.
+FIXED_EFFECTS: dict[Op, tuple[int, int]] = {
+    Op.NOOP: (0, 0),
+    Op.HALT: (0, 0),
+    Op.BRK: (0, 0),
+    Op.LIN1: (0, 1),
+    Op.LI0: (0, 1),
+    Op.LI1: (0, 1),
+    Op.LI2: (0, 1),
+    Op.LI3: (0, 1),
+    Op.LI4: (0, 1),
+    Op.LI5: (0, 1),
+    Op.LI6: (0, 1),
+    Op.LI7: (0, 1),
+    Op.LIB: (0, 1),
+    Op.LIW: (0, 1),
+    Op.LL0: (0, 1),
+    Op.LL1: (0, 1),
+    Op.LL2: (0, 1),
+    Op.LL3: (0, 1),
+    Op.LL4: (0, 1),
+    Op.LL5: (0, 1),
+    Op.LL6: (0, 1),
+    Op.LL7: (0, 1),
+    Op.LLB: (0, 1),
+    Op.SL0: (1, 0),
+    Op.SL1: (1, 0),
+    Op.SL2: (1, 0),
+    Op.SL3: (1, 0),
+    Op.SL4: (1, 0),
+    Op.SL5: (1, 0),
+    Op.SL6: (1, 0),
+    Op.SL7: (1, 0),
+    Op.SLB: (1, 0),
+    Op.LLA: (0, 1),
+    Op.LG: (0, 1),
+    Op.SG: (1, 0),
+    Op.LGA: (0, 1),
+    Op.RD: (1, 1),
+    Op.WR: (2, 0),
+    Op.ADD: (2, 1),
+    Op.SUB: (2, 1),
+    Op.MUL: (2, 1),
+    Op.DIV: (2, 1),
+    Op.MOD: (2, 1),
+    Op.NEG: (1, 1),
+    Op.AND: (2, 1),
+    Op.OR: (2, 1),
+    Op.XOR: (2, 1),
+    Op.NOT: (1, 1),
+    Op.SHL: (2, 1),
+    Op.SHR: (2, 1),
+    Op.EQ: (2, 1),
+    Op.NE: (2, 1),
+    Op.LT: (2, 1),
+    Op.LE: (2, 1),
+    Op.GT: (2, 1),
+    Op.GE: (2, 1),
+    Op.DUP: (1, 2),
+    Op.POP: (1, 0),
+    Op.EXCH: (2, 2),
+    Op.JB: (0, 0),
+    Op.JW: (0, 0),
+    Op.JZB: (1, 0),
+    Op.JNZB: (1, 0),
+    Op.JZW: (1, 0),
+    Op.JNZW: (1, 0),
+    Op.LRC: (0, 1),
+    Op.LLC: (0, 1),
+    Op.YIELD: (0, 0),
+    Op.OUT: (1, 0),
+    Op.RETAIN: (0, 0),
+    Op.ALOC: (1, 1),
+    Op.FREE: (1, 0),
+}
+
+#: Opcodes whose runtime behaviour depends on data the checker cannot
+#: see: XF transfers to a computed context word, ALOC sizes a record
+#: from a stack operand, FREE releases a computed pointer.  Bodies using
+#: them get a NOTE bounding the verifier's guarantee.
+DYNAMIC_OPS: frozenset[Op] = frozenset({Op.XF, Op.ALOC, Op.FREE})
+
+#: Calls with an explicit entry-vector index operand.
+LOCAL_CALL_OPS: frozenset[Op] = frozenset({Op.LFC})
+
+#: External calls through the link vector, with their implied LV index
+#: (None when the index is the operand byte, as in EFCB).
+EXTERNAL_CALL_INDEX: dict[Op, int | None] = {
+    Op.EFC0: 0,
+    Op.EFC1: 1,
+    Op.EFC2: 2,
+    Op.EFC3: 3,
+    Op.EFC4: 4,
+    Op.EFC5: 5,
+    Op.EFC6: 6,
+    Op.EFC7: 7,
+    Op.EFCB: None,
+}
+
+#: Direct calls whose operand is a code address (resolved by the linker).
+DIRECT_CALL_OPS: frozenset[Op] = frozenset({Op.DFC, Op.SDFC})
+
+assert CALL_OPS == (
+    frozenset(EXTERNAL_CALL_INDEX) | LOCAL_CALL_OPS | DIRECT_CALL_OPS
+), "checker call classification out of sync with the opcode table"
+
+#: One-byte local loads/stores, with their implied local slot.
+SHORT_LOCAL_SLOTS: dict[Op, int] = {
+    **{Op(int(Op.LL0) + i): i for i in range(8)},
+    **{Op(int(Op.SL0) + i): i for i in range(8)},
+}
+
+
+@dataclass(frozen=True)
+class OperandLimits:
+    """Everything needed to range-check one procedure's operands."""
+
+    #: Words of arguments + locals + temporaries (frame minus header).
+    local_words: int
+    #: Global variable words of the owning module.
+    global_words: int
+    #: Entries in the module's link vector (its import count).
+    import_count: int
+    #: Entries in the module's entry vector (its procedure count).
+    proc_count: int
+
+
+def local_index_of(instruction) -> int | None:
+    """The local-variable slot an instruction touches, or None."""
+    op = instruction.op
+    if op in SHORT_LOCAL_SLOTS:
+        return SHORT_LOCAL_SLOTS[op]
+    if op in (Op.LLB, Op.SLB, Op.LLA):
+        return instruction.operand
+    return None
+
+
+def global_index_of(instruction) -> int | None:
+    """The global-variable index an instruction touches, or None."""
+    if instruction.op in (Op.LG, Op.SG, Op.LGA):
+        return instruction.operand
+    return None
+
+
+def external_index_of(instruction) -> int | None:
+    """The link-vector index an external call uses, or None."""
+    implied = EXTERNAL_CALL_INDEX.get(instruction.op)
+    if instruction.op is Op.EFCB:
+        return instruction.operand
+    return implied

@@ -1,0 +1,206 @@
+"""Eval-stack depth verification by abstract interpretation over the CFG.
+
+The JVM-verifier-style invariant: the evaluation stack's depth at every
+instruction is a static property of the offset, independent of the path
+that reached it.  The verifier computes it by dataflow — propagate the
+depth along every CFG edge, reject on conflict — and checks at each
+instruction that:
+
+* pops never underflow (``ADD`` with one word on the stack);
+* pushes never exceed the configured stack depth (the Mesa stack lives
+  in registers; overflow is a hard machine fault);
+* transfers obey the section 5.2 discipline: at a call the stack holds
+  *exactly* the outgoing argument record (under RENAME the machine
+  takes the whole stack as the record, so a depth mismatch silently
+  becomes an argument-count mismatch — the nastiest kind of corruption);
+* ``RET`` executes with exactly the procedure's result record on the
+  stack (the machine hands the whole stack to the caller);
+* join points agree on the depth.
+
+Unreachable blocks are reported as dead code (WARNING) — they cannot be
+verified, and the machine can never execute them through structured
+control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable
+
+from repro.isa.disassembler import DecodedInstruction
+from repro.isa.opcodes import CALL_OPS, Op
+
+from repro.check.cfg import ControlFlowGraph
+from repro.check.diagnostics import CheckReport, Severity, instruction_context
+from repro.check.effects import FIXED_EFFECTS
+
+
+@dataclass(frozen=True)
+class CallEffect:
+    """The stack effect of one resolved call site."""
+
+    arg_count: int
+    result_count: int
+    target: str  # qualified name, for messages
+
+
+#: Resolves a call instruction at an offset to its target's signature.
+#: Returning None means the resolver could not identify the target; it
+#: is expected to have emitted its own diagnostic, and the verifier
+#: stops propagating depth through that instruction.
+CallResolver = Callable[[DecodedInstruction], CallEffect | None]
+
+
+@dataclass(frozen=True)
+class StackRules:
+    """Per-procedure facts the depth verifier checks against."""
+
+    #: Depth on entry: the argument record under COPY (the prologue pops
+    #: it), zero under RENAME (arguments arrive as bank-resident locals).
+    entry_depth: int
+    #: Words the procedure must leave on the stack at RET.
+    result_count: int
+    #: Hard stack-depth limit (MachineConfig.eval_stack_depth).
+    stack_limit: int
+
+
+def verify_stack_depths(
+    cfg: ControlFlowGraph,
+    rules: StackRules,
+    resolve_call: CallResolver,
+    report: CheckReport,
+    module: str | None = None,
+    procedure: str | None = None,
+) -> dict[int, int] | None:
+    """Dataflow the stack depth over *cfg*; returns {offset: entry depth}.
+
+    Emits diagnostics on *report*.  Returns None when verification could
+    not complete (a conflict poisons further propagation); a dict of the
+    verified per-instruction depths otherwise.
+    """
+    body = cfg.body
+
+    def diag(check: str, severity: Severity, message: str, offset: int) -> None:
+        report.add(
+            check,
+            severity,
+            message,
+            module,
+            procedure,
+            offset=offset,
+            context=instruction_context(body, offset),
+        )
+
+    in_depth: dict[int, int] = {0: rules.entry_depth}
+    depth_at: dict[int, int] = {}
+    work = [0]
+    consistent = True
+    visited: set[int] = set()
+    while work:
+        start = work.pop()
+        if start in visited:
+            continue
+        visited.add(start)
+        block = cfg.blocks[start]
+        depth = in_depth[start]
+        abandoned = False
+        for item in block.instructions:
+            depth_at[item.offset] = depth
+            op = item.instruction.op
+            if op in CALL_OPS:
+                effect = resolve_call(item)
+                if effect is None:
+                    abandoned = True
+                    break
+                if depth != effect.arg_count:
+                    diag(
+                        "call-record-mismatch",
+                        Severity.ERROR,
+                        f"{item.instruction} transfers to {effect.target} with "
+                        f"{depth} word(s) on the stack; its argument record is "
+                        f"{effect.arg_count} word(s) (section 5.2: the stack "
+                        "holds exactly the outgoing record at a transfer)",
+                        item.offset,
+                    )
+                    if depth < effect.arg_count:
+                        abandoned = True
+                        break
+                depth = effect.result_count
+            elif op is Op.RET:
+                if depth != rules.result_count:
+                    diag(
+                        "return-record-mismatch",
+                        Severity.ERROR,
+                        f"RET with {depth} word(s) on the stack; the "
+                        f"procedure's result record is {rules.result_count} "
+                        "word(s)",
+                        item.offset,
+                    )
+            elif op is Op.XF:
+                # XF pops the destination word and sends the *rest* of the
+                # stack as the outgoing record; by convention the incoming
+                # record is one word (repro.lang.codegen emits exactly that).
+                if depth < 1:
+                    diag(
+                        "stack-underflow",
+                        Severity.ERROR,
+                        "XF needs a destination context word but the stack "
+                        "is empty",
+                        item.offset,
+                    )
+                    abandoned = True
+                    break
+                depth = 1
+            else:
+                pops, pushes = FIXED_EFFECTS[op]
+                if depth < pops:
+                    diag(
+                        "stack-underflow",
+                        Severity.ERROR,
+                        f"{item.instruction} pops {pops} word(s) but the "
+                        f"stack depth is {depth}",
+                        item.offset,
+                    )
+                    abandoned = True
+                    break
+                depth = depth - pops + pushes
+                if depth > rules.stack_limit:
+                    diag(
+                        "stack-overflow",
+                        Severity.ERROR,
+                        f"{item.instruction} pushes the stack to {depth} "
+                        f"word(s), past the machine limit of "
+                        f"{rules.stack_limit}",
+                        item.offset,
+                    )
+                    abandoned = True
+                    break
+        if abandoned:
+            consistent = False
+            continue
+        for successor in block.successors:
+            if successor not in in_depth:
+                in_depth[successor] = depth
+                work.append(successor)
+            elif in_depth[successor] != depth:
+                diag(
+                    "inconsistent-depth",
+                    Severity.ERROR,
+                    f"join at {successor:#06x} reached with stack depth "
+                    f"{depth} from {block.terminator.offset:#06x} but "
+                    f"{in_depth[successor]} along another path",
+                    successor,
+                )
+                consistent = False
+
+    dead = sorted(set(cfg.blocks) - set(in_depth))
+    for start in dead:
+        block = cfg.blocks[start]
+        diag(
+            "dead-code",
+            Severity.WARNING,
+            f"block at {start:#06x} ({len(block.instructions)} "
+            "instruction(s)) is unreachable",
+            start,
+        )
+    return depth_at if consistent else None

@@ -246,6 +246,100 @@ END.
     return 1 if failures else 0
 
 
+def _embedded_sources(text: str) -> list[str]:
+    """MESA module sources embedded in a Python file as string literals.
+
+    The examples keep their programs in module-level strings; any string
+    constant whose stripped text starts with ``MODULE `` counts.  All
+    strings in one file form one program.
+    """
+    import ast as python_ast
+
+    sources = []
+    for node in python_ast.walk(python_ast.parse(text)):
+        if (
+            isinstance(node, python_ast.Constant)
+            and isinstance(node.value, str)
+            and node.value.lstrip().startswith("MODULE ")
+        ):
+            sources.append(node.value)
+    return sources
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Statically verify programs: control flow, stack depths, linkage.
+
+    Exit status: 0 all clean, 1 findings (errors; warnings too under
+    ``--strict``), 2 when a program could not even be compiled or linked.
+    """
+    import sys
+
+    from repro.check import check_image, check_modules
+    from repro.errors import ReproError
+
+    if not args.files and not args.corpus:
+        print("check: give source files, --from-python files, or --corpus",
+              file=sys.stderr)
+        return 2
+
+    programs: list[tuple[str, list[str], tuple[str, str] | None]] = []
+    if args.corpus:
+        from repro.workloads.programs import CORPUS
+
+        for name, program in CORPUS.items():
+            programs.append((f"corpus:{name}", list(program.sources), program.entry))
+    if args.from_python:
+        for path in args.files:
+            sources = _embedded_sources(Path(path).read_text())
+            if sources:
+                programs.append((path, sources, None))
+            else:
+                print(f"{path}: no embedded MODULE sources, nothing to check")
+    elif args.files:
+        programs.append((", ".join(args.files), _read_sources(args.files), args.entry))
+
+    config = MachineConfig.preset(args.impl)
+    status = 0
+    for label, sources, entry in programs:
+        try:
+            modules = compile_program(sources, CompileOptions.for_config(config))
+        except ReproError as fault:
+            print(f"{label}: cannot compile: {fault}")
+            status = 2
+            continue
+        if entry is None:
+            entry = (modules[0].name, modules[0].procedures[0].name)
+            for module in modules:
+                if module.name == "Main" and any(
+                    procedure.name == "main" for procedure in module.procedures
+                ):
+                    entry = ("Main", "main")
+                    break
+        report = check_modules(
+            modules,
+            convention=config.arg_convention,
+            stack_limit=config.eval_stack_depth,
+            entry=entry,
+        )
+        if report.ok:
+            try:
+                image = link(modules, config, entry)
+            except ReproError as fault:
+                print(f"{label}: cannot link: {fault}")
+                status = 2
+                continue
+            report = check_image(image)
+        failed = not report.ok or (args.strict and report.warnings)
+        if report.diagnostics:
+            print(f"== {label} ==")
+            print(report.format(listing=args.listing))
+        else:
+            print(f"{label}: clean")
+        if failed:
+            status = max(status, 1)
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -281,6 +375,25 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="fast checks of the paper's headline claims"
     )
     verify.set_defaults(func=cmd_verify)
+
+    check = sub.add_parser(
+        "check", help="statically verify programs without executing them"
+    )
+    check.add_argument("files", nargs="*", help="module source files")
+    check.add_argument("--entry", type=_entry, default=None,
+                       help="entry procedure, Module.proc (default Main.main)")
+    check.add_argument("--impl", choices=["i1", "i2", "i3", "i4"], default="i2",
+                       help="implementation preset to verify against (default i2)")
+    check.add_argument("--corpus", action="store_true",
+                       help="also verify every workload corpus program")
+    check.add_argument("--from-python", action="store_true",
+                       help="treat each file as a Python file with embedded "
+                            "MODULE string literals (the examples)")
+    check.add_argument("--listing", action="store_true",
+                       help="print disassembled context around each finding")
+    check.add_argument("--strict", action="store_true",
+                       help="warnings also fail the check")
+    check.set_defaults(func=cmd_check)
 
     return parser
 

@@ -15,7 +15,8 @@ as the creation context of section 3.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Generator
+from collections.abc import Callable, Generator
+from typing import Any
 
 from repro.errors import DanglingFrame
 
@@ -56,7 +57,7 @@ class AbstractContext:
     :attr:`args`.
     """
 
-    def __init__(self, procedure: ProcedureValue, engine: "Any") -> None:
+    def __init__(self, procedure: ProcedureValue, engine: Any) -> None:
         self.procedure = procedure
         self.engine = engine
         self.name = f"{procedure.name}#{next(_serial)}"

@@ -9,7 +9,8 @@ expressible at both levels must produce the same results.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.context import AbstractContext, ProcedureValue
 from repro.core.xfer import XferEngine

@@ -72,17 +72,50 @@ class EncodingError(ReproError):
     """Base class for errors in the instruction encoding layer."""
 
 
-class UnknownOpcode(EncodingError):
+class DecodeError(EncodingError):
+    """Decoding an instruction stream failed at a known byte offset.
+
+    Carries ``offset`` so that tooling over untrusted bytes (the static
+    checker, the fuzz harness) can report exactly where decode went
+    wrong instead of guessing from a message string.
+    """
+
+    def __init__(self, message: str, offset: int) -> None:
+        super().__init__(message)
+        self.offset = offset
+
+
+class UnknownOpcode(DecodeError):
     """Decode hit a byte that is not a defined opcode."""
 
     def __init__(self, byte: int, pc: int) -> None:
-        super().__init__(f"unknown opcode {byte:#04x} at pc={pc:#x}")
+        super().__init__(f"unknown opcode {byte:#04x} at pc={pc:#x}", pc)
         self.byte = byte
         self.pc = pc
 
 
 class OperandRangeError(EncodingError):
     """An instruction operand does not fit its encoded field."""
+
+
+class TruncatedInstruction(DecodeError, OperandRangeError):
+    """An instruction's operand bytes run past the end of the stream.
+
+    Subclasses :class:`OperandRangeError` for backward compatibility
+    (callers historically caught that for truncation) and
+    :class:`DecodeError` so the offset is structured, not textual.
+    """
+
+    def __init__(self, op_name: str, pc: int, needed: int, available: int) -> None:
+        DecodeError.__init__(
+            self,
+            f"{op_name} at pc={pc:#x} needs {needed} byte(s) but only "
+            f"{available} remain",
+            pc,
+        )
+        self.op_name = op_name
+        self.needed = needed
+        self.available = available
 
 
 class AssemblyError(EncodingError):
@@ -198,3 +231,25 @@ class ParseError(CompileError):
 
 class SemanticError(CompileError):
     """Name resolution or type checking failed."""
+
+
+# ---------------------------------------------------------------------------
+# Static checker
+# ---------------------------------------------------------------------------
+
+
+class CheckFailed(ReproError):
+    """The static verifier found errors in a module or linked image.
+
+    Raised by the ``check=True`` hooks in :func:`repro.lang.compiler.
+    compile_program` and :func:`repro.lang.linker.link`; carries the full
+    :class:`repro.check.diagnostics.CheckReport` for programmatic access.
+    """
+
+    def __init__(self, report) -> None:  # noqa: ANN001 - avoids an import cycle
+        errors = [d for d in report.diagnostics if d.severity.value == "error"]
+        summary = "; ".join(d.message for d in errors[:3])
+        if len(errors) > 3:
+            summary += f"; ... {len(errors) - 3} more"
+        super().__init__(f"static check failed with {len(errors)} error(s): {summary}")
+        self.report = report

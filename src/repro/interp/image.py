@@ -86,7 +86,7 @@ class ProgramImage:
         """Words spent on each table kind (benchmark C6's denominators)."""
         lv_words = sum(
             linked.lv.words()
-            for (name, instance), linked in self.instances.items()
+            for (_name, instance), linked in self.instances.items()
             if instance == 0  # link vectors are shared across instances
         )
         gft_words = len(self.gft) if self.gft is not None else 0

@@ -25,7 +25,7 @@ charged by the :class:`~repro.machine.memory.Memory` and
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.banks.bankfile import Bank, BankFile
 from repro.banks.deferred import FastFrameStack

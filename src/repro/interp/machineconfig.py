@@ -119,14 +119,14 @@ class MachineConfig:
     def use_banks(self) -> bool:
         return self.bank_count > 0
 
-    def but(self, **changes) -> "MachineConfig":
+    def but(self, **changes) -> MachineConfig:
         """A copy with the given fields replaced (ablation helper)."""
         return replace(self, **changes)
 
     # -- the paper's four implementations -----------------------------------------
 
     @classmethod
-    def i1(cls, **overrides) -> "MachineConfig":
+    def i1(cls, **overrides) -> MachineConfig:
         """Section 4: the very straightforward implementation."""
         base = cls(
             linkage=LinkageKind.SIMPLE,
@@ -136,7 +136,7 @@ class MachineConfig:
         return base.but(**overrides) if overrides else base
 
     @classmethod
-    def i2(cls, **overrides) -> "MachineConfig":
+    def i2(cls, **overrides) -> MachineConfig:
         """Section 5: the Mesa implementation (minimum space)."""
         base = cls(
             linkage=LinkageKind.MESA,
@@ -146,7 +146,7 @@ class MachineConfig:
         return base.but(**overrides) if overrides else base
 
     @classmethod
-    def i3(cls, **overrides) -> "MachineConfig":
+    def i3(cls, **overrides) -> MachineConfig:
         """Section 6: DIRECTCALL plus the IFU return stack."""
         base = cls(
             linkage=LinkageKind.DIRECT,
@@ -157,7 +157,7 @@ class MachineConfig:
         return base.but(**overrides) if overrides else base
 
     @classmethod
-    def i4(cls, **overrides) -> "MachineConfig":
+    def i4(cls, **overrides) -> MachineConfig:
         """Section 7: banks, renaming, fast frames, deferred allocation."""
         base = cls(
             linkage=LinkageKind.DIRECT,
@@ -171,7 +171,7 @@ class MachineConfig:
         return base.but(**overrides) if overrides else base
 
     @classmethod
-    def preset(cls, name: str, **overrides) -> "MachineConfig":
+    def preset(cls, name: str, **overrides) -> MachineConfig:
         """Look up a preset by name: "i1".."i4"."""
         presets = {"i1": cls.i1, "i2": cls.i2, "i3": cls.i3, "i4": cls.i4}
         try:

@@ -167,7 +167,7 @@ class Assembler:
     def _widen_pass(self, offsets: list[int]) -> bool:
         """Widen overflowing short jumps; return True if anything changed."""
         changed = False
-        for item, offset in zip(self._items, offsets):
+        for item, offset in zip(self._items, offsets, strict=True):
             if isinstance(item, _Jump) and not item.widened:
                 displacement = self._displacement(item, offset)
                 if not _S8_RANGE[0] <= displacement <= _S8_RANGE[1]:
@@ -177,7 +177,7 @@ class Assembler:
 
     def _encode(self, offsets: list[int]) -> bytes:
         body = bytearray()
-        for item, offset in zip(self._items, offsets):
+        for item, offset in zip(self._items, offsets, strict=True):
             if isinstance(item, _Bind):
                 continue
             if isinstance(item, _Jump):

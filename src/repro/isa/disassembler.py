@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import TruncatedInstruction
 from repro.isa.instruction import Instruction, decode
 from repro.isa.opcodes import DESCRIPTIONS, JUMP_OPS, OperandKind, OPERAND_KINDS
 
@@ -35,8 +36,12 @@ class DecodedInstruction:
 def disassemble(body: bytes, start: int = 0, end: int | None = None) -> list[DecodedInstruction]:
     """Linearly decode ``body[start:end]`` into positioned instructions.
 
-    The decoder assumes the range contains instructions only (no embedded
-    data); procedure bodies produced by the assembler satisfy that.
+    The range must contain instructions only (no embedded data);
+    procedure bodies produced by the assembler satisfy that.  Untrusted
+    bytes fail with a structured :class:`~repro.errors.DecodeError`
+    carrying the offending offset: :class:`~repro.errors.UnknownOpcode`
+    for an undefined byte, :class:`~repro.errors.TruncatedInstruction`
+    when an instruction's operand bytes run past ``end``.
     """
     if end is None:
         end = len(body)
@@ -44,6 +49,10 @@ def disassemble(body: bytes, start: int = 0, end: int | None = None) -> list[Dec
     offset = start
     while offset < end:
         instruction = decode(body, offset)
+        if offset + instruction.length > end:
+            raise TruncatedInstruction(
+                instruction.op.name, offset, instruction.length, end - offset
+            )
         result.append(DecodedInstruction(offset, instruction))
         offset += instruction.length
     return result

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import OperandRangeError, UnknownOpcode
+from repro.errors import OperandRangeError, TruncatedInstruction, UnknownOpcode
 from repro.isa.opcodes import OPERAND_KINDS, Op, OperandKind, instruction_length
 
 #: Valid operand ranges per kind (inclusive).
@@ -80,7 +80,10 @@ def decode(code: bytes | bytearray, pc: int) -> Instruction:
     """Decode the instruction starting at byte offset *pc* of *code*.
 
     Raises :class:`UnknownOpcode` for undefined bytes and
-    :class:`OperandRangeError` if the code is truncated mid-operand.
+    :class:`TruncatedInstruction` (a structured :class:`OperandRangeError`
+    carrying the offset) if the code is truncated mid-operand.  Both share
+    the :class:`repro.errors.DecodeError` base, so callers decoding
+    untrusted bytes can catch one type and recover the offset.
     """
     if not 0 <= pc < len(code):
         raise UnknownOpcode(-1, pc)
@@ -92,7 +95,7 @@ def decode(code: bytes | bytearray, pc: int) -> Instruction:
     kind = OPERAND_KINDS[op]
     needed = instruction_length(op)
     if pc + needed > len(code):
-        raise OperandRangeError(f"{op.name} at pc={pc:#x} runs off the code end")
+        raise TruncatedInstruction(op.name, pc, needed, len(code) - pc)
     if kind is OperandKind.NONE:
         return Instruction(op)
     if kind is OperandKind.U8:

@@ -39,7 +39,7 @@ class ProgramInfo:
     signatures: dict[tuple[str, str], Signature] = field(default_factory=dict)
 
     @classmethod
-    def collect(cls, modules: list[ast.ModuleDecl]) -> "ProgramInfo":
+    def collect(cls, modules: list[ast.ModuleDecl]) -> ProgramInfo:
         info = cls()
         for module in modules:
             for procedure in module.procedures:

@@ -31,6 +31,9 @@ class CompileOptions:
     #: under DIRECT linkage (the section 6/8 hybrid: early-bind "in the
     #: system" modules, stay flexible for code under development).
     flexible_modules: frozenset[str] = frozenset()
+    #: Run the static verifier over the generated modules; errors raise
+    #: :class:`repro.errors.CheckFailed` with the full report attached.
+    check: bool = False
 
     @classmethod
     def for_config(
@@ -38,13 +41,15 @@ class CompileOptions:
         config: MachineConfig,
         multi_instance: frozenset[str] = frozenset(),
         flexible_modules: frozenset[str] = frozenset(),
-    ) -> "CompileOptions":
+        check: bool = False,
+    ) -> CompileOptions:
         """The compile options matching a machine configuration."""
         return cls(
             linkage=config.linkage,
             arg_convention=config.arg_convention,
             multi_instance=multi_instance,
             flexible_modules=flexible_modules,
+            check=check,
         )
 
     def to_codegen(self) -> CodegenOptions:
@@ -63,7 +68,15 @@ def compile_program(
     options = options or CompileOptions()
     modules = [parse_module(source) for source in sources]
     info = ProgramInfo.collect(modules)
-    return [generate_module(module, info, options.to_codegen()) for module in modules]
+    generated = [generate_module(module, info, options.to_codegen()) for module in modules]
+    if options.check:
+        from repro.check.checker import check_modules
+        from repro.errors import CheckFailed
+
+        report = check_modules(generated, convention=options.arg_convention)
+        if not report.ok:
+            raise CheckFailed(report)
+    return generated
 
 
 def compile_module(

@@ -62,10 +62,13 @@ def link(
     config: MachineConfig,
     entry: tuple[str, str],
     options: LinkOptions | None = None,
+    check: bool = False,
 ) -> ProgramImage:
     """Bind *modules* into a program image for *config*.
 
-    *entry* names the main procedure as ``(module, procedure)``.
+    *entry* names the main procedure as ``(module, procedure)``.  With
+    *check*, the static verifier runs over the finished image and errors
+    raise :class:`repro.errors.CheckFailed` with the report attached.
     """
     options = options or LinkOptions()
     ladder = options.ladder or geometric_ladder()
@@ -213,7 +216,7 @@ def link(
     entry_proc = entry_module.module.procedure_named(entry[1])
     entry_meta = procs_by_entry[entry_module.code_base + entry_proc.entry_offset]
 
-    return ProgramImage(
+    image = ProgramImage(
         config=config,
         counter=counter,
         memory=memory,
@@ -228,6 +231,14 @@ def link(
         procs_by_entry=procs_by_entry,
         entry=entry_meta,
     )
+    if check:
+        from repro.check.checker import check_image
+        from repro.errors import CheckFailed
+
+        report = check_image(image)
+        if not report.ok:
+            raise CheckFailed(report)
+    return image
 
 
 # -- helpers ---------------------------------------------------------------------

@@ -77,7 +77,7 @@ class CostModel:
         """Return the cycle cost of one occurrence of *event*."""
         return self.charges[event]
 
-    def with_charges(self, **overrides: int) -> "CostModel":
+    def with_charges(self, **overrides: int) -> CostModel:
         """Return a copy with the named event charges replaced.
 
         Keyword names are the :class:`Event` value strings, e.g.

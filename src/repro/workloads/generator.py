@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 _WORD = 0xFFFF
 
@@ -171,7 +171,7 @@ def _build_body(proc: _Proc, procs: list[_Proc], config: GeneratorConfig, rng: r
     )
 
     def mirror(*args: int) -> int:
-        env = {name: _wrap(value) for name, value in zip(proc.params, args)}
+        env = {name: _wrap(value) for name, value in zip(proc.params, args, strict=True)}
         for step in steps:
             step(env)
         return final[1](env)

@@ -1,0 +1,124 @@
+"""CFG construction and the control-flow tier of the static verifier."""
+
+from repro.check import CheckReport, build_cfg
+from repro.isa.instruction import Instruction, encode
+from repro.isa.opcodes import Op
+
+
+def body_of(*instructions):
+    """Assemble (op, operand) pairs; bare ops take operand 0."""
+    out = bytearray()
+    for item in instructions:
+        op, operand = item if isinstance(item, tuple) else (item, 0)
+        out += encode(Instruction(op, operand))
+    return bytes(out)
+
+
+def checks(report):
+    return [d.check for d in report.diagnostics]
+
+
+def test_straight_line_body_is_one_block():
+    report = CheckReport()
+    cfg = build_cfg(body_of(Op.LI1, Op.LI2, Op.ADD, Op.RET), report)
+    assert report.diagnostics == []
+    assert len(cfg.blocks) == 1
+    (block,) = cfg.blocks.values()
+    assert block.start == 0
+    assert [d.instruction.op for d in block.instructions] == [Op.LI1, Op.LI2, Op.ADD, Op.RET]
+    assert block.successors == []
+
+
+def test_conditional_jump_splits_blocks_with_both_edges():
+    # 0: LI1; 1: JZB +1 (-> 4); 3: LI2; 4: RET
+    body = body_of(Op.LI1, (Op.JZB, 1), Op.LI2, Op.RET)
+    report = CheckReport()
+    cfg = build_cfg(body, report)
+    assert report.diagnostics == []
+    assert sorted(cfg.blocks) == [0, 3, 4]
+    assert sorted(cfg.blocks[0].successors) == [3, 4]  # fall-through and target
+    assert cfg.blocks[3].successors == [4]
+    assert cfg.reachable_blocks() == {0, 3, 4}
+
+
+def test_unconditional_jump_has_no_fall_through_edge():
+    # 0: JB +1 (-> 3); 2: LI1; 3: RET — the LI1 block is unreachable.
+    body = body_of((Op.JB, 1), Op.LI1, Op.RET)
+    report = CheckReport()
+    cfg = build_cfg(body, report)
+    assert report.diagnostics == []
+    assert cfg.blocks[0].successors == [3]
+    assert cfg.reachable_blocks() == {0, 3}
+
+
+def test_empty_body_rejected():
+    report = CheckReport()
+    assert build_cfg(b"", report, module="M", procedure="p") is None
+    (diag,) = report.errors
+    assert diag.check == "empty-body"
+
+
+def test_unknown_opcode_is_decode_error_with_offset():
+    report = CheckReport()
+    assert build_cfg(body_of(Op.LI1) + b"\xff", report) is None
+    (diag,) = report.errors
+    assert diag.check == "decode-error"
+    assert diag.offset == 1
+
+
+def test_truncated_instruction_is_decode_error():
+    # LIW wants a two-byte operand; give it one.
+    report = CheckReport()
+    assert build_cfg(bytes([int(Op.LIW), 0x12]), report) is None
+    (diag,) = report.errors
+    assert diag.check == "decode-error"
+    assert diag.offset == 0
+
+
+def test_jump_out_of_range():
+    body = body_of((Op.JB, 0x40), Op.RET)
+    report = CheckReport()
+    cfg = build_cfg(body, report)
+    (diag,) = report.errors
+    assert diag.check == "jump-out-of-range"
+    assert diag.offset == 0
+    # The bad edge is dropped, not kept dangling.
+    assert cfg.blocks[0].successors == []
+
+
+def test_jump_into_mid_instruction():
+    # 0: JB +1 (-> 3, the operand byte of LIB); 2: LIB 5; 4: RET
+    body = body_of((Op.JB, 1), (Op.LIB, 5), Op.RET)
+    report = CheckReport()
+    cfg = build_cfg(body, report)
+    (diag,) = report.errors
+    assert diag.check == "jump-into-instruction"
+    assert diag.offset == 0
+    assert "0x0003" in diag.message
+    assert cfg.blocks[0].successors == []
+
+
+def test_backward_jump_to_boundary_is_fine():
+    # 0: LI1; 1: JNZB -3 (-> 0); 3: RET
+    body = body_of(Op.LI1, (Op.JNZB, -3), Op.RET)
+    report = CheckReport()
+    cfg = build_cfg(body, report)
+    assert report.diagnostics == []
+    # The loop target is offset 0, so the whole LI1/JNZB pair is one block
+    # with a self edge plus the fall-through.
+    assert sorted(cfg.blocks[0].successors) == [0, 3]
+
+
+def test_falling_off_the_end():
+    report = CheckReport()
+    build_cfg(body_of(Op.LI1, Op.LI2, Op.ADD), report, module="M", procedure="p")
+    (diag,) = report.errors
+    assert diag.check == "falls-off-end"
+    assert diag.module == "M" and diag.procedure == "p"
+
+
+def test_halt_terminates_a_block():
+    report = CheckReport()
+    cfg = build_cfg(body_of(Op.HALT), report)
+    assert report.diagnostics == []
+    assert cfg.blocks[0].successors == []
