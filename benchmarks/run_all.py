@@ -45,6 +45,7 @@ import bench_c14_pointer_locals
 import bench_c15_local_traffic
 import bench_c16_hybrid
 import bench_host_speed
+import bench_obs_overhead
 
 EXPERIMENTS = {
     "f1": bench_f1_indirection,
@@ -66,6 +67,7 @@ EXPERIMENTS = {
     "c15": bench_c15_local_traffic,
     "c16": bench_c16_hybrid,
     "host": bench_host_speed,
+    "obs": bench_obs_overhead,
 }
 
 

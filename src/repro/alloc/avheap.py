@@ -83,6 +83,8 @@ class AVHeap:
         self.arena_limit = arena_base + arena_words
         self.replenish_batch = replenish_batch
         self.stats = AllocationStats()
+        #: Observability sink (repro.obs); None disables emission.
+        self.tracer = None
         # Bump pointer for the software allocator.  Frame pointers must be
         # even, and the header occupies pointer-1, so blocks start odd.
         self._bump = arena_base if arena_base % 2 == 1 else arena_base + 1
@@ -122,6 +124,11 @@ class AVHeap:
         self.stats.on_reuse(class_words + FRAME_OVERHEAD_WORDS)
         self.stats.on_allocate(fsi, requested_words, class_words + FRAME_OVERHEAD_WORDS)
         self._live[head] = requested_words
+        if self.tracer is not None:
+            self.tracer.emit(
+                "alloc.frame", "avheap", pointer=head, fsi=fsi,
+                words=requested_words, class_words=class_words,
+            )
         return head
 
     def allocate_words(self, words: int) -> int:
@@ -145,6 +152,10 @@ class AVHeap:
         self.memory.write(self.av_base + fsi, frame)  # ref 4: store list head
         class_words = self.ladder.size_of(fsi)
         self.stats.on_free(requested, class_words + FRAME_OVERHEAD_WORDS)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "alloc.free", "avheap", pointer=frame, fsi=fsi, words=requested,
+            )
 
     def fsi_of(self, frame: int) -> int:
         """Uncounted read of a live frame's size-class index."""
@@ -222,3 +233,8 @@ class AVHeap:
                 f"({class_words} words)"
             )
         self.stats.on_replenish(created, block_words)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "alloc.trap", "avheap", fsi=fsi, created=created,
+                class_words=class_words,
+            )

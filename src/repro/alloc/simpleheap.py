@@ -53,6 +53,8 @@ class SimpleHeap:
             usable -= 1
         self.arena_limit = base + usable
         self.stats = AllocationStats()
+        #: Observability sink (repro.obs); None disables emission.
+        self.tracer = None
         self._live: dict[int, int] = {}
         # One giant free block.
         memory.poke(base, usable - HEADER_WORDS)  # body size
@@ -91,6 +93,10 @@ class SimpleHeap:
                 self._live[pointer] = words
                 self.stats.on_reuse(words + HEADER_WORDS)
                 self.stats.on_allocate(0, words, words + HEADER_WORDS)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "alloc.frame", "first_fit", pointer=pointer, words=words,
+                    )
                 return pointer
             prev_addr = block + 1
             block = self.memory.read(block + 1)
@@ -106,6 +112,10 @@ class SimpleHeap:
         self.memory.write(block + 1, head)
         self.memory.write(self.head_base, block)
         self.stats.on_free(words, words + HEADER_WORDS)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "alloc.free", "first_fit", pointer=pointer, words=words,
+            )
 
     def is_live(self, pointer: int) -> bool:
         """True if *pointer* is a currently allocated body."""

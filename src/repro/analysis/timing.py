@@ -9,7 +9,7 @@ accesses, and modelled cycles come off the shared counter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.interp.machine import Machine
 from repro.interp.machineconfig import MachineConfig
@@ -30,6 +30,10 @@ class TransferCosts:
     cycles_per_transfer: float
     jump_speed_fraction: float
     total_cycles: int
+    #: The raw CycleCounter delta for the run: one entry per
+    #: :class:`~repro.machine.costs.Event` value plus ``"cycles"`` — the
+    #: machine-readable snapshot behind ``repro measure --json``.
+    counters: dict = field(default_factory=dict)
 
     @property
     def transfers(self) -> int:
@@ -91,6 +95,7 @@ def measure_program(
         cycles_per_transfer=delta["cycles"] / transfers,
         jump_speed_fraction=machine.fetch.call_return_jump_speed_fraction,
         total_cycles=delta["cycles"],
+        counters=dict(delta),
     )
 
 

@@ -65,6 +65,14 @@ class BankStats:
         return (self.overflows + self.underflows) / self.xfers
 
 
+def _frame_label(frame: object | None) -> str:
+    """A human-readable name for the frame a bank shadows (trace data)."""
+    proc = getattr(frame, "proc", None)
+    if proc is not None:
+        return proc.qualified_name
+    return "<stack>" if frame is None else str(frame)
+
+
 class Bank:
     """One register bank: a fixed-size word array plus bookkeeping."""
 
@@ -122,6 +130,8 @@ class BankFile:
         self.bank_words = bank_words
         self.track_dirty = track_dirty
         self.stats = BankStats()
+        #: Observability sink (repro.obs); None disables emission.
+        self.tracer = None
         self._banks = [Bank(i, bank_words) for i in range(banks)]
         self._seq = 0
 
@@ -195,6 +205,11 @@ class BankFile:
         bank.dirty.clear()
         self.stats.words_spilled += len(pairs)
         self.counter.record(Event.BANK_FLUSH)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "bank.spill", frame=_frame_label(bank.frame), bank=bank.id,
+                words=len(pairs),
+            )
         return pairs
 
     def fill(self, bank: Bank, values: list[int]) -> None:
@@ -204,6 +219,11 @@ class BankFile:
         bank.dirty.clear()
         self.stats.words_filled += len(values)
         self.counter.record(Event.BANK_LOAD)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "bank.fill", frame=_frame_label(bank.frame), bank=bank.id,
+                words=len(values),
+            )
 
     def snapshot(self) -> list[tuple[int, str, object | None]]:
         """(id, role, frame) per bank — the rows of Figure 3."""

@@ -1,20 +1,32 @@
-"""Command-line interface: run, disassemble, and measure mini-Mesa programs.
+"""Command-line interface: run, disassemble, measure, trace, and profile.
 
 Usage::
 
     python -m repro run prog.mesa [lib.mesa ...] [--impl i4] [--args 1 2]
     python -m repro disasm prog.mesa [--impl i2]
-    python -m repro measure prog.mesa [lib.mesa ...]
+    python -m repro measure prog.mesa [lib.mesa ...] [--json]
+    python -m repro trace prog.mesa [--format chrome|folded|jsonl] [--out f]
+    python -m repro profile prog.mesa [--top 10]
 
 ``run`` executes a program on one implementation and prints its results,
 output channel, and meters.  ``disasm`` shows the compiled encoding
 (entry vectors, fsi bytes, calling sequences).  ``measure`` runs the
-whole I1-I4 ladder and prints the section 8 comparison table.
+whole I1-I4 ladder and prints the section 8 comparison table (``--json``
+emits the raw :class:`~repro.machine.costs.CycleCounter` snapshots).
+``trace`` records the observability event stream (:mod:`repro.obs`) and
+exports it for chrome://tracing, flamegraph tools, or line-at-a-time
+processing.  ``profile`` reconstructs the matched call/return tree and
+prints the top procedures by inclusive/exclusive modelled cycles.
+
+``trace`` and ``profile`` also accept Python files (like the examples)
+whose embedded ``MODULE ...`` string literals form the program.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 from pathlib import Path
 
 from repro.analysis.report import format_table
@@ -28,6 +40,22 @@ from repro.lang.linker import link
 
 def _read_sources(paths: list[str]) -> list[str]:
     return [Path(path).read_text() for path in paths]
+
+
+def _read_program_sources(paths: list[str]) -> list[str]:
+    """Module sources from ``.mesa`` files or Python files with embedded
+    ``MODULE ...`` string literals (the examples)."""
+    sources: list[str] = []
+    for path in paths:
+        text = Path(path).read_text()
+        if path.endswith(".py"):
+            embedded = _embedded_sources(text)
+            if not embedded:
+                raise SystemExit(f"{path}: no embedded MODULE sources")
+            sources.extend(embedded)
+        else:
+            sources.append(text)
+    return sources
 
 
 def _entry(text: str) -> tuple[str, str]:
@@ -48,9 +76,21 @@ def _build(sources: list[str], preset: str, entry: tuple[str, str]) -> Machine:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.errors import TrapError
+    from repro.obs import TraceRecorder
+
     machine = _build(_read_sources(args.files), args.impl, args.entry)
+    # A small ring of recent events rides along on every run, so a trap
+    # dies with a story (the faulting context plus the last transfers)
+    # instead of a bare exception.
+    recorder = TraceRecorder(capacity=256)
+    machine.attach_tracer(recorder)
     machine.start(args.entry[0], args.entry[1], *args.args)
-    results = machine.run()
+    try:
+        results = machine.run()
+    except TrapError as fault:
+        _print_trap_diagnostics(machine, recorder, fault)
+        return 1
     print(f"results: {results}")
     if machine.output:
         print(f"output:  {machine.output}")
@@ -66,6 +106,25 @@ def cmd_run(args: argparse.Namespace) -> int:
         if "bank_overflow_rate" in report:
             print(f"bank rate:    {report['bank_overflow_rate']:.2%} overflow+underflow")
     return 0
+
+
+def _print_trap_diagnostics(machine, recorder, fault) -> None:
+    """An unhandled trap, narrated: class, PC, procedure, recent events."""
+    frame = machine.frame
+    where = frame.proc.qualified_name if frame is not None else "<no frame>"
+    print(f"trap: {fault.trap}", file=sys.stderr)
+    print(
+        f"  at pc {machine.pc:#06x} in {where} "
+        f"(step {machine.steps}, cycle {machine.counter.cycles})",
+        file=sys.stderr,
+    )
+    if fault.detail:
+        print(f"  detail: {fault.detail}", file=sys.stderr)
+    tail = recorder.tail(10)
+    if tail:
+        print(f"last {len(tail)} trace events:", file=sys.stderr)
+        for event in tail:
+            print(f"  {event}", file=sys.stderr)
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
@@ -91,10 +150,38 @@ def cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Version tag of the ``measure --json`` output shape; bump on change.
+MEASURE_JSON_SCHEMA = "repro-measure/1"
+
+
 def cmd_measure(args: argparse.Namespace) -> int:
-    sources = _read_sources(args.files)
+    sources = _read_program_sources(args.files)
+    costs = transfer_cost_table(sources, entry=args.entry, args=tuple(args.args))
+    if args.json:
+        payload = {
+            "schema": MEASURE_JSON_SCHEMA,
+            "entry": f"{args.entry[0]}.{args.entry[1]}",
+            "args": list(args.args),
+            "implementations": [
+                {
+                    "label": cost.label,
+                    "results": list(cost.results),
+                    "steps": cost.steps,
+                    "calls": cost.calls,
+                    "returns": cost.returns,
+                    "memory_refs_per_transfer": cost.memory_refs,
+                    "register_refs_per_transfer": cost.register_refs,
+                    "cycles_per_transfer": cost.cycles_per_transfer,
+                    "jump_speed_fraction": cost.jump_speed_fraction,
+                    "counters": dict(cost.counters),
+                }
+                for cost in costs
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     rows = []
-    for cost in transfer_cost_table(sources, entry=args.entry, args=tuple(args.args)):
+    for cost in costs:
         rows.append(
             [
                 cost.label,
@@ -246,6 +333,133 @@ END.
     return 1 if failures else 0
 
 
+def _traced_run(args: argparse.Namespace, capacity: int | None, trace_steps: bool):
+    """Build, attach a recorder, run; shared by ``trace`` and ``profile``."""
+    from repro.obs import TraceRecorder
+
+    machine = _build(_read_program_sources(args.files), args.impl, args.entry)
+    recorder = TraceRecorder(capacity=capacity, trace_steps=trace_steps)
+    machine.attach_tracer(recorder)
+    machine.start(args.entry[0], args.entry[1], *args.args)
+    results = machine.run()
+    return machine, recorder, results
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        build_call_tree,
+        to_chrome_trace,
+        to_folded_stacks,
+        to_jsonl,
+        validate_chrome_trace,
+    )
+
+    machine, recorder, _ = _traced_run(args, args.capacity, args.steps)
+    events = list(recorder.events)
+    if recorder.dropped:
+        print(
+            f"warning: ring buffer dropped {recorder.dropped} of "
+            f"{recorder.emitted} events (raise --capacity for a full trace)",
+            file=sys.stderr,
+        )
+    if args.format == "chrome":
+        tree = build_call_tree(
+            events,
+            total_cycles=machine.counter.cycles,
+            total_steps=machine.steps,
+            dropped=recorder.dropped,
+        )
+        payload = to_chrome_trace(events, tree)
+        problems = validate_chrome_trace(payload)
+        if problems:  # pragma: no cover - exporter bug guard
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 1
+        text = json.dumps(payload, indent=2) + "\n"
+    elif args.format == "folded":
+        text = to_folded_stacks(events)
+    else:
+        text = to_jsonl(events)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(
+            f"wrote {len(events)} events ({args.format}) to {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import aggregate, build_call_tree
+
+    machine, recorder, results = _traced_run(args, capacity=None, trace_steps=False)
+    tree = build_call_tree(
+        recorder.events,
+        total_cycles=machine.counter.cycles,
+        total_steps=machine.steps,
+        dropped=recorder.dropped,
+    )
+    profiles = aggregate(tree)
+    total = max(1, machine.counter.cycles)
+
+    print(f"results: {results}")
+    print(
+        f"{machine.steps} instructions, {machine.counter.cycles} modelled "
+        f"cycles, {machine.counter.memory_references} memory references"
+    )
+    if not tree.structured:
+        print(
+            "note: non-LIFO transfers (XFER/traps) in this run; "
+            "attribution near them is approximate"
+        )
+    print()
+    rows = []
+    for profile in profiles[: args.top]:
+        rows.append(
+            [
+                profile.name,
+                profile.calls,
+                profile.inclusive_cycles,
+                f"{profile.inclusive_cycles / total:.1%}",
+                profile.exclusive_cycles,
+                f"{profile.exclusive_cycles / total:.1%}",
+                f"{profile.exclusive_per_call:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["procedure", "calls", "incl cycles", "incl%", "excl cycles", "excl%", "excl/call"],
+            rows,
+        )
+    )
+
+    report = machine.report()
+    lines = []
+    if "return_stack_hit_rate" in report:
+        lines.append(f"return-stack hit rate: {report['return_stack_hit_rate']:.1%}")
+    if machine.bankfile is not None:
+        stats = machine.bankfile.stats
+        lines.append(
+            f"bank traffic: {stats.words_spilled} words spilled, "
+            f"{stats.words_filled} filled "
+            f"({stats.overflows} overflows, {stats.underflows} underflows)"
+        )
+    if "alloc" in report:
+        alloc = report["alloc"]
+        lines.append(
+            f"frames: {alloc['allocations']:.0f} allocated, "
+            f"{alloc['frees']:.0f} freed, "
+            f"{alloc['replenishments']:.0f} allocator traps"
+        )
+    if lines:
+        print()
+        for line in lines:
+            print(line)
+    return 0
+
+
 def _embedded_sources(text: str) -> list[str]:
     """MESA module sources embedded in a Python file as string literals.
 
@@ -369,7 +583,49 @@ def build_parser() -> argparse.ArgumentParser:
     measure = sub.add_parser("measure", help="run the I1-I4 ladder comparison")
     common(measure)
     measure.add_argument("--args", type=int, nargs="*", default=[])
+    measure.add_argument("--json", action="store_true",
+                         help="emit machine-readable CycleCounter snapshots")
     measure.set_defaults(func=cmd_measure)
+
+    trace = sub.add_parser(
+        "trace", help="record and export the observability event stream"
+    )
+    trace.add_argument("files", nargs="+",
+                       help="module source files (or .py files with embedded "
+                            "MODULE literals, like the examples)")
+    trace.add_argument("--entry", type=_entry, default=("Main", "main"),
+                       help="entry procedure, Module.proc (default Main.main)")
+    trace.add_argument("--impl", choices=["i1", "i2", "i3", "i4"], default="i4",
+                       help="implementation preset (default i4)")
+    trace.add_argument("--args", type=int, nargs="*", default=[],
+                       help="integer arguments for the entry procedure")
+    trace.add_argument("--format", choices=["chrome", "folded", "jsonl"],
+                       default="jsonl",
+                       help="chrome (chrome://tracing JSON), folded "
+                            "(flamegraph stacks), or jsonl (default)")
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="write to a file instead of stdout")
+    trace.add_argument("--capacity", type=int, default=None, metavar="N",
+                       help="bound the event ring buffer (default: unbounded)")
+    trace.add_argument("--steps", action="store_true",
+                       help="also record one machine.step event per instruction")
+    trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="call-tree profile by inclusive/exclusive modelled cycles"
+    )
+    profile.add_argument("files", nargs="+",
+                        help="module source files (or .py files with embedded "
+                             "MODULE literals, like the examples)")
+    profile.add_argument("--entry", type=_entry, default=("Main", "main"),
+                        help="entry procedure, Module.proc (default Main.main)")
+    profile.add_argument("--impl", choices=["i1", "i2", "i3", "i4"], default="i4",
+                        help="implementation preset (default i4)")
+    profile.add_argument("--args", type=int, nargs="*", default=[],
+                        help="integer arguments for the entry procedure")
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                        help="procedures to list (default 10)")
+    profile.set_defaults(func=cmd_profile)
 
     verify = sub.add_parser(
         "verify", help="fast checks of the paper's headline claims"

@@ -98,6 +98,8 @@ class ReturnStack:
         self.depth = depth
         self.policy = policy
         self.stats = ReturnStackStats()
+        #: Observability sink (repro.obs); None disables emission.
+        self.tracer = None
         # A deque so SPILL_OLDEST's bottom-entry removal is O(1) instead
         # of list.pop(0)'s O(depth); iteration order stays oldest-first.
         self._entries: deque[ReturnStackEntry] = deque()
@@ -126,9 +128,20 @@ class ReturnStack:
         """Pop the most recent caller, or None on a miss (empty stack)."""
         if self._entries:
             self.stats.hits += 1
+            if self.tracer is not None:
+                self.tracer.emit("ifu.hit", depth=len(self._entries))
             return self._entries.pop()
         self.stats.misses += 1
+        if self.tracer is not None:
+            self.tracer.emit("ifu.miss")
         return None
+
+    def note_flush(self, reason: str, entries: int) -> None:
+        """Record a flush of *entries* entries (the machine did the
+        stores); emits one ``ifu.flush`` event when tracing is on."""
+        self.stats.on_flush(reason, entries)
+        if self.tracer is not None:
+            self.tracer.emit("ifu.flush", reason, entries=entries)
 
     def peek(self) -> ReturnStackEntry | None:
         """The entry a return would use, without popping."""

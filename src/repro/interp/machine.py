@@ -132,6 +132,10 @@ class Machine:
         #: Trap contexts: kind -> procedure descriptor word.  When set,
         #: a trap is an XFER to that context (the paper's mechanism).
         self.trap_contexts: dict[TrapKind, int] = {}
+        #: Observability event sink (repro.obs).  None means disabled —
+        #: every instrumentation point is a single ``is None`` check, and
+        #: emission never touches the modelled meters.
+        self.tracer = None
 
         self._dispatch = self._build_dispatch()
         # Decode cache: programs are static between code-space epochs, so
@@ -180,6 +184,10 @@ class Machine:
         if self.banks is not None:
             self.banks.begin(frame, event=f"begin {meta.name}")
         self._pass_arguments(list(args), frame)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "machine.begin", meta.qualified_name, args=list(args)
+            )
 
     def run(self, max_steps: int | None = None) -> list[int]:
         """Execute until HALT / final return; returns the result stack.
@@ -215,6 +223,8 @@ class Machine:
         decode_event = Event.DECODE
         decode_charge = counter.model.charge(decode_event)
         profile = self.profile
+        tracer = self.tracer
+        trace_steps = tracer is not None and getattr(tracer, "trace_steps", False)
 
         while not self.halted:
             if self.steps >= ceiling:
@@ -235,6 +245,8 @@ class Machine:
             self.steps += 1
             if profile is not None:
                 profile[instruction.op] = profile.get(instruction.op, 0) + 1
+            if trace_steps:
+                tracer.emit("machine.step", instruction.op.name, pc=pc)
             self.pc = next_pc
             try:
                 handler(instruction, next_pc)
@@ -278,6 +290,9 @@ class Machine:
         self.steps += 1
         if self.profile is not None:
             self.profile[instruction.op] = self.profile.get(instruction.op, 0) + 1
+        tracer = self.tracer
+        if tracer is not None and getattr(tracer, "trace_steps", False):
+            tracer.emit("machine.step", instruction.op.name, pc=self.pc)
         self.pc = next_pc
         try:
             handler(instruction, next_pc)
@@ -313,6 +328,41 @@ class Machine:
         """Record every transfer as (kind, from, to) in ``transfer_log``."""
         if self.transfer_log is None:
             self.transfer_log = []
+
+    def attach_tracer(self, tracer) -> None:
+        """Route observability events from every mechanism to *tracer*.
+
+        Propagates the sink to the return stack, the bank file, and the
+        frame allocators, and binds tracers that want the machine's
+        meters as timestamps (see :mod:`repro.obs.tracer`).  Attaching
+        mid-``run()`` takes effect on the next ``run()``/``step()``,
+        same as ``enable_profile``.  Tracing never changes the modelled
+        meters — emission only *reads* the cycle counter.
+        """
+        bind = getattr(tracer, "bind", None)
+        if bind is not None:
+            bind(self)
+        self.tracer = tracer
+        if self.rstack is not None:
+            self.rstack.tracer = tracer
+        if self.bankfile is not None:
+            self.bankfile.tracer = tracer
+        if self.image.av_heap is not None:
+            self.image.av_heap.tracer = tracer
+        if self.image.first_fit is not None:
+            self.image.first_fit.tracer = tracer
+
+    def detach_tracer(self) -> None:
+        """Disconnect the event sink everywhere (tracing fully off)."""
+        self.tracer = None
+        if self.rstack is not None:
+            self.rstack.tracer = None
+        if self.bankfile is not None:
+            self.bankfile.tracer = None
+        if self.image.av_heap is not None:
+            self.image.av_heap.tracer = None
+        if self.image.first_fit is not None:
+            self.image.first_fit.tracer = None
 
     def _log_transfer(self, kind: str, destination: FrameState | None) -> None:
         if self.transfer_log is None:
@@ -538,7 +588,7 @@ class Machine:
             else:
                 callee = self.frame
             self._flush_entry(victim, callee)
-        self.rstack.stats.on_flush(reason, len(victims))
+        self.rstack.note_flush(reason, len(victims))
 
     def _ensure_return_stack_room(self) -> None:
         if self.rstack is not None and self.rstack.full:
@@ -630,6 +680,17 @@ class Machine:
         if self.cb < 0 and callee.code_base >= 0:
             self.cb = callee.code_base
         self.pc = resolved.first_instruction
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "xfer.call",
+                meta.qualified_name,
+                source="<start>" if caller is None else caller.proc.qualified_name,
+                transfer=kind.value,
+                fast=fast,
+                words=meta.frame_words,
+                deferred=callee.address is None,
+            )
 
     def _resolve_external(self, lv_index: int) -> ResolvedTarget:
         linked = self.image.by_gf[self.gf]
@@ -718,6 +779,14 @@ class Machine:
             self.gf = dest.gf
             self.cb = entry.cb if entry.cb >= 0 else dest.code_base
             self.return_context = None
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "xfer.return",
+                    current.proc.qualified_name,
+                    target=dest.proc.qualified_name,
+                    fast=True,
+                )
             return
 
         # General scheme (section 5.1): RETURN "does returnContext := NIL;
@@ -727,8 +796,16 @@ class Machine:
         link = self.memory.read(current.address + FRAME_RETURN_LINK)
         self._free_frame(current)
         self.return_context = None
+        tracer = self.tracer
         if link == 0:
             self._log_transfer("return", None)
+            if tracer is not None:
+                tracer.emit(
+                    "xfer.return",
+                    current.proc.qualified_name,
+                    target="<halt>",
+                    fast=False,
+                )
             self._halt()
             return
         dest = self.frames.at(link)
@@ -740,6 +817,13 @@ class Machine:
         self._resume_from_memory(dest)
         if self.banks is not None:
             self.banks.on_return(dest, None)
+        if tracer is not None:
+            tracer.emit(
+                "xfer.return",
+                current.proc.qualified_name,
+                target=dest.proc.qualified_name,
+                fast=False,
+            )
 
     def _resume_from_memory(self, dest: FrameState) -> None:
         """The general transfer-in: PC, GF and CB from the frame image.
@@ -813,6 +897,13 @@ class Machine:
             self.gf = resolved.gf_address
             self.cb = resolved.code_base
             self.pc = resolved.first_instruction
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "xfer.xfer",
+                    meta.qualified_name,
+                    source=current.proc.qualified_name,
+                    descriptor=True,
+                )
             return
 
         dest = self.frames.at(word)
@@ -825,11 +916,20 @@ class Machine:
         self._resume_from_memory(dest)
         if self.banks is not None:
             self.banks.on_resume(dest)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "xfer.xfer",
+                dest.proc.qualified_name,
+                source=current.proc.qualified_name,
+                descriptor=False,
+            )
 
     def _halt(self) -> None:
         if self.on_halt is not None and self.on_halt(self):
             return
         self.halted = True
+        if self.tracer is not None:
+            self.tracer.emit("machine.halt")
 
     # ------------------------------------------------------------------
     # Traps
@@ -848,6 +948,15 @@ class Machine:
         the stack — for DIVIDE_BY_ZERO that word simply takes the place
         of the quotient.
         """
+        if self.tracer is not None:
+            self.tracer.emit(
+                "xfer.trap",
+                kind.value,
+                pc=self.pc,
+                proc=self.frame.proc.qualified_name if self.frame is not None else "<none>",
+                detail=detail,
+                code=TRAP_CODES[kind],
+            )
         word = self.trap_contexts.get(kind)
         if word is not None:
             self._trap_xfer(word, kind)

@@ -120,12 +120,12 @@ class Scheduler:
                     if machine.yield_requested:
                         machine.yield_requested = False
                         self.stats.yields += 1
-                        self._switch_out(process)
+                        self._switch_out(process, reason="yield")
                         break
                     if self.quantum and process.steps % self.quantum == 0:
                         if self._another_ready(process):
                             self.stats.preemptions += 1
-                            self._switch_out(process)
+                            self._switch_out(process, reason="preempt")
                             break
                 if machine.halted and self.current is process:
                     # _on_halt marked it DONE and captured results.
@@ -162,6 +162,7 @@ class Scheduler:
             process.started = True
             machine.start(process.module, process.proc, *process.args)
             process.frame = machine.frame
+            self._emit_switch("sched.switch_in", process, fresh=True)
             return
         # Restore: the state vector is read back from storage.
         machine.counter.record(Event.MEMORY_READ, len(process.stack) + 2)
@@ -174,8 +175,36 @@ class Scheduler:
         machine.halted = False
         if machine.banks is not None:
             machine.banks.on_resume(process.frame, event=f"switch-in p{process.pid}")
+        self._emit_switch("sched.switch_in", process, fresh=False)
 
-    def _switch_out(self, process: Process) -> None:
+    def _emit_switch(self, kind: str, process: Process, **extra) -> None:
+        """Emit a scheduler event carrying the saved/restored state vector.
+
+        The payload (pc, gf, cb, evaluation-stack words, current frame)
+        is exactly what :meth:`_switch_out` writes to the process record
+        and :meth:`_switch_in` reads back, so a switch-out/switch-in pair
+        for the same process must carry identical state — the round-trip
+        the preemption tests assert through the trace.
+        """
+        tracer = self.machine.tracer
+        if tracer is None:
+            return
+        frame = process.frame
+        tracer.emit(
+            kind,
+            f"p{process.pid}",
+            pid=process.pid,
+            proc=f"{process.module}.{process.proc}",
+            frame=frame.proc.qualified_name if frame is not None else "<none>",
+            pc=process.pc,
+            gf=process.gf,
+            cb=process.cb,
+            stack=list(process.stack),
+            steps=process.steps,
+            **extra,
+        )
+
+    def _switch_out(self, process: Process, reason: str = "switch") -> None:
         """Suspend: flush everything, save the state vector to storage.
 
         "As usual, when life gets complicated because of a process
@@ -202,6 +231,7 @@ class Scheduler:
         process.stack = stack
         process.status = ProcessStatus.READY
         self.current = None
+        self._emit_switch("sched.switch_out", process, reason=reason)
 
     def _on_halt(self, machine: Machine) -> bool:
         """A process's outermost RETURN: record results, mark DONE."""
@@ -211,6 +241,16 @@ class Scheduler:
         process.status = ProcessStatus.DONE
         process.results = machine.results()
         machine.stack.clear()
+        tracer = machine.tracer
+        if tracer is not None:
+            tracer.emit(
+                "sched.done",
+                f"p{process.pid}",
+                pid=process.pid,
+                proc=f"{process.module}.{process.proc}",
+                steps=process.steps,
+                results=list(process.results),
+            )
         if machine.banks is not None:
             # The dead process's chain is gone; release any banks still
             # bound to freed frames.

@@ -1,0 +1,190 @@
+"""Trace exporters: Chrome trace_event JSON, folded stacks, JSONL.
+
+Three interchange formats over one event stream:
+
+* :func:`to_chrome_trace` — the Chrome ``trace_event`` format (the JSON
+  Object Format with a ``traceEvents`` array), loadable in
+  ``chrome://tracing`` and Perfetto.  Call/return pairs become complete
+  (``"ph": "X"``) duration events built from the reconstructed call
+  tree, so the output is balanced by construction; every other event
+  becomes an instant (``"ph": "i"``).  The time axis is modelled
+  cycles, not wall-clock (1 "microsecond" = 1 cycle).
+* :func:`to_folded_stacks` — Brendan Gregg's folded-stack format
+  (``Main.main;Main.fib 123`` per line, weight = exclusive modelled
+  cycles), the input ``flamegraph.pl`` and speedscope accept.
+* :func:`to_jsonl` — one JSON object per event, the lossless dump.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import events as ev
+from repro.obs.calltree import CallNode, CallTree, build_call_tree
+
+#: Chrome phase characters used by the exporter.
+_PHASE_COMPLETE = "X"
+_PHASE_INSTANT = "i"
+
+#: Event families mapped to Chrome categories.
+_CATEGORY = {
+    "machine": "machine",
+    "xfer": "xfer",
+    "alloc": "alloc",
+    "ifu": "ifu",
+    "bank": "bank",
+    "sched": "sched",
+}
+
+
+def _category(kind: str) -> str:
+    family = kind.partition(".")[0]
+    return _CATEGORY.get(family, "other")
+
+
+def to_chrome_trace(
+    events,
+    tree: CallTree | None = None,
+    pid: int = 1,
+    process_name: str = "repro XFER machine",
+) -> dict:
+    """Render *events* as a Chrome trace_event JSON object.
+
+    Duration events come from *tree* (built from the events when not
+    supplied); instants carry every non-call event with its data in
+    ``args``.  Scheduler switch events move following instants onto the
+    per-process thread ids (tid = 1 + pid of the simulated process).
+    """
+    events = list(events)
+    if tree is None:
+        tree = build_call_tree(events)
+
+    trace_events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+
+    for node, depth in tree.root.walk():
+        trace_events.append(
+            {
+                "name": node.name,
+                "cat": "xfer",
+                "ph": _PHASE_COMPLETE,
+                "ts": node.start_cycles,
+                "dur": node.inclusive_cycles,
+                "pid": pid,
+                "tid": 1,
+                "args": {
+                    "steps": node.inclusive_steps,
+                    "exclusive_cycles": node.exclusive_cycles,
+                    "depth": depth,
+                },
+            }
+        )
+
+    tid = 1
+    for event in events:
+        if event.kind in (ev.XFER_CALL, ev.XFER_RETURN, ev.MACHINE_STEP):
+            continue  # calls/returns are the duration events; steps are noise
+        if event.kind == ev.SCHED_SWITCH_IN:
+            tid = 1 + int(event.data.get("pid", 0))
+        trace_events.append(
+            {
+                "name": event.name or event.kind,
+                "cat": _category(event.kind),
+                "ph": _PHASE_INSTANT,
+                "s": "t",
+                "ts": event.cycles,
+                "pid": pid,
+                "tid": tid,
+                "args": {"kind": event.kind, "steps": event.steps, **event.data},
+            }
+        )
+        if event.kind == ev.SCHED_SWITCH_OUT:
+            tid = 1
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "time_unit": "modelled cycles (1 trace us = 1 cycle)",
+            "structured": tree.structured,
+            "dropped_events": tree.dropped,
+        },
+    }
+
+
+def to_folded_stacks(events, tree: CallTree | None = None) -> str:
+    """Render the call tree as folded stacks weighted by exclusive cycles.
+
+    Each line is ``root;...;leaf <exclusive cycles>``; identical stacks
+    are merged.  Feed to ``flamegraph.pl`` or paste into speedscope.
+    """
+    if tree is None:
+        tree = build_call_tree(list(events))
+    weights: dict[tuple[str, ...], int] = {}
+
+    stack: list[tuple[CallNode, tuple[str, ...]]] = [(tree.root, (tree.root.name,))]
+    while stack:
+        node, path = stack.pop()
+        exclusive = node.exclusive_cycles
+        if exclusive > 0:
+            weights[path] = weights.get(path, 0) + exclusive
+        for child in node.children:
+            stack.append((child, path + (child.name,)))
+
+    lines = [
+        f"{';'.join(path)} {weight}"
+        for path, weight in sorted(weights.items())
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_jsonl(events) -> str:
+    """One JSON object per event — the lossless, greppable dump."""
+    return "".join(json.dumps(event.as_dict()) + "\n" for event in events)
+
+
+def validate_chrome_trace(payload: dict) -> list[str]:
+    """Sanity-check a trace object against what chrome://tracing needs.
+
+    Returns a list of problems (empty = loadable): the required
+    ``traceEvents`` array, required per-event keys, known phases, and
+    non-negative timestamps/durations.  Used by the test suite and by
+    ``repro trace --format chrome`` before writing.
+    """
+    problems: list[str] = []
+    trace_events = payload.get("traceEvents")
+    if not isinstance(trace_events, list):
+        return ["traceEvents missing or not a list"]
+    for index, entry in enumerate(trace_events):
+        if not isinstance(entry, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        phase = entry.get("ph")
+        if phase not in ("X", "i", "B", "E", "M"):
+            problems.append(f"event {index}: unknown phase {phase!r}")
+            continue
+        required = {"name", "ph", "pid", "tid"}
+        if phase != "M":
+            required |= {"ts"}
+        missing = required - entry.keys()
+        if missing:
+            problems.append(f"event {index}: missing {sorted(missing)}")
+            continue
+        if phase != "M" and entry["ts"] < 0:
+            problems.append(f"event {index}: negative ts")
+        if phase == "X" and entry.get("dur", 0) < 0:
+            problems.append(f"event {index}: negative dur")
+        if phase == "i" and entry.get("s") not in ("t", "p", "g"):
+            problems.append(f"event {index}: instant without scope")
+    try:
+        json.dumps(payload)
+    except (TypeError, ValueError) as fault:
+        problems.append(f"not JSON-serializable: {fault}")
+    return problems

@@ -1,0 +1,202 @@
+"""CLI tests: repro trace, repro profile, measure --json, trap diagnostics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import MEASURE_JSON_SCHEMA, main
+from repro.obs import validate_chrome_trace
+
+PROGRAM_SRC = """
+MODULE Main;
+PROCEDURE fib(n): INT;
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN fib(n - 1) + fib(n - 2);
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN fib(8);
+END;
+END.
+"""
+
+TRAPPING_SRC = """
+MODULE Main;
+PROCEDURE explode(x): INT;
+BEGIN
+  RETURN x DIV (x - x);
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN explode(6);
+END;
+END.
+"""
+
+
+@pytest.fixture
+def program(tmp_path):
+    path = tmp_path / "main.mesa"
+    path.write_text(PROGRAM_SRC)
+    return [str(path)]
+
+
+@pytest.fixture
+def trapping(tmp_path):
+    path = tmp_path / "boom.mesa"
+    path.write_text(TRAPPING_SRC)
+    return [str(path)]
+
+
+# -- repro trace --------------------------------------------------------------
+
+
+def test_trace_jsonl_default(program, capsys):
+    assert main(["trace", *program]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    events = [json.loads(line) for line in lines]
+    assert events[0]["kind"] == "machine.begin"
+    assert events[-1]["kind"] == "machine.halt"
+    assert any(event["kind"] == "xfer.call" for event in events)
+
+
+def test_trace_chrome_is_valid(program, capsys):
+    assert main(["trace", *program, "--format", "chrome"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert validate_chrome_trace(payload) == []
+    durations = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert durations[0]["name"] == "Main.main"
+    assert payload["otherData"]["structured"] is True
+
+
+def test_trace_folded(program, capsys):
+    assert main(["trace", *program, "--format", "folded"]) == 0
+    out = capsys.readouterr().out
+    assert "Main.main;Main.fib" in out
+
+
+def test_trace_to_file(program, tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", *program, "--format", "chrome", "--out", str(out_path)]) == 0
+    payload = json.loads(out_path.read_text())
+    assert validate_chrome_trace(payload) == []
+    assert str(out_path) in capsys.readouterr().err
+
+
+def test_trace_capacity_warns_on_drop(program, capsys):
+    assert main(["trace", *program, "--capacity", "8"]) == 0
+    captured = capsys.readouterr()
+    assert "dropped" in captured.err
+    assert len(captured.out.strip().splitlines()) == 8
+
+
+def test_trace_steps_flag(program, capsys):
+    assert main(["trace", *program, "--steps"]) == 0
+    events = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+    assert any(event["kind"] == "machine.step" for event in events)
+
+
+def test_trace_embedded_python_sources(capsys):
+    assert main(["trace", "examples/quickstart.py"]) == 0
+    assert "machine.begin" in capsys.readouterr().out
+
+
+# -- repro profile ------------------------------------------------------------
+
+
+def test_profile_quickstart_acceptance(capsys):
+    """ISSUE 3 acceptance: the profile's per-procedure inclusive cycles
+    are consistent with the machine's total (root row = 100%)."""
+    assert main(["profile", "examples/quickstart.py"]) == 0
+    out = capsys.readouterr().out
+    assert "results: [144]" in out
+    assert "Main.main" in out and "Main.fib" in out
+    total = int(out.split("instructions, ")[1].split(" modelled")[0])
+    rows = [
+        line.split()
+        for line in out.splitlines()
+        if line.startswith(("Main.main", "Main.fib"))
+    ]
+    by_name = {row[0]: row for row in rows}
+    # Root inclusive == machine total; exclusive columns sum to it.
+    assert int(by_name["Main.main"][2]) == total
+    exclusive_sum = sum(int(row[4]) for row in rows)
+    assert exclusive_sum == total
+    assert "return-stack hit rate" in out
+    assert "bank traffic" in out
+
+
+def test_profile_top_limits_rows(program, capsys):
+    assert main(["profile", *program, "--top", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Main.main" in out
+    assert "Main.fib" not in out.split("---")[-1]  # only one body row
+
+
+def test_profile_respects_impl(program, capsys):
+    assert main(["profile", *program, "--impl", "i1"]) == 0
+    out = capsys.readouterr().out
+    assert "return-stack" not in out  # i1 has no return stack
+
+
+# -- repro measure --json -----------------------------------------------------
+
+
+def test_measure_json_schema_regression(program, capsys):
+    """The --json output shape is a contract: benchmark tooling parses
+    it, so key changes must bump MEASURE_JSON_SCHEMA."""
+    assert main(["measure", *program, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == MEASURE_JSON_SCHEMA == "repro-measure/1"
+    assert payload["entry"] == "Main.main"
+    assert payload["args"] == []
+    labels = [entry["label"] for entry in payload["implementations"]]
+    assert labels == ["I1 simple", "I2 mesa", "I3 direct+rstack", "I4 banks"]
+    required = {
+        "label",
+        "results",
+        "steps",
+        "calls",
+        "returns",
+        "memory_refs_per_transfer",
+        "register_refs_per_transfer",
+        "cycles_per_transfer",
+        "jump_speed_fraction",
+        "counters",
+    }
+    for entry in payload["implementations"]:
+        assert required <= entry.keys()
+        assert entry["results"] == [21]
+        assert entry["counters"]["cycles"] > 0
+        assert "memory_read" in entry["counters"]
+
+
+def test_measure_plain_output_unchanged(program, capsys):
+    assert main(["measure", *program]) == 0
+    out = capsys.readouterr().out
+    assert "I1 simple" in out
+    assert "{" not in out  # no JSON leaked into the table
+
+
+# -- trap diagnostics through the tracer --------------------------------------
+
+
+def test_run_trap_prints_diagnostics(trapping, capsys):
+    assert main(["run", *trapping]) == 1
+    err = capsys.readouterr().err
+    assert "trap: divide_by_zero" in err
+    assert "in Main.explode" in err
+    assert "at pc" in err
+    assert "trace events:" in err
+    assert "xfer.call Main.explode" in err  # the fatal call is in the tail
+    assert "xfer.trap divide_by_zero" in err
+
+
+def test_run_without_trap_prints_no_diagnostics(program, capsys):
+    assert main(["run", *program]) == 0
+    captured = capsys.readouterr()
+    assert "trap:" not in captured.err
+    assert "results: [21]" in captured.out

@@ -1,0 +1,150 @@
+"""Observability: trace exporters (Chrome trace_event, folded, JSONL)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    TraceEvent,
+    TraceRecorder,
+    build_call_tree,
+    to_chrome_trace,
+    to_folded_stacks,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.workloads.programs import program
+from tests.conftest import build
+
+FIB = program("fib")
+
+
+def recorded_run(preset="i4"):
+    machine = build(FIB.sources, preset=preset)
+    recorder = TraceRecorder(capacity=None)
+    machine.attach_tracer(recorder)
+    machine.start("Main", "main")
+    machine.run()
+    return machine, recorder
+
+
+def test_chrome_trace_is_schema_valid():
+    machine, recorder = recorded_run()
+    tree = build_call_tree(
+        recorder, total_cycles=machine.counter.cycles, total_steps=machine.steps
+    )
+    payload = to_chrome_trace(recorder, tree=tree)
+    assert validate_chrome_trace(payload) == []
+    json.loads(json.dumps(payload))  # round-trips as JSON
+
+
+def test_chrome_trace_duration_events_cover_the_run():
+    machine, recorder = recorded_run()
+    tree = build_call_tree(
+        recorder, total_cycles=machine.counter.cycles, total_steps=machine.steps
+    )
+    payload = to_chrome_trace(recorder, tree=tree)
+    durations = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    root = durations[0]
+    assert root["name"] == "Main.main"
+    assert root["ts"] == 0
+    assert root["dur"] == machine.counter.cycles
+    # One duration event per activation: root + every traced call.
+    assert len(durations) == 1 + len(recorder.by_kind("xfer.call"))
+    assert payload["otherData"]["structured"] is True
+    assert payload["otherData"]["dropped_events"] == 0
+
+
+def test_chrome_trace_instants_carry_mechanism_events():
+    _, recorder = recorded_run()
+    payload = to_chrome_trace(recorder)
+    instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+    kinds = {e["args"]["kind"] for e in instants}
+    assert "ifu.hit" in kinds
+    assert "bank.spill" in kinds
+    assert "xfer.call" not in kinds  # calls are durations, not instants
+    assert all(e["s"] in ("t", "p", "g") for e in instants)
+
+
+def test_chrome_metadata_names_the_process():
+    _, recorder = recorded_run()
+    payload = to_chrome_trace(recorder, process_name="test machine")
+    metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    assert metadata[0]["args"]["name"] == "test machine"
+
+
+def test_folded_stacks_shape_and_weights():
+    machine, recorder = recorded_run()
+    tree = build_call_tree(
+        recorder, total_cycles=machine.counter.cycles, total_steps=machine.steps
+    )
+    folded = to_folded_stacks(recorder, tree=tree)
+    lines = folded.strip().splitlines()
+    assert lines
+    weights = {}
+    for line in lines:
+        path, _, weight = line.rpartition(" ")
+        assert path.startswith("Main.main")
+        weights[path] = int(weight)
+    assert "Main.main;Main.fib" in weights
+    # Exclusive weights over all stacks sum to the whole run.
+    assert sum(weights.values()) == machine.counter.cycles
+
+
+def test_jsonl_is_lossless():
+    _, recorder = recorded_run()
+    lines = to_jsonl(recorder).strip().splitlines()
+    assert len(lines) == recorder.emitted
+    parsed = [json.loads(line) for line in lines]
+    assert parsed[0]["kind"] == "machine.begin"
+    assert parsed[-1]["kind"] == "machine.halt"
+    assert [p["seq"] for p in parsed] == list(range(len(parsed)))
+
+
+# -- validator negative cases -------------------------------------------------
+
+
+def test_validator_rejects_missing_trace_events():
+    assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+    assert validate_chrome_trace({"traceEvents": "nope"})
+
+
+def test_validator_rejects_bad_entries():
+    base = {"name": "x", "pid": 1, "tid": 1, "ts": 0}
+    problems = validate_chrome_trace(
+        {
+            "traceEvents": [
+                "not a dict",
+                {**base, "ph": "Z"},
+                {"ph": "X"},
+                {**base, "ph": "X", "ts": -1},
+                {**base, "ph": "X", "dur": -2},
+                {**base, "ph": "i"},  # instant without scope
+            ]
+        }
+    )
+    assert len(problems) == 6
+
+
+def test_validator_rejects_unserializable_payload():
+    payload = {
+        "traceEvents": [
+            {"name": "x", "ph": "M", "pid": 1, "tid": 0, "args": {"bad": object()}}
+        ]
+    }
+    problems = validate_chrome_trace(payload)
+    assert any("not JSON-serializable" in problem for problem in problems)
+
+
+def test_exporters_accept_hand_built_events():
+    events = [
+        TraceEvent(0, "machine.begin", "M.root", 0, 0),
+        TraceEvent(1, "xfer.call", "M.leaf", 1, 10),
+        TraceEvent(2, "xfer.return", "M.leaf", 2, 30, {"fast": True}),
+        TraceEvent(3, "machine.halt", "M.root", 3, 50),
+    ]
+    payload = to_chrome_trace(events)
+    assert validate_chrome_trace(payload) == []
+    folded = to_folded_stacks(events)
+    assert "M.root;M.leaf 20" in folded
+    assert len(to_jsonl(events).splitlines()) == 4

@@ -1,0 +1,193 @@
+"""Scheduler preemption edge cases, asserted through the trace.
+
+Every ``sched.switch_out`` carries the process's saved state vector
+(pc, gf, cb, evaluation-stack words, frame, steps), and the matching
+``sched.switch_in`` carries what was restored — so a round-trip must
+carry identical state even when the quantum expires at the nastiest
+instants: exactly on a CALL or RETURN boundary, inside an allocator
+trap's replenishment, or against a process that never yields.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp.processes import ProcessStatus, Scheduler
+from repro.obs import TraceRecorder
+from repro.obs import events as ev
+from tests.conftest import ALL_PRESETS, build
+
+#: worker: call-dense so a small quantum lands on transfer boundaries;
+#: spin: a tight loop that never yields and never calls.
+SOURCES = [
+    """
+MODULE Main;
+PROCEDURE leaf(x): INT;
+BEGIN
+  RETURN x + 1;
+END;
+PROCEDURE worker(n): INT;
+VAR i, acc: INT;
+BEGIN
+  i := 0;
+  acc := 0;
+  WHILE i < n DO
+    acc := acc + leaf(i);
+    i := i + 1;
+  END;
+  RETURN acc;
+END;
+PROCEDURE spin(limit): INT;
+VAR i: INT;
+BEGIN
+  i := 0;
+  WHILE i < limit DO
+    i := i + 1;
+  END;
+  RETURN i;
+END;
+PROCEDURE churn(n): INT;
+VAR i, acc: INT;
+BEGIN
+  i := 0;
+  acc := 0;
+  WHILE i < n DO
+    acc := acc + worker(3);
+    i := i + 1;
+  END;
+  RETURN acc;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN 0;
+END;
+END.
+"""
+]
+
+
+def traced_scheduler(preset="i4", quantum=0):
+    machine = build(SOURCES, preset=preset)
+    recorder = TraceRecorder(capacity=None)
+    machine.attach_tracer(recorder)
+    return Scheduler(machine, quantum=quantum), recorder
+
+
+STATE_KEYS = ("pid", "proc", "frame", "pc", "gf", "cb", "stack", "steps")
+
+
+def state_vector(event):
+    return {key: event.data[key] for key in STATE_KEYS}
+
+
+def assert_round_trips(recorder):
+    """Every switch-out's state vector reappears in the next switch-in
+    for the same pid, unchanged."""
+    pending = {}
+    pairs = 0
+    for event in recorder.by_kind(ev.SCHED_SWITCH_IN, ev.SCHED_SWITCH_OUT):
+        pid = event.data["pid"]
+        if event.kind == ev.SCHED_SWITCH_OUT:
+            pending[pid] = state_vector(event)
+        elif not event.data["fresh"]:
+            assert pid in pending, f"resume of p{pid} without a prior suspend"
+            assert state_vector(event) == pending.pop(pid)
+            pairs += 1
+    return pairs
+
+
+@pytest.mark.parametrize("preset", ALL_PRESETS)
+@pytest.mark.parametrize("quantum", (1, 2, 3, 5, 7))
+def test_quantum_on_transfer_boundaries(preset, quantum):
+    """Tiny quanta land preemptions exactly on CALL/RETURN boundaries
+    (quantum=1 preempts after *every* instruction, transfers included);
+    results must match the unpreempted run and state must round-trip."""
+    scheduler, recorder = traced_scheduler(preset=preset, quantum=quantum)
+    scheduler.spawn("Main", "worker", 5)
+    scheduler.spawn("Main", "worker", 7)
+    processes = scheduler.run()
+    assert [p.results for p in processes] == [[15], [28]]
+    assert all(p.status is ProcessStatus.DONE for p in processes)
+    assert scheduler.stats.preemptions > 0
+    assert assert_round_trips(recorder) == scheduler.stats.preemptions + scheduler.stats.yields
+    outs = recorder.by_kind(ev.SCHED_SWITCH_OUT)
+    assert all(e.data["reason"] == "preempt" for e in outs)
+
+
+@pytest.mark.parametrize("preset", ("i2", "i4"))
+def test_preempt_during_allocator_trap_pressure(preset):
+    """churn() churns frames, so small quanta interleave preemptions with
+    AV replenishment traps; the trap's bookkeeping must survive the
+    switch (results and round-trips prove it)."""
+    scheduler, recorder = traced_scheduler(preset=preset, quantum=2)
+    scheduler.spawn("Main", "churn", 6)
+    scheduler.spawn("Main", "churn", 4)
+    processes = scheduler.run()
+    assert [p.results for p in processes] == [[36], [24]]
+    if preset == "i2":
+        # i4's deferred pool preallocates, so only i2 is guaranteed to
+        # hit the AV-empty replenishment trap mid-schedule.
+        assert recorder.by_kind(ev.ALLOC_TRAP)
+    assert assert_round_trips(recorder) > 0
+
+
+def test_never_yielding_process_runs_to_completion_without_quantum():
+    """quantum=0: no preemption, so a never-yielding process monopolizes
+    the machine until its final RETURN; the other process still runs
+    afterwards (completion is a switch point)."""
+    scheduler, recorder = traced_scheduler(quantum=0)
+    spinner = scheduler.spawn("Main", "spin", 500)
+    other = scheduler.spawn("Main", "worker", 3)
+    scheduler.run()
+    assert spinner.results == [500]
+    assert other.results == [6]
+    assert scheduler.stats.preemptions == 0
+    # The spinner never switched out mid-run: only fresh switch-ins.
+    assert all(
+        event.data["fresh"]
+        for event in recorder.by_kind(ev.SCHED_SWITCH_IN)
+    )
+    done = recorder.by_kind(ev.SCHED_DONE)
+    assert [event.data["pid"] for event in done] == [0, 1]
+
+
+def test_never_yielding_process_is_preempted_by_quantum():
+    """With a quantum, the same spinner is forcibly interleaved; its
+    saved state round-trips every time despite carrying live loop state."""
+    scheduler, recorder = traced_scheduler(quantum=10)
+    spinner = scheduler.spawn("Main", "spin", 200)
+    other = scheduler.spawn("Main", "worker", 3)
+    scheduler.run()
+    assert spinner.results == [200]
+    assert other.results == [6]
+    assert scheduler.stats.preemptions > 0
+    assert assert_round_trips(recorder) == scheduler.stats.preemptions
+    # Interleaving really happened: pids alternate somewhere in the
+    # switch-in stream.
+    pids = [event.data["pid"] for event in recorder.by_kind(ev.SCHED_SWITCH_IN)]
+    assert 0 in pids and 1 in pids
+    assert pids != sorted(pids)
+
+
+def test_switch_events_carry_consistent_steps():
+    """The steps field in switch events matches the per-process meter."""
+    scheduler, recorder = traced_scheduler(quantum=5)
+    scheduler.spawn("Main", "worker", 4)
+    scheduler.spawn("Main", "worker", 4)
+    processes = scheduler.run()
+    for process in processes:
+        outs = [
+            event
+            for event in recorder.by_kind(ev.SCHED_SWITCH_OUT)
+            if event.data["pid"] == process.pid
+        ]
+        steps = [event.data["steps"] for event in outs]
+        assert steps == sorted(steps)  # monotonically increasing
+        done = [
+            event
+            for event in recorder.by_kind(ev.SCHED_DONE)
+            if event.data["pid"] == process.pid
+        ]
+        # sched.done is emitted inside the halting RETURN's step, before
+        # the scheduler counts that step against the process.
+        assert done[0].data["steps"] == process.steps - 1
