@@ -1,0 +1,166 @@
+"""FAULTS — cost of the resilience machinery (injection + snapshot).
+
+Three questions with budgets attached:
+
+* **Injector tax** — an attached-but-idle :class:`FaultInjector` rides
+  the same tracing hooks as the recorder, so its host cost must stay in
+  the same band (and the *modelled* meters must be bit-identical, which
+  this benchmark asserts rather than measures).
+* **Snapshot latency** — how long `capture` takes mid-run, and how big
+  the state vector is on each implementation.  The RLE memory section
+  keeps the document proportional to *touched* state, not the 64K
+  address space.
+* **Resume fidelity** — restore onto a fresh image and finish: asserted
+  bit-identical to the straight-through run on every meter (the chaos
+  harness widens this over the corpus; here it gates the benchmark).
+
+``python benchmarks/run_all.py --json faults`` writes the measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.analysis.report import banner, format_table
+from repro.faults import FaultInjector, FaultPlan, Injection, capture, on_event, restore
+from repro.interp.machine import Machine
+from repro.interp.machineconfig import MachineConfig
+from repro.lang.compiler import CompileOptions, compile_program
+from repro.lang.linker import link
+
+_FIB = """
+MODULE Main;
+PROCEDURE fib(n): INT;
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN fib(n - 1) + fib(n - 2);
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN fib(15);
+END;
+END.
+"""
+
+PRESETS = ("i1", "i2", "i3", "i4")
+
+#: A plan whose trigger never matches: the injector is armed and
+#: inspecting every event, but no fault ever fires.
+_IDLE_PLAN = FaultPlan(
+    "idle", 0, (Injection(on_event("no.such.event", 1), "drain_av"),)
+)
+
+
+def _build(preset: str) -> Machine:
+    config = MachineConfig.preset(preset)
+    modules = compile_program([_FIB], CompileOptions.for_config(config))
+    return Machine(link(modules, config, ("Main", "main")))
+
+
+def _timed_run(machine) -> tuple[float, list[int]]:
+    machine.start()
+    begin = time.perf_counter()
+    results = machine.run()
+    return time.perf_counter() - begin, results
+
+
+def _measure(repeats: int = 3) -> dict:
+    presets: dict[str, dict] = {}
+    for preset in PRESETS:
+        bare_times, armed_times = [], []
+        bare_meters = armed_meters = None
+        for _ in range(repeats):
+            machine = _build(preset)
+            elapsed, _ = _timed_run(machine)
+            bare_times.append(elapsed)
+            bare_meters = machine.counter.snapshot()
+
+            machine = _build(preset)
+            machine.attach_tracer(FaultInjector(_IDLE_PLAN))
+            elapsed, _ = _timed_run(machine)
+            armed_times.append(elapsed)
+            armed_meters = machine.counter.snapshot()
+        if armed_meters != bare_meters:
+            raise AssertionError(
+                f"{preset}: an idle injector perturbed the modelled meters"
+            )
+
+        # Snapshot latency + size at mid-run, and resume fidelity.
+        machine = _build(preset)
+        machine.start()
+        while machine.steps < 500:
+            machine.step()
+        begin = time.perf_counter()
+        state = capture(machine)
+        capture_seconds = time.perf_counter() - begin
+        size_bytes = len(json.dumps(state))
+
+        fresh = _build(preset)
+        begin = time.perf_counter()
+        restore(fresh, state)
+        restore_seconds = time.perf_counter() - begin
+        fresh.run()
+        reference = _build(preset)
+        _timed_run(reference)
+        if fresh.counter.snapshot() != reference.counter.snapshot():
+            raise AssertionError(f"{preset}: resumed run diverged from reference")
+
+        steps = reference.steps
+        bare, armed = min(bare_times), min(armed_times)
+        presets[preset] = {
+            "steps": steps,
+            "bare_seconds": bare,
+            "armed_seconds": armed,
+            "injector_overhead": (armed - bare) / bare if bare else 0.0,
+            "capture_ms": capture_seconds * 1e3,
+            "restore_ms": restore_seconds * 1e3,
+            "snapshot_bytes": size_bytes,
+        }
+    return presets
+
+
+_PAYLOAD: dict | None = None
+
+
+def json_payload() -> dict:
+    global _PAYLOAD
+    if _PAYLOAD is None:
+        _PAYLOAD = {
+            "benchmark": "fault injection and snapshot/restore cost",
+            "workload": {"program": "fib(15)", "mid_run_snapshot_step": 500},
+            "presets": _measure(),
+        }
+    return _PAYLOAD
+
+
+def report() -> str:
+    payload = json_payload()
+    rows = []
+    for preset, entry in payload["presets"].items():
+        rows.append(
+            [
+                preset,
+                entry["steps"],
+                f"{entry['injector_overhead']:+.1%}",
+                f"{entry['capture_ms']:.1f}",
+                f"{entry['restore_ms']:.1f}",
+                f"{entry['snapshot_bytes']:,}",
+            ]
+        )
+    table = format_table(
+        ["preset", "steps", "idle injector cost", "capture ms",
+         "restore ms", "snapshot bytes"],
+        rows,
+    )
+    return (
+        banner("FAULTS: injection and snapshot/restore cost")
+        + "\n"
+        + table
+        + "\nmodelled meters bit-identical with an idle injector attached;"
+        + "\nresume-after-restore bit-identical to the uninterrupted run"
+    )
+
+
+if __name__ == "__main__":
+    print(report())

@@ -46,6 +46,7 @@ import bench_c15_local_traffic
 import bench_c16_hybrid
 import bench_host_speed
 import bench_obs_overhead
+import bench_faults
 
 EXPERIMENTS = {
     "f1": bench_f1_indirection,
@@ -68,6 +69,7 @@ EXPERIMENTS = {
     "c16": bench_c16_hybrid,
     "host": bench_host_speed,
     "obs": bench_obs_overhead,
+    "faults": bench_faults,
 }
 
 

@@ -47,6 +47,13 @@ FRAME_OVERHEAD_WORDS = 1
 #: at a time amortizes traps, as a real software allocator would.
 DEFAULT_REPLENISH_BATCH = 4
 
+#: Bounded retry when the arena is full: how many larger size classes the
+#: software allocator probes for a free frame to promote before giving up
+#: and surfacing RESOURCE_EXHAUSTED.  Small on purpose — promotion wastes
+#: the size difference as internal fragmentation, so an unbounded search
+#: would trade a clean trap for creeping waste.
+PROMOTION_LIMIT = 3
+
 
 class AVHeap:
     """The fast frame heap: an allocation vector of per-class free lists.
@@ -115,18 +122,31 @@ class AVHeap:
                 f"request of {requested_words} words exceeds class {fsi} "
                 f"size {class_words}"
             )
+        grant_fsi = fsi
         head = self.memory.read(self.av_base + fsi)  # ref 1: fetch list head
         if head == 0:
-            self._replenish(fsi)
-            head = self.memory.read(self.av_base + fsi)
+            try:
+                self._replenish(fsi)
+            except HeapExhausted:
+                # Bounded retry (section 5.3's software allocator doing its
+                # best): promote the request to a nearby larger class that
+                # still has a free frame.  Only reached when the arena is
+                # full, so the fast path's three-reference cost and the
+                # normal trap path are untouched.
+                grant_fsi, head = self._promote(fsi)
+                class_words = self.ladder.size_of(grant_fsi)
+            else:
+                head = self.memory.read(self.av_base + fsi)
         next_frame = self.memory.read(head)  # ref 2: fetch next pointer
-        self.memory.write(self.av_base + fsi, next_frame)  # ref 3: store head
+        self.memory.write(self.av_base + grant_fsi, next_frame)  # ref 3: store head
         self.stats.on_reuse(class_words + FRAME_OVERHEAD_WORDS)
-        self.stats.on_allocate(fsi, requested_words, class_words + FRAME_OVERHEAD_WORDS)
+        self.stats.on_allocate(
+            grant_fsi, requested_words, class_words + FRAME_OVERHEAD_WORDS
+        )
         self._live[head] = requested_words
         if self.tracer is not None:
             self.tracer.emit(
-                "alloc.frame", "avheap", pointer=head, fsi=fsi,
+                "alloc.frame", "avheap", pointer=head, fsi=grant_fsi,
                 words=requested_words, class_words=class_words,
             )
         return head
@@ -238,3 +258,27 @@ class AVHeap:
                 "alloc.trap", "avheap", fsi=fsi, created=created,
                 class_words=class_words,
             )
+
+    def _promote(self, fsi: int) -> tuple[int, int]:
+        """Probe up to PROMOTION_LIMIT larger classes for a free frame.
+
+        Each probe is a counted AV read (the software allocator walking
+        the vector).  The granted frame keeps its own (larger) fsi header,
+        so a later :meth:`free` returns it to the list it came from and
+        the heap stays consistent.  Raises :class:`HeapExhausted` when no
+        candidate class has a free frame either.
+        """
+        for candidate in range(fsi + 1, min(len(self.ladder), fsi + 1 + PROMOTION_LIMIT)):
+            head = self.memory.read(self.av_base + candidate)
+            if head != 0:
+                self.stats.promotions += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "alloc.promote", "avheap",
+                        requested_fsi=fsi, granted_fsi=candidate, pointer=head,
+                    )
+                return candidate, head
+        raise HeapExhausted(
+            f"frame arena exhausted and no free frame within "
+            f"{PROMOTION_LIMIT} classes above {fsi}"
+        )

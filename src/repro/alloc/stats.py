@@ -26,6 +26,9 @@ class AllocationStats:
     frees: int = 0
     #: Traps to the software allocator (empty free list).
     replenishments: int = 0
+    #: Bounded-retry promotions: allocations granted a frame from a larger
+    #: size class because the arena was full (graceful degradation).
+    promotions: int = 0
     #: Words currently live, as requested by callers.
     live_requested_words: int = 0
     #: Words currently live, as rounded up to size classes (incl. headers).
@@ -120,6 +123,7 @@ class AllocationStats:
             "allocations": float(self.allocations),
             "frees": float(self.frees),
             "replenishments": float(self.replenishments),
+            "promotions": float(self.promotions),
             "live_fragmentation": self.live_fragmentation,
             "lifetime_fragmentation": self.lifetime_fragmentation,
             "idle_free_fraction": self.idle_free_fraction,

@@ -460,6 +460,128 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Version tag of the snapshot *file* (the envelope around the machine
+#: state, which carries its own ``repro-snapshot/N`` schema).
+SNAPSHOT_FILE_SCHEMA = "repro-snapshot-file/1"
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Run a program for N instructions, then freeze the state vector.
+
+    The file embeds the module sources so ``resume`` can relink the same
+    image without the original files; restore is only defined against an
+    identically configured machine (see docs/faults.md).
+    """
+    from repro.faults import capture
+
+    sources = _read_program_sources(args.files)
+    machine = _build(sources, args.impl, args.entry)
+    machine.start(args.entry[0], args.entry[1], *args.args)
+    while not machine.halted and machine.steps < args.at_step:
+        machine.step()
+    if machine.halted:
+        print(
+            f"snapshot: program halted at step {machine.steps}, before "
+            f"--at-step {args.at_step}; nothing to freeze",
+            file=sys.stderr,
+        )
+        return 1
+    doc = {
+        "schema": SNAPSHOT_FILE_SCHEMA,
+        "impl": args.impl,
+        "entry": f"{args.entry[0]}.{args.entry[1]}",
+        "args": list(args.args),
+        "sources": sources,
+        "state": capture(machine),
+    }
+    text = json.dumps(doc) + "\n"
+    Path(args.out).write_text(text)
+    print(
+        f"froze {args.impl} at step {machine.steps} "
+        f"(cycle {machine.counter.cycles}) to {args.out}"
+    )
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Thaw a snapshot file onto a fresh image and run it to completion.
+
+    ``--verify`` also runs the same program straight through and checks
+    that resumed == uninterrupted on results, steps, and every modelled
+    meter — the bit-identical-resume guarantee.
+    """
+    from repro.errors import TrapError
+    from repro.faults import restore
+
+    doc = json.loads(Path(args.snapshot).read_text())
+    if doc.get("schema") != SNAPSHOT_FILE_SCHEMA:
+        print(
+            f"resume: {args.snapshot} is not a {SNAPSHOT_FILE_SCHEMA} file "
+            f"(schema {doc.get('schema')!r})",
+            file=sys.stderr,
+        )
+        return 1
+    entry = _entry(doc["entry"])
+    machine = _build(doc["sources"], doc["impl"], entry)
+    restore(machine, doc["state"])
+    try:
+        results = machine.run()
+    except TrapError as fault:
+        print(f"trap: {fault}", file=sys.stderr)
+        return 1
+    print(f"results: {results}")
+    if machine.output:
+        print(f"output:  {machine.output}")
+    print(f"steps:   {machine.steps}  cycles: {machine.counter.cycles}")
+    if args.verify:
+        reference = _build(doc["sources"], doc["impl"], entry)
+        reference.start(entry[0], entry[1], *doc["args"])
+        ref_results = reference.run()
+        mismatches = []
+        if results != ref_results:
+            mismatches.append(f"results {results} != {ref_results}")
+        if machine.steps != reference.steps:
+            mismatches.append(f"steps {machine.steps} != {reference.steps}")
+        resumed, straight = machine.counter.snapshot(), reference.counter.snapshot()
+        for key in sorted(set(resumed) | set(straight)):
+            if resumed.get(key, 0) != straight.get(key, 0):
+                mismatches.append(
+                    f"{key} {resumed.get(key, 0)} != {straight.get(key, 0)}"
+                )
+        if mismatches:
+            print("verify: resumed run DIVERGED from uninterrupted run:",
+                  file=sys.stderr)
+            for line in mismatches:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("verify: resumed run is bit-identical to an uninterrupted run")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Replay seeded fault plans across I1-I4; fail on any divergence."""
+    from repro.faults.chaos import CANNED_PLANS, DEFAULT_PROGRAMS, run_chaos
+    from repro.workloads.programs import CORPUS
+
+    programs = tuple(args.programs) if args.programs else DEFAULT_PROGRAMS
+    unknown = [name for name in programs if name not in CORPUS]
+    if unknown:
+        print(f"chaos: unknown corpus programs {unknown}", file=sys.stderr)
+        return 2
+    plans = tuple(args.plans) if args.plans else tuple(CANNED_PLANS)
+    unknown = [name for name in plans if name not in CANNED_PLANS]
+    if unknown:
+        print(f"chaos: unknown plans {unknown} "
+              f"(canned: {', '.join(CANNED_PLANS)})", file=sys.stderr)
+        return 2
+    report = run_chaos(programs=programs, seeds=args.seeds, plans=plans)
+    print(report.summary())
+    if args.report:
+        Path(args.report).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written to {args.report}")
+    return 0 if report.ok else 1
+
+
 def _embedded_sources(text: str) -> list[str]:
     """MESA module sources embedded in a Python file as string literals.
 
@@ -631,6 +753,49 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="fast checks of the paper's headline claims"
     )
     verify.set_defaults(func=cmd_verify)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="run N instructions, then freeze the machine state"
+    )
+    snapshot.add_argument("files", nargs="+",
+                          help="module source files (or .py files with embedded "
+                               "MODULE literals, like the examples)")
+    snapshot.add_argument("--entry", type=_entry, default=("Main", "main"),
+                          help="entry procedure, Module.proc (default Main.main)")
+    snapshot.add_argument("--impl", choices=["i1", "i2", "i3", "i4"], default="i4",
+                          help="implementation preset (default i4)")
+    snapshot.add_argument("--args", type=int, nargs="*", default=[],
+                          help="integer arguments for the entry procedure")
+    snapshot.add_argument("--at-step", type=int, required=True, metavar="N",
+                          help="freeze after N executed instructions")
+    snapshot.add_argument("--out", metavar="PATH", required=True,
+                          help="snapshot file to write")
+    snapshot.set_defaults(func=cmd_snapshot)
+
+    resume = sub.add_parser(
+        "resume", help="thaw a snapshot onto a fresh image and finish the run"
+    )
+    resume.add_argument("snapshot", help="file written by `repro snapshot`")
+    resume.add_argument("--verify", action="store_true",
+                        help="also run straight through and require the resumed "
+                             "run to match on results, steps, and all meters")
+    resume.set_defaults(func=cmd_resume)
+
+    chaos = sub.add_parser(
+        "chaos", help="replay seeded fault plans across I1-I4 over the corpus"
+    )
+    chaos.add_argument("--corpus", action="store_true",
+                       help="use the default chaos corpus subset (implied; "
+                            "narrow it with --programs)")
+    chaos.add_argument("--programs", nargs="*", metavar="NAME",
+                       help="corpus programs to stress (default: chaos subset)")
+    chaos.add_argument("--plans", nargs="*", metavar="NAME",
+                       help="canned fault plans to replay (default: all)")
+    chaos.add_argument("--seeds", type=int, default=5, metavar="N",
+                       help="seeds per (program, plan) pair (default 5)")
+    chaos.add_argument("--report", metavar="PATH", default=None,
+                       help="write the full JSON conformance report here")
+    chaos.set_defaults(func=cmd_chaos)
 
     check = sub.add_parser(
         "check", help="statically verify programs without executing them"

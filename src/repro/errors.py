@@ -195,15 +195,29 @@ class MachineHalted(InterpreterError):
 
 
 class TrapError(InterpreterError):
-    """A trap occurred with no registered handler for it."""
+    """A trap occurred with no registered handler for it.
 
-    def __init__(self, trap: str, detail: str = "") -> None:
+    Carries the exact diagnostics the chaos harness pins down: ``pc``
+    (the address of the instruction *after* the faulting one, i.e. where
+    a trap context would resume) and ``proc`` (the qualified name of the
+    procedure whose frame was running).  ``pc`` is -1 and ``proc`` empty
+    when the machine had no running context to attribute the trap to.
+    """
+
+    def __init__(self, trap: str, detail: str = "", pc: int = -1, proc: str = "") -> None:
         message = f"unhandled trap {trap!r}"
         if detail:
             message += f": {detail}"
+        if pc >= 0:
+            message += f" (pc {pc:#06x}"
+            if proc:
+                message += f" in {proc}"
+            message += ")"
         super().__init__(message)
         self.trap = trap
         self.detail = detail
+        self.pc = pc
+        self.proc = proc
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,169 @@
+"""The FaultPlan DSL: declarative, seeded, serializable fault schedules.
+
+A plan is data, not code: a name, the seed that generated it, and a list
+of :class:`Injection` records.  Each injection pairs a :class:`Trigger`
+(when to fire) with an *action* (what to do), so a plan can be stored in
+a chaos report, diffed between runs, and replayed bit-for-bit on any
+implementation.
+
+Triggers
+--------
+``at_step(n)``
+    Fire when the machine has executed *n* instructions.  Rides the
+    ``machine.step`` trace event, so the injector asks for per-step
+    tracing only when a plan needs it.
+``at_cycle(n)``
+    Fire at the first traced event whose modelled cycle stamp is >= *n*.
+``on_event(kind, k)``
+    Fire on the *k*-th occurrence of a traced event kind — the k-th
+    ``alloc.frame``, ``bank.spill``, ``ifu.flush``, ``xfer.trap``, and
+    so on.  A kind without a dot suffix matches its whole family
+    (``alloc`` matches ``alloc.frame`` and ``alloc.trap``).
+
+Actions
+-------
+State actions corrupt or exhaust a resource *in place* and let the run
+continue (the machine must degrade gracefully):
+
+* ``drain_av`` — zero every AV free-list head (section 5.3's empty-list
+  trap on the next allocation);
+* ``exhaust_heap`` — empty the frame arena completely: bump pointer to
+  the limit, free lists drained, the processor's fast-frame stack
+  cleared (the next allocation must surface RESOURCE_EXHAUSTED);
+* ``flush_rstack`` — force the IFU return stack's "something unusual"
+  full flush;
+* ``flush_banks`` — force the section 7.1 fallback: "all the banks are
+  flushed into storage".
+
+Control actions break the run loop at the next instruction boundary
+(meter-neutrally, via the scheduler's yield flag) and hand control to
+the driver:
+
+* ``snapshot`` — capture the complete state vector;
+* ``kill`` — abandon the machine; the driver restores the last snapshot
+  onto a fresh image and resumes;
+* ``trap`` — dispatch a machine trap of kind ``detail`` (e.g.
+  ``divide_by_zero``), exercising trap-in-trap and quarantine paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Actions applied in place while the run continues.
+STATE_ACTIONS = frozenset({"drain_av", "exhaust_heap", "flush_rstack", "flush_banks"})
+
+#: Actions that break the run loop and are executed by the driver.
+CONTROL_ACTIONS = frozenset({"snapshot", "kill", "trap"})
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """When an injection fires.
+
+    ``kind`` is ``"step"``, ``"cycle"``, or ``"event"``; ``at`` is the
+    step/cycle threshold or the occurrence ordinal (1-based); ``event``
+    names the traced event kind (only for ``kind == "event"``).
+    """
+
+    kind: str
+    at: int
+    event: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("step", "cycle", "event"):
+            raise ValueError(f"unknown trigger kind {self.kind!r}")
+        if self.at < 1:
+            raise ValueError(f"trigger threshold must be >= 1, got {self.at}")
+        if (self.kind == "event") != bool(self.event):
+            raise ValueError("event triggers (only) must name an event kind")
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One scheduled fault: a trigger plus an action.
+
+    ``detail`` parameterizes the action (the trap kind for ``trap``).
+    ``once`` is currently always True — an injection fires at most once;
+    repeated faults are expressed as multiple injections, which keeps
+    replay-after-restore unambiguous.
+    """
+
+    trigger: Trigger
+    action: str
+    detail: str = ""
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        if self.action not in STATE_ACTIONS | CONTROL_ACTIONS:
+            raise ValueError(f"unknown action {self.action!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded schedule of injections."""
+
+    name: str
+    seed: int
+    injections: tuple[Injection, ...] = field(default_factory=tuple)
+
+    def needs_step_tracing(self) -> bool:
+        """True if any trigger requires per-step trace events."""
+        return any(i.trigger.kind in ("step", "cycle") for i in self.injections)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for chaos reports)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "injections": [
+                {
+                    "trigger": {
+                        "kind": i.trigger.kind,
+                        "at": i.trigger.at,
+                        "event": i.trigger.event,
+                    },
+                    "action": i.action,
+                    "detail": i.detail,
+                }
+                for i in self.injections
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> FaultPlan:
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            seed=data["seed"],
+            injections=tuple(
+                Injection(
+                    trigger=Trigger(
+                        kind=i["trigger"]["kind"],
+                        at=i["trigger"]["at"],
+                        event=i["trigger"].get("event", ""),
+                    ),
+                    action=i["action"],
+                    detail=i.get("detail", ""),
+                )
+                for i in data.get("injections", ())
+            ),
+        )
+
+
+# -- trigger constructors ----------------------------------------------------
+
+
+def at_step(n: int) -> Trigger:
+    """Fire once the machine has executed *n* instructions."""
+    return Trigger(kind="step", at=n)
+
+
+def at_cycle(n: int) -> Trigger:
+    """Fire at the first traced event at or past modelled cycle *n*."""
+    return Trigger(kind="cycle", at=n)
+
+
+def on_event(event: str, k: int = 1) -> Trigger:
+    """Fire on the *k*-th occurrence of traced event kind *event*."""
+    return Trigger(kind="event", at=k, event=event)

@@ -32,11 +32,15 @@ from repro.banks.deferred import FastFrameStack
 from repro.banks.pointers import DivertStats, PointerPolicy, divert_lookup
 from repro.banks.renaming import BankManager
 from repro.errors import (
+    AllocationError,
     DanglingFrame,
     EvalStackOverflow,
+    HeapExhausted,
     InvalidContext,
     MachineHalted,
+    MemoryFault,
     StepLimitExceeded,
+    TrapError,
 )
 from repro.ifu.ifu import FetchStats, TransferKind
 from repro.ifu.returnstack import ReturnStack, ReturnStackEntry
@@ -118,6 +122,9 @@ class Machine:
         self.steps = 0
         self.output: list[int] = []
         self.deferred_frames = 0  # frames that never got a memory address
+        #: Traps dispatched over the machine's life (handled or not);
+        #: the scheduler's trap-storm quota reads the per-slice delta.
+        self.trap_count = 0
         #: Dynamic opcode histogram (enable with profile=True) — the kind
         #: of bytecode-frequency data the Mesa encoding was designed from.
         self.profile: dict[Op, int] | None = None
@@ -253,10 +260,11 @@ class Machine:
             except TrapTransfer:
                 pass  # control is already in the trap context
             except EvalStackOverflow as fault:
-                try:
-                    self.trap(TrapKind.STACK_OVERFLOW, str(fault))
-                except TrapTransfer:
-                    pass
+                self._surface_trap(TrapKind.STACK_OVERFLOW, str(fault))
+            except HeapExhausted as fault:
+                self._surface_trap(TrapKind.RESOURCE_EXHAUSTED, str(fault))
+            except (AllocationError, MemoryFault) as fault:
+                self._surface_trap(TrapKind.STORAGE_FAULT, str(fault))
             if self.yield_requested:
                 break
         return self.results()
@@ -299,10 +307,39 @@ class Machine:
         except TrapTransfer:
             pass  # control is already in the trap context
         except EvalStackOverflow as fault:
-            try:
-                self.trap(TrapKind.STACK_OVERFLOW, str(fault))
-            except TrapTransfer:
-                pass
+            self._surface_trap(TrapKind.STACK_OVERFLOW, str(fault))
+        except HeapExhausted as fault:
+            self._surface_trap(TrapKind.RESOURCE_EXHAUSTED, str(fault))
+        except (AllocationError, MemoryFault) as fault:
+            self._surface_trap(TrapKind.STORAGE_FAULT, str(fault))
+
+    def _surface_trap(self, kind: TrapKind, detail: str) -> None:
+        """Convert a host-level fault into a modelled trap.
+
+        Resource exhaustion and storage corruption must surface through
+        the paper's own mechanism — an XFER to a trap context, a host
+        handler, or a clean :class:`~repro.errors.TrapError` with exact
+        (kind, pc, proc) diagnostics — never as a raw Python exception
+        from deep inside an instruction handler.  If dispatching the
+        trap *itself* fails (the trap context needs a frame and the
+        arena is gone), the TrapError is raised directly rather than
+        looping.
+        """
+        try:
+            self.trap(kind, detail)
+        except TrapTransfer:
+            pass
+        except (AllocationError, MemoryFault) as nested:
+            raise TrapError(
+                kind.value,
+                f"{detail} (trap dispatch failed: {nested})",
+                pc=self.pc,
+                proc=self._proc_label(),
+            ) from nested
+
+    def _proc_label(self) -> str:
+        frame = self.frame
+        return frame.proc.qualified_name if frame is not None else ""
 
     def invalidate_linkage(self) -> None:
         """Drop all host-side caches of code-derived state.
@@ -948,6 +985,7 @@ class Machine:
         the stack — for DIVIDE_BY_ZERO that word simply takes the place
         of the quotient.
         """
+        self.trap_count += 1
         if self.tracer is not None:
             self.tracer.emit(
                 "xfer.trap",
@@ -965,9 +1003,7 @@ class Machine:
         if handler is not None:
             handler(self, kind, detail)
             return
-        from repro.errors import TrapError
-
-        raise TrapError(kind.value, detail)
+        raise TrapError(kind.value, detail, pc=self.pc, proc=self._proc_label())
 
     def set_trap_context(self, kind: TrapKind, module: str, proc: str) -> None:
         """Register ``module.proc`` as the trap context for *kind*.

@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.errors import InterpreterError, StepLimitExceeded
+from repro.errors import InterpreterError, StepLimitExceeded, TrapError
 from repro.interp.frames import FrameState, FRAME_PC
 from repro.interp.machine import Machine
 from repro.machine.costs import Event
@@ -36,6 +36,10 @@ class ProcessStatus(enum.Enum):
     READY = "ready"
     RUNNING = "running"
     DONE = "done"
+    #: Quarantined: the process took an unhandled trap (or stormed past
+    #: its trap quota) and was removed from the rotation so it cannot
+    #: wedge the scheduler.  Its ``fault`` field records the diagnostics.
+    FAULTED = "faulted"
 
 
 @dataclass
@@ -58,6 +62,10 @@ class Process:
     results: list[int] = field(default_factory=list)
     #: Instructions executed by this process.
     steps: int = 0
+    #: Traps dispatched while this process was running (handled or not).
+    traps: int = 0
+    #: Diagnostics when status is FAULTED: trap kind, pc, proc, detail.
+    fault: dict | None = None
 
 
 @dataclass
@@ -67,6 +75,8 @@ class SwitchStats:
     switches: int = 0
     preemptions: int = 0
     yields: int = 0
+    #: Processes quarantined (unhandled trap or trap-storm quota).
+    quarantines: int = 0
 
 
 class Scheduler:
@@ -80,11 +90,16 @@ class Scheduler:
     quantum:
         Instructions per time slice; 0 disables preemption (switches
         happen only on YIELD and process completion).
+    trap_quota:
+        Traps a process may dispatch within one time slice before it is
+        quarantined as a trap storm; 0 disables the quota.  Unhandled
+        traps always quarantine, quota or not.
     """
 
-    def __init__(self, machine: Machine, quantum: int = 0) -> None:
+    def __init__(self, machine: Machine, quantum: int = 0, trap_quota: int = 0) -> None:
         self.machine = machine
         self.quantum = quantum
+        self.trap_quota = trap_quota
         self.processes: list[Process] = []
         self.current: Process | None = None
         self.stats = SwitchStats()
@@ -109,12 +124,38 @@ class Scheduler:
                 if process is None:
                     break
                 self._switch_in(process)
+                slice_traps = 0
                 while not machine.halted and self.current is process:
-                    machine.step()
+                    traps_before = machine.trap_count
+                    try:
+                        machine.step()
+                    except TrapError as fault:
+                        self._quarantine(
+                            process,
+                            trap=fault.trap,
+                            pc=fault.pc,
+                            proc=fault.proc,
+                            detail=fault.detail,
+                        )
+                        break
                     process.steps += 1
                     total += 1
                     if total > max_steps:
                         raise StepLimitExceeded(max_steps)
+                    slice_traps += machine.trap_count - traps_before
+                    process.traps += machine.trap_count - traps_before
+                    if self.trap_quota and slice_traps > self.trap_quota:
+                        self._quarantine(
+                            process,
+                            trap="trap_storm",
+                            pc=machine.pc,
+                            proc=process.proc,
+                            detail=(
+                                f"{slice_traps} traps in one slice "
+                                f"(quota {self.trap_quota})"
+                            ),
+                        )
+                        break
                     if machine.halted or self.current is not process:
                         break  # the step completed the process
                     if machine.yield_requested:
@@ -232,6 +273,48 @@ class Scheduler:
         process.status = ProcessStatus.READY
         self.current = None
         self._emit_switch("sched.switch_out", process, reason=reason)
+
+    def _quarantine(
+        self, process: Process, trap: str, pc: int, proc: str, detail: str
+    ) -> None:
+        """Remove a faulted process from the rotation, cleanly.
+
+        The faulting chain is abandoned: evaluation-stack residue is
+        discarded, any return-stack entries for it are dropped (their
+        contents are dead — no stores), and its banks are released
+        without spilling ("the contents of the bank are unimportant").
+        The machine is left runnable so the remaining processes keep
+        their turns — one trap-storming process cannot wedge the
+        scheduler.
+        """
+        machine = self.machine
+        process.status = ProcessStatus.FAULTED
+        process.fault = {"trap": trap, "pc": pc, "proc": proc, "detail": detail}
+        self.stats.quarantines += 1
+        machine.stack.clear()
+        if machine.rstack is not None and len(machine.rstack):
+            victims = machine.rstack.take_all()
+            machine.rstack.note_flush("quarantine", len(victims))
+        if machine.banks is not None:
+            for bank in machine.bankfile:
+                bank.release()
+            machine.banks.lbank = None
+            machine.banks.sbank = None
+        machine.halted = False
+        machine.yield_requested = False
+        self.current = None
+        tracer = machine.tracer
+        if tracer is not None:
+            tracer.emit(
+                "sched.fault",
+                f"p{process.pid}",
+                pid=process.pid,
+                proc=f"{process.module}.{process.proc}",
+                trap=trap,
+                pc=pc,
+                fault_proc=proc,
+                detail=detail,
+            )
 
     def _on_halt(self, machine: Machine) -> bool:
         """A process's outermost RETURN: record results, mark DONE."""

@@ -31,6 +31,16 @@ class TrapKind(enum.Enum):
     POINTER_TO_LOCAL = "pointer_to_local"
     #: Eval-stack overflow (compiler bug: expressions must fit).
     STACK_OVERFLOW = "stack_overflow"
+    #: The frame arena (or record heap) is out of space and the bounded
+    #: retry of section 5.3 ("a trap to a software allocator") found no
+    #: frame to promote.  The modelled face of
+    #: :class:`~repro.errors.HeapExhausted`.
+    RESOURCE_EXHAUSTED = "resource_exhausted"
+    #: Storage management went wrong: a double free, a corrupt fsi
+    #: header, or an access outside the simulated store.  The modelled
+    #: face of the remaining :class:`~repro.errors.AllocationError`
+    #: family and of :class:`~repro.errors.MemoryFault`.
+    STORAGE_FAULT = "storage_fault"
 
 
 #: The code word a trap context receives as its argument record.
@@ -39,6 +49,8 @@ TRAP_CODES: dict[TrapKind, int] = {
     TrapKind.DIVIDE_BY_ZERO: 2,
     TrapKind.POINTER_TO_LOCAL: 3,
     TrapKind.STACK_OVERFLOW: 4,
+    TrapKind.RESOURCE_EXHAUSTED: 5,
+    TrapKind.STORAGE_FAULT: 6,
 }
 
 

@@ -46,6 +46,9 @@ ALLOC_FRAME = "alloc.frame"
 ALLOC_FREE = "alloc.free"
 #: The AV free list was empty — the section 5.3 software-allocator trap.
 ALLOC_TRAP = "alloc.trap"
+#: Bounded retry: the arena was full and the allocation was granted a
+#: frame from a larger size class (graceful degradation).
+ALLOC_PROMOTE = "alloc.promote"
 
 #: A return was served from the IFU return stack (jump speed).
 IFU_HIT = "ifu.hit"
@@ -65,6 +68,11 @@ SCHED_SWITCH_IN = "sched.switch_in"
 SCHED_SWITCH_OUT = "sched.switch_out"
 #: A process ran to completion.
 SCHED_DONE = "sched.done"
+#: A process was quarantined after an unhandled trap or a trap storm.
+SCHED_FAULT = "sched.fault"
+
+#: The fault-injection harness fired an injection (repro.faults).
+FAULT_INJECT = "fault.inject"
 
 #: Every event kind, for validation and documentation.
 ALL_KINDS: tuple[str, ...] = (
@@ -78,6 +86,7 @@ ALL_KINDS: tuple[str, ...] = (
     ALLOC_FRAME,
     ALLOC_FREE,
     ALLOC_TRAP,
+    ALLOC_PROMOTE,
     IFU_HIT,
     IFU_MISS,
     IFU_FLUSH,
@@ -86,6 +95,8 @@ ALL_KINDS: tuple[str, ...] = (
     SCHED_SWITCH_IN,
     SCHED_SWITCH_OUT,
     SCHED_DONE,
+    SCHED_FAULT,
+    FAULT_INJECT,
 )
 
 

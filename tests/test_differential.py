@@ -14,7 +14,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from tests.conftest import ALL_PRESETS, run_source
+from tests.conftest import ALL_PRESETS, make_rng, run_source
 
 
 def wrap(value: int) -> int:
@@ -92,7 +92,7 @@ END.
 @settings(max_examples=25, deadline=None)
 @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=12))
 def test_random_programs_agree_with_python_and_each_other(seed, statements):
-    builder = ProgramBuilder(random.Random(seed))
+    builder = ProgramBuilder(make_rng(seed))
     source = builder.build(statements)
 
     observed = {}
@@ -113,7 +113,7 @@ def test_random_programs_agree_with_python_and_each_other(seed, statements):
 def test_random_recursion_depth_agrees(seed):
     """Recursive descent with a random branching knob: the adversarial
     depth pattern for the return stack and banks must stay correct."""
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     a = rng.randint(1, 3)
     b = rng.randint(1, 3)
     limit = rng.randint(5, 12)

@@ -1,0 +1,277 @@
+"""The chaos harness: canned fault scenarios with pinned outcomes.
+
+Each scenario documents its stable outcome class; the final tests run
+the full conformance sweep on a small slice and assert I1-I4 never
+disagree.  (The long sweep — ``repro chaos --corpus --seeds 20`` — runs
+in CI.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrapError
+from repro.faults import FaultInjector, FaultPlan, Injection, at_step, on_event
+from repro.faults.chaos import (
+    CANNED_PLANS,
+    OutcomeClass,
+    make_plan,
+    reference_run,
+    run_case,
+    run_chaos,
+)
+from repro.interp.processes import ProcessStatus, Scheduler
+from repro.interp.traps import TrapKind
+from repro.workloads.programs import CORPUS
+from tests.conftest import ALL_PRESETS, build
+
+FIB = CORPUS["fib"]
+
+
+class _StepStamper:
+    """Records (kind, step) pairs so tests can aim triggers precisely."""
+
+    trace_steps = False
+
+    def __init__(self) -> None:
+        self.machine = None
+        self.stamps: list[tuple[str, int]] = []
+
+    def bind(self, machine) -> None:
+        self.machine = machine
+
+    def emit(self, kind: str, name: str = "", **data) -> None:
+        self.stamps.append((kind, self.machine.steps))
+
+    def first(self, kind: str) -> int:
+        return next(step for k, step in self.stamps if k == kind)
+
+
+# -- scenario 1: AV free lists drained mid-run (section 5.3) -----------------
+
+
+@pytest.mark.parametrize("preset", ["i2", "i3", "i4"])
+def test_av_empty_recovers_via_software_allocator(preset):
+    """Outcome: RECOVERED.  The k-th allocation finds every AV list
+    empty; the next allocation takes the replenishment trap, carves
+    fresh frames, and the program finishes with the right answer."""
+    plan = FaultPlan(
+        "av_empty", 0, (Injection(on_event("alloc.frame", 1), "drain_av"),)
+    )
+    outcome = run_case(FIB, preset, plan)
+    assert outcome.klass is OutcomeClass.RECOVERED
+    assert outcome.results == list(FIB.expect_results)
+    assert outcome.injections_fired == 1
+
+
+# -- scenario 2: bank-file overflow storm mid-XFER (section 7.1) -------------
+
+
+def test_bank_overflow_mid_xfer_falls_back_and_recovers():
+    """Outcome: RECOVERED.  Flushing every bank between two transfers
+    forces the 'all the banks are flushed into storage' fallback; the
+    next XFER re-materializes from memory and the ladder answer holds."""
+    plan = FaultPlan(
+        "bank_overflow",
+        0,
+        (
+            Injection(on_event("xfer.call", 2), "flush_banks"),
+            Injection(on_event("xfer.call", 5), "flush_banks"),
+        ),
+    )
+    outcome = run_case(FIB, "i4", plan)
+    assert outcome.klass is OutcomeClass.RECOVERED
+    assert outcome.results == list(FIB.expect_results)
+    assert outcome.injections_fired == 2
+
+
+# -- scenario 3: return-stack spill storm (section 7.3) ----------------------
+
+
+def test_return_stack_spill_storm_recovers():
+    """Outcome: RECOVERED.  Repeated full flushes of the IFU return
+    stack mid-recursion make every subsequent return miss; correctness
+    must not depend on the accelerator's contents."""
+    plan = FaultPlan(
+        "spill_storm",
+        0,
+        tuple(
+            Injection(on_event("xfer.call", k), "flush_rstack")
+            for k in (1, 3, 5, 7)
+        ),
+    )
+    for preset in ("i3", "i4"):
+        outcome = run_case(FIB, preset, plan)
+        assert outcome.klass is OutcomeClass.RECOVERED, preset
+        assert outcome.results == list(FIB.expect_results)
+
+
+# -- scenario 4: a trap inside a trap context --------------------------------
+
+
+TRAP_IN_TRAP = [
+    """
+MODULE Main;
+PROCEDURE fix(code): INT;
+BEGIN
+  RETURN 99;
+END;
+PROCEDURE main(): INT;
+VAR a: INT;
+BEGIN
+  a := 10;
+  RETURN a DIV (a - 10);
+END;
+END.
+"""
+]
+
+
+def test_trap_inside_trap_context_surfaces_cleanly():
+    """Outcome: TRAPPED.  The first trap XFERs into its registered trap
+    context; a second trap injected while that context is executing has
+    no context of its own and must surface as a TrapError whose pc and
+    proc point *inside the handler* — not as a host exception and not
+    by corrupting the parked stack residue."""
+    # First, find the step at which the divide-by-zero trap fires.
+    machine = build(TRAP_IN_TRAP, preset="i2")
+    machine.set_trap_context(TrapKind.DIVIDE_BY_ZERO, "Main", "fix")
+    stamper = _StepStamper()
+    machine.attach_tracer(stamper)
+    machine.start()
+    results = machine.run()
+    assert results == [99]  # the context's replacement value
+    trap_step = stamper.first("xfer.trap")
+
+    # Now inject a BREAKPOINT trap two instructions into the context.
+    plan = FaultPlan(
+        "trap_in_trap",
+        0,
+        (Injection(at_step(trap_step + 2), "trap", detail="breakpoint"),),
+    )
+    machine = build(TRAP_IN_TRAP, preset="i2")
+    machine.set_trap_context(TrapKind.DIVIDE_BY_ZERO, "Main", "fix")
+    injector = FaultInjector(plan)
+    machine.attach_tracer(injector)
+    machine.start()
+    machine.run()  # breaks at the injection point, inside the context
+    assert not machine.halted
+    assert machine.frame.proc.qualified_name == "Main.fix"
+    [(index, injection)] = injector.take_pending()
+    with pytest.raises(TrapError) as excinfo:
+        machine.trap(TrapKind(injection.detail), "injected")
+    assert excinfo.value.trap == "breakpoint"
+    assert excinfo.value.proc == "Main.fix"
+    assert excinfo.value.pc == machine.pc
+
+
+# -- scenario 5: the quantum expires exactly on a RETURN ---------------------
+
+
+CALLER_LOOP = [
+    """
+MODULE Main;
+PROCEDURE leaf(x): INT;
+BEGIN
+  RETURN x + 1;
+END;
+PROCEDURE spin(limit): INT;
+VAR i: INT;
+BEGIN
+  i := 0;
+  WHILE i < limit DO
+    i := leaf(i);
+  END;
+  RETURN i;
+END;
+END.
+"""
+]
+
+
+def test_quantum_expiring_exactly_on_return():
+    """Outcome: RECOVERED (both processes finish correctly).  Pin the
+    quantum so the very first slice boundary lands on the step that
+    executes a RETURN — the preemption point where a stale return-stack
+    or bank assignment would be most visible on I3/I4."""
+    machine = build(CALLER_LOOP, preset="i4", entry=("Main", "spin"))
+    stamper = _StepStamper()
+    machine.attach_tracer(stamper)
+    machine.start("Main", "spin", 25)
+    machine.run()
+    return_step = stamper.first("xfer.return")
+
+    machine = build(CALLER_LOOP, preset="i4", entry=("Main", "spin"))
+    scheduler = Scheduler(machine, quantum=return_step)
+    a = scheduler.spawn("Main", "spin", 25)
+    b = scheduler.spawn("Main", "spin", 30)
+    processes = scheduler.run()
+    assert [p.results for p in processes] == [[25], [30]]
+    assert all(p.status is ProcessStatus.DONE for p in processes)
+    assert scheduler.stats.preemptions > 0
+
+
+# -- the conformance sweep ---------------------------------------------------
+
+
+def test_canned_plan_outcome_classes_are_stable():
+    """Each canned plan's documented outcome class, on every preset."""
+    refs = {preset: reference_run(FIB, preset) for preset in ALL_PRESETS}
+    expected = {
+        "av_empty": (OutcomeClass.RECOVERED, ""),
+        "heap_exhaust": (OutcomeClass.TRAPPED, "resource_exhausted"),
+        "spill_storm": (OutcomeClass.RECOVERED, ""),
+        "kill_resume": (OutcomeClass.RESUMED, ""),
+        "trap_inject": (OutcomeClass.TRAPPED, "divide_by_zero"),
+    }
+    assert set(expected) == set(CANNED_PLANS)
+    for name, (klass, trap) in expected.items():
+        plan = make_plan(name, FIB, refs, seed=7)
+        assert plan is not None, name
+        for preset in ALL_PRESETS:
+            outcome = run_case(FIB, preset, plan)
+            assert outcome.klass is klass, (name, preset)
+            if trap:
+                assert outcome.trap == trap, (name, preset)
+                assert outcome.pc >= 0 and outcome.proc, (name, preset)
+
+
+def test_resumed_runs_match_reference_meters_exactly():
+    """kill_resume's guarantee: the stitched run is bit-identical to the
+    uninterrupted one on steps and every modelled meter."""
+    refs = {preset: reference_run(FIB, preset) for preset in ALL_PRESETS}
+    plan = make_plan("kill_resume", FIB, refs, seed=3)
+    for preset in ALL_PRESETS:
+        outcome = run_case(FIB, preset, plan)
+        assert outcome.klass is OutcomeClass.RESUMED
+        assert outcome.restores == 1
+        assert outcome.steps == refs[preset].steps
+        assert outcome.meters == refs[preset].meters
+
+
+def test_chaos_sweep_small_slice_is_conformant():
+    report = run_chaos(programs=("fib", "calls"), seeds=2)
+    assert report.ok, report.summary()
+    assert report.cases
+    classes = {
+        outcome.klass
+        for case in report.cases
+        for outcome in case.outcomes.values()
+    }
+    # The slice exercises all three outcome classes.
+    assert classes == {
+        OutcomeClass.RECOVERED,
+        OutcomeClass.TRAPPED,
+        OutcomeClass.RESUMED,
+    }
+
+
+def test_chaos_report_serializes():
+    import json
+
+    report = run_chaos(programs=("fib",), seeds=1, plans=("av_empty",))
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["schema"] == "repro-chaos/1"
+    assert payload["ok"] is True
+    for case in payload["cases"]:
+        assert set(case["outcomes"]) == set(ALL_PRESETS)

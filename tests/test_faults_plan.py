@@ -1,0 +1,205 @@
+"""Unit tests for the FaultPlan DSL and the FaultInjector tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    Injection,
+    Trigger,
+    at_cycle,
+    at_step,
+    on_event,
+)
+from tests.conftest import build
+
+FIB = """
+MODULE Main;
+PROCEDURE fib(n): INT;
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN fib(n - 1) + fib(n - 2);
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN fib(10);
+END;
+END.
+"""
+
+
+def run_with(plan: FaultPlan, preset: str = "i2", source: str = FIB):
+    machine = build([source], preset=preset)
+    injector = FaultInjector(plan)
+    machine.attach_tracer(injector)
+    machine.start()
+    results = machine.run()
+    return machine, injector, results
+
+
+# -- the DSL -----------------------------------------------------------------
+
+
+def test_trigger_constructors():
+    assert at_step(7) == Trigger(kind="step", at=7)
+    assert at_cycle(100) == Trigger(kind="cycle", at=100)
+    assert on_event("alloc.frame", 3) == Trigger(kind="event", at=3, event="alloc.frame")
+
+
+def test_trigger_validation():
+    with pytest.raises(ValueError):
+        Trigger(kind="instant", at=1)
+    with pytest.raises(ValueError):
+        at_step(0)
+    with pytest.raises(ValueError):
+        Trigger(kind="event", at=1)  # event triggers must name an event
+    with pytest.raises(ValueError):
+        Trigger(kind="step", at=1, event="alloc.frame")  # and only they may
+
+
+def test_injection_rejects_unknown_action():
+    with pytest.raises(ValueError):
+        Injection(at_step(1), "reboot")
+
+
+def test_plan_round_trips_through_dict():
+    plan = FaultPlan(
+        name="demo",
+        seed=42,
+        injections=(
+            Injection(at_step(5), "snapshot"),
+            Injection(on_event("alloc.frame", 2), "drain_av"),
+            Injection(at_step(9), "trap", detail="divide_by_zero"),
+        ),
+    )
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_needs_step_tracing_only_for_step_and_cycle_triggers():
+    event_only = FaultPlan("e", 0, (Injection(on_event("xfer.call", 1), "drain_av"),))
+    stepped = FaultPlan("s", 0, (Injection(at_step(3), "snapshot"),))
+    cycled = FaultPlan("c", 0, (Injection(at_cycle(3), "snapshot"),))
+    assert not event_only.needs_step_tracing()
+    assert stepped.needs_step_tracing()
+    assert cycled.needs_step_tracing()
+    # The injector advertises exactly that need to the machine.
+    assert FaultInjector(event_only).trace_steps is False
+    assert FaultInjector(stepped).trace_steps is True
+
+
+# -- the injector ------------------------------------------------------------
+
+
+def test_attached_but_never_firing_injector_is_meter_neutral():
+    """The injector rides the trace bus; until a fault fires, the run is
+    bit-identical to an uninstrumented one on every modelled meter."""
+    baseline = build([FIB], preset="i4")
+    baseline.start()
+    expected = baseline.run()
+
+    plan = FaultPlan("never", 0, (Injection(on_event("no.such.event", 1), "drain_av"),))
+    machine, injector, results = run_with(plan, preset="i4")
+    assert results == expected
+    assert injector.fired == []
+    assert machine.counter.snapshot() == baseline.counter.snapshot()
+    assert machine.steps == baseline.steps
+
+
+def test_event_trigger_fires_on_kth_occurrence():
+    plan = FaultPlan("k3", 0, (Injection(on_event("xfer.call", 3), "flush_rstack"),))
+    _, injector, results = run_with(plan, preset="i3")
+    assert results == [55]
+    assert len(injector.fired) == 1
+
+
+def test_event_trigger_matches_whole_family_without_dot():
+    plan = FaultPlan("fam", 0, (Injection(on_event("xfer", 1), "flush_rstack"),))
+    _, injector, _ = run_with(plan, preset="i3")
+    # The first xfer.* event of any kind fires it.
+    assert len(injector.fired) == 1
+
+
+def test_step_trigger_fires_at_exact_step():
+    plan = FaultPlan("s40", 0, (Injection(at_step(40), "snapshot"),))
+    machine = build([FIB], preset="i2")
+    injector = FaultInjector(plan)
+    machine.attach_tracer(injector)
+    machine.start()
+    machine.run()  # breaks at the yield point
+    assert machine.yield_requested
+    assert not machine.halted
+    assert machine.steps == 40
+    [(index, steps, _cycles)] = injector.fired
+    assert (index, steps) == (0, 40)
+    assert [pair[1].action for pair in injector.take_pending()] == ["snapshot"]
+    assert injector.take_pending() == []  # drained
+
+
+def test_cycle_trigger_fires_at_first_event_past_threshold():
+    plan = FaultPlan("c100", 0, (Injection(at_cycle(100), "snapshot"),))
+    machine = build([FIB], preset="i2")
+    injector = FaultInjector(plan)
+    machine.attach_tracer(injector)
+    machine.start()
+    machine.run()
+    assert machine.counter.cycles >= 100
+    assert len(injector.fired) == 1
+
+
+def test_injection_fires_at_most_once():
+    plan = FaultPlan("once", 0, (Injection(on_event("xfer.call", 1), "flush_banks"),))
+    _, injector, results = run_with(plan, preset="i4")
+    assert results == [55]
+    assert len(injector.fired) == 1  # dozens of later calls do not re-fire
+
+
+def test_state_actions_cannot_retrigger_injections():
+    """flush_rstack emits ifu.flush from inside the injection; the
+    reentrancy guard keeps that from firing the ifu-triggered one."""
+    plan = FaultPlan(
+        "reent",
+        0,
+        (
+            Injection(on_event("xfer.call", 2), "flush_rstack"),
+            Injection(on_event("ifu.flush", 1), "flush_banks"),
+        ),
+    )
+    _, injector, results = run_with(plan, preset="i3")
+    assert results == [55]
+    fired_indices = [record[0] for record in injector.fired]
+    assert 0 in fired_indices
+    # A *later* organic ifu.flush may fire injection 1, but never during
+    # injection 0's own application (same step would be the tell).
+    records = {record[0]: record for record in injector.fired}
+    if 1 in records:
+        assert records[1][1] != records[0][1]
+
+
+def test_injector_state_round_trip_resumes_event_counts():
+    plan = FaultPlan("cnt", 0, (Injection(on_event("xfer.call", 5), "drain_av"),))
+    first = FaultInjector(plan)
+    first._counts[0] = 3
+    first._armed[0] = True
+    clone = FaultInjector(plan, state=first.state())
+    assert clone._counts == [3]
+    assert clone._armed == [True]
+    clone.disarm(0)
+    assert clone._armed == [False]
+
+
+def test_flush_actions_are_noops_on_presets_without_the_hardware():
+    """I1 has no return stack and no banks; the spill-storm actions must
+    be harmless there (that is what lets one plan run on all rungs)."""
+    plan = FaultPlan(
+        "noop",
+        0,
+        (
+            Injection(on_event("xfer.call", 1), "flush_rstack"),
+            Injection(on_event("xfer.call", 2), "flush_banks"),
+        ),
+    )
+    machine, _, results = run_with(plan, preset="i1")
+    assert results == [55]
+    assert machine.halted

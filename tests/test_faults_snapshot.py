@@ -1,0 +1,178 @@
+"""Snapshot/restore: the bit-identical-resume guarantee.
+
+The property at the heart of `repro.faults.snapshot`: for any program,
+any implementation, and any stop point, capture → restore onto a freshly
+linked image → run-to-completion must equal a straight-through run on
+results, the output channel, the step count, and **every** modelled
+meter.  Hypothesis drives random programs (the differential suite's
+generator) and random stop steps; the canned corpus covers the wide
+machine configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import SNAPSHOT_SCHEMA, SnapshotError, capture, restore
+from repro.workloads.programs import CORPUS
+from tests.conftest import ALL_PRESETS, build, make_rng
+from tests.test_differential import ProgramBuilder
+
+FIB = """
+MODULE Main;
+PROCEDURE fib(n): INT;
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN fib(n - 1) + fib(n - 2);
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN fib(10);
+END;
+END.
+"""
+
+
+def straight_run(sources, preset, entry=("Main", "main"), args=()):
+    machine = build(sources, preset=preset, entry=entry)
+    machine.start(entry[0], entry[1], *args)
+    results = machine.run()
+    return results, machine
+
+
+def resumed_run(sources, preset, stop_step, entry=("Main", "main"), args=()):
+    """Run to *stop_step*, capture, restore onto a fresh image, finish."""
+    machine = build(sources, preset=preset, entry=entry)
+    machine.start(entry[0], entry[1], *args)
+    while not machine.halted and machine.steps < stop_step:
+        machine.step()
+    if machine.halted:
+        return None, None  # program was shorter than the stop point
+    state = capture(machine)
+    fresh = build(sources, preset=preset, entry=entry)
+    restore(fresh, state)
+    results = fresh.run()
+    return results, fresh
+
+
+def assert_identical(reference, resumed):
+    ref_results, ref_machine = reference
+    res_results, res_machine = resumed
+    assert res_results == ref_results
+    assert res_machine.output == ref_machine.output
+    assert res_machine.steps == ref_machine.steps
+    assert res_machine.counter.snapshot() == ref_machine.counter.snapshot()
+    assert res_machine.counter.cycles == ref_machine.counter.cycles
+
+
+@pytest.mark.parametrize("preset", ALL_PRESETS)
+def test_fib_resume_is_bit_identical_on_every_preset(preset):
+    reference = straight_run([FIB], preset)
+    for stop in (1, 17, 123, 400):
+        resumed = resumed_run([FIB], preset, stop)
+        assert resumed[0] is not None
+        assert_identical(reference, resumed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    statements=st.integers(min_value=1, max_value=10),
+    stop=st.integers(min_value=1, max_value=400),
+    preset=st.sampled_from(ALL_PRESETS),
+)
+def test_random_program_random_stop_resume_property(seed, statements, stop, preset):
+    """The tentpole property: random program x random stop step x any
+    implementation — restore-and-finish equals straight-through."""
+    builder = ProgramBuilder(make_rng(seed))
+    source = builder.build(statements)
+    reference = straight_run([source], preset)
+    resumed = resumed_run([source], preset, stop)
+    if resumed[0] is None:  # program halted before the stop point
+        return
+    assert_identical(reference, resumed)
+
+
+@pytest.mark.parametrize("name", ["fib", "calls", "queens", "mathlib"])
+@pytest.mark.parametrize("preset", ["i1", "i4"])
+def test_corpus_resume_on_extreme_presets(name, preset):
+    """I1 (no IFU, no banks, first-fit) and I4 (everything on) bracket
+    the config space; the corpus exercises wide state vectors."""
+    program = CORPUS[name]
+    rng = make_rng(f"corpus:{name}:{preset}")
+    reference = straight_run(
+        list(program.sources), preset, entry=program.entry, args=program.args
+    )
+    stop = rng.randint(1, max(1, reference[1].steps - 1))
+    resumed = resumed_run(
+        list(program.sources), preset, stop, entry=program.entry, args=program.args
+    )
+    assert resumed[0] is not None
+    assert_identical(reference, resumed)
+    assert resumed[0] == list(program.expect_results)
+
+
+def test_capture_restore_capture_is_a_fixed_point():
+    """Restoring a snapshot and recapturing immediately must reproduce
+    the same document — serialization loses nothing."""
+    machine = build([FIB], preset="i4")
+    machine.start()
+    while machine.steps < 100:
+        machine.step()
+    state = capture(machine)
+    assert state["schema"] == SNAPSHOT_SCHEMA
+    fresh = build([FIB], preset="i4")
+    restore(fresh, state)
+    assert capture(fresh) == state
+
+
+def test_snapshot_is_json_serializable():
+    import json
+
+    machine = build([FIB], preset="i4")
+    machine.start()
+    while machine.steps < 50:
+        machine.step()
+    state = capture(machine)
+    assert json.loads(json.dumps(state)) == state
+
+
+def test_restore_rejects_config_mismatch():
+    machine = build([FIB], preset="i4")
+    machine.start()
+    while machine.steps < 20:
+        machine.step()
+    state = capture(machine)
+    other = build([FIB], preset="i2")
+    with pytest.raises(SnapshotError):
+        restore(other, state)
+
+
+def test_restore_rejects_unknown_schema():
+    machine = build([FIB], preset="i2")
+    machine.start()
+    while machine.steps < 20:
+        machine.step()
+    state = capture(machine)
+    state["schema"] = "repro-snapshot/999"
+    fresh = build([FIB], preset="i2")
+    with pytest.raises(SnapshotError):
+        restore(fresh, state)
+
+
+def test_restore_rejects_foreign_program():
+    """A snapshot names frames by procedure entry address; restoring it
+    onto an image linked from a different program must fail loudly, not
+    resurrect frames onto the wrong code."""
+    machine = build([FIB], preset="i2")
+    machine.start()
+    while machine.steps < 20:
+        machine.step()
+    state = capture(machine)
+    other_source = FIB.replace("fib(10)", "fib(9) + 1").replace(
+        "IF n < 2", "IF n < 3"
+    )
+    foreign = build([other_source], preset="i2")
+    with pytest.raises(SnapshotError):
+        restore(foreign, state)

@@ -61,8 +61,13 @@ END.
 
     machine = Machine(image)
     machine.start()
-    with pytest.raises(HeapExhausted):
+    # Exhaustion surfaces as a modelled trap with exact diagnostics, not
+    # a host exception escaping from inside an instruction handler.
+    with pytest.raises(TrapError) as excinfo:
         machine.run()
+    assert excinfo.value.trap == "resource_exhausted"
+    assert excinfo.value.pc == machine.pc
+    assert excinfo.value.proc == "Main.forever"
 
 
 def test_tiny_frame_region_rejected_or_survives_linking():
@@ -83,7 +88,9 @@ def test_tiny_frame_region_rejected_or_survives_linking():
     from repro.interp.machine import Machine
 
     machine = Machine(image)
-    with pytest.raises(HeapExhausted):
+    # start() allocates the root frame host-side (HeapExhausted); once
+    # running, exhaustion surfaces as a modelled resource trap instead.
+    with pytest.raises((HeapExhausted, TrapError)):
         machine.start()
         machine.run()
 

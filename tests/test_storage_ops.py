@@ -103,10 +103,15 @@ END;
 END.
 """
     ]
-    from repro.errors import DoubleFree
+    from repro.errors import TrapError
 
-    with pytest.raises(DoubleFree):
+    # The double free is detected host-side but surfaces as a modelled
+    # storage-fault trap with exact (kind, pc, proc) diagnostics.
+    with pytest.raises(TrapError) as excinfo:
         run_source(source)
+    assert excinfo.value.trap == "storage_fault"
+    assert excinfo.value.proc == "Main.main"
+    assert excinfo.value.pc >= 0
 
 
 def test_free_of_running_frame_rejected():
