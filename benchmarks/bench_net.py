@@ -1,0 +1,118 @@
+"""NET — Remote XFER serving throughput and latency vs shard count.
+
+The question the serving layer must answer with numbers: what does
+spreading one service image across 1..8 shards buy (and cost)?  For
+each shard count, the seeded loadgen workload runs through the
+:class:`~repro.net.serve.Server` (bounded queues, batched admission),
+and the report records requests per pump tick, end-to-end p50/p99
+latency in pump ticks, wire words moved, and host wall time — plus a
+fixed split-call microbenchmark: the modelled cost of one Remote XFER
+(the caller's single process switch; everything else explicit wire
+cost) against the same call made locally.
+
+Every serving run asserts zero lost requests and zero wrong answers —
+a benchmark that silently drops work measures nothing.
+
+``python benchmarks/run_all.py --json net`` writes ``BENCH_net.json``
+with the full sweep (CI uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import banner, format_table
+from repro.net.cluster import Cluster
+from repro.net.serve import run_serve
+from repro.workloads.programs import program
+
+SHARD_COUNTS = (1, 2, 4, 8)
+REQUESTS = 200
+SEED = 7
+
+
+def _sweep() -> list[dict]:
+    rows = []
+    for shards in SHARD_COUNTS:
+        started = time.perf_counter()
+        report, cluster, _ = run_serve(
+            shards=shards, requests=REQUESTS, seed=SEED
+        )
+        elapsed = time.perf_counter() - started
+        assert report.lost == 0, f"{shards} shards lost {report.lost} requests"
+        assert report.wrong == 0, f"{shards} shards answered wrong"
+        summary = report.to_dict()
+        summary["host_seconds"] = round(elapsed, 3)
+        summary["remote_calls"] = sum(
+            shard.scheduler.stats.blocks for shard in cluster.shards
+        )
+        rows.append(summary)
+    return rows
+
+
+def _split_call_cost() -> dict:
+    """One mathlib run local vs split: the modelled caller overhead of
+    going remote is the block-switch count — wire cost is separate."""
+    prog = program("mathlib")
+    local = Cluster(list(prog.sources), shards=1, config="i2")
+    local_results = local.call("Main", "main")
+    split = Cluster(
+        list(prog.sources), shards=2, config="i2", pins={"Main": 0, "Math": 1}
+    )
+    split_results = split.call("Main", "main")
+    assert local_results == split_results
+    return {
+        "results": local_results,
+        "remote_calls": split.shards[0].scheduler.stats.blocks,
+        "caller_cycles_local": local.meters()[0]["counter"]["cycles"],
+        "caller_cycles_split": split.meters()[0]["counter"]["cycles"],
+        "callee_cycles_split": split.meters()[1]["counter"]["cycles"],
+        "wire_words": split.transport.stats.wire_words,
+        "wire_messages": split.transport.stats.sent,
+    }
+
+
+def json_payload() -> dict:
+    return {
+        "requests": REQUESTS,
+        "seed": SEED,
+        "sweep": _sweep(),
+        "split_call": _split_call_cost(),
+    }
+
+
+def report() -> str:
+    payload = json_payload()
+    lines = [banner("NET: Remote XFER serving, 1-8 shards")]
+    rows = [
+        [
+            row["shards"],
+            row["completed"],
+            row["lost"],
+            row["p50_ticks"],
+            row["p99_ticks"],
+            row["requests_per_tick"],
+            row["wire_words"],
+            row["host_seconds"],
+        ]
+        for row in payload["sweep"]
+    ]
+    lines.append(
+        format_table(
+            ["shards", "done", "lost", "p50", "p99", "req/tick", "wire words", "host s"],
+            rows,
+        )
+    )
+    split = payload["split_call"]
+    lines.append(
+        f"\nsplit mathlib (Main|Math): {split['remote_calls']} remote calls; "
+        f"caller {split['caller_cycles_local']} cycles local -> "
+        f"{split['caller_cycles_split']} split (switch cost only), "
+        f"callee {split['callee_cycles_split']} cycles, "
+        f"{split['wire_words']} wire words on the transport's meters"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -26,51 +26,53 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-import bench_f1_indirection
-import bench_f2_frameheap
-import bench_f3_banks
-import bench_c1_call_density
-import bench_c2_byte_census
-import bench_c3_t1_savings
-import bench_c4_descriptor
-import bench_c5_jump_speed
-import bench_c6_d1_space
-import bench_c7_bank_overflow
-import bench_c8_frame_sizes
-import bench_c9_alloc_speed
-import bench_c10_arg_passing
-import bench_c12_return_stack
-import bench_c13_implementations
-import bench_c14_pointer_locals
-import bench_c15_local_traffic
-import bench_c16_hybrid
-import bench_host_speed
-import bench_obs_overhead
-import bench_faults
-
+#: Experiment name -> module name, imported lazily so one broken bench
+#: fails fast with a clear message instead of taking the whole runner
+#: (and every other experiment) down at import time.
 EXPERIMENTS = {
-    "f1": bench_f1_indirection,
-    "f2": bench_f2_frameheap,
-    "f3": bench_f3_banks,
-    "c1": bench_c1_call_density,
-    "c2": bench_c2_byte_census,
-    "c3": bench_c3_t1_savings,
-    "c4": bench_c4_descriptor,
-    "c5": bench_c5_jump_speed,
-    "c6": bench_c6_d1_space,
-    "c7": bench_c7_bank_overflow,
-    "c8": bench_c8_frame_sizes,
-    "c9": bench_c9_alloc_speed,
-    "c10": bench_c10_arg_passing,
-    "c12": bench_c12_return_stack,
-    "c13": bench_c13_implementations,
-    "c14": bench_c14_pointer_locals,
-    "c15": bench_c15_local_traffic,
-    "c16": bench_c16_hybrid,
-    "host": bench_host_speed,
-    "obs": bench_obs_overhead,
-    "faults": bench_faults,
+    "f1": "bench_f1_indirection",
+    "f2": "bench_f2_frameheap",
+    "f3": "bench_f3_banks",
+    "c1": "bench_c1_call_density",
+    "c2": "bench_c2_byte_census",
+    "c3": "bench_c3_t1_savings",
+    "c4": "bench_c4_descriptor",
+    "c5": "bench_c5_jump_speed",
+    "c6": "bench_c6_d1_space",
+    "c7": "bench_c7_bank_overflow",
+    "c8": "bench_c8_frame_sizes",
+    "c9": "bench_c9_alloc_speed",
+    "c10": "bench_c10_arg_passing",
+    "c12": "bench_c12_return_stack",
+    "c13": "bench_c13_implementations",
+    "c14": "bench_c14_pointer_locals",
+    "c15": "bench_c15_local_traffic",
+    "c16": "bench_c16_hybrid",
+    "host": "bench_host_speed",
+    "obs": "bench_obs_overhead",
+    "faults": "bench_faults",
+    "net": "bench_net",
 }
+
+
+def _load(name: str):
+    """Import one experiment module; fail fast and loud on breakage."""
+    import importlib
+
+    module_name = EXPERIMENTS[name]
+    try:
+        return importlib.import_module(module_name)
+    except Exception as fault:
+        print(
+            f"benchmark {name!r} ({module_name}.py) failed to import: "
+            f"{type(fault).__name__}: {fault}",
+            file=sys.stderr,
+        )
+        print(
+            "fix or exclude it explicitly; refusing to run a partial suite",
+            file=sys.stderr,
+        )
+        raise SystemExit(2) from fault
 
 
 def main(argv: list[str]) -> int:
@@ -103,7 +105,7 @@ def main(argv: list[str]) -> int:
 
     collected: dict[str, object] = {}
     for name in wanted:
-        module = EXPERIMENTS[name]
+        module = _load(name)
         text = module.report()
         print(text)
         print()

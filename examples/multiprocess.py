@@ -12,6 +12,13 @@ by instruction quantum — on the I4 machine, and reports what the switch
 discipline cost: return-stack flushes, bank flushes, and the shared
 heap's footprint.
 
+The second half stretches the same discipline across machines: the
+``Tally`` module is pinned to a second shard, so each ``Tally.gauss``
+call becomes a Remote XFER (:mod:`repro.net`) — the caller pays one
+ordinary modelled process switch and blocks, the callee executes the
+activation with its exact local semantics, and all wire cost lands on
+the transport's explicit meters.
+
 Run::
 
     python examples/multiprocess.py
@@ -57,6 +64,50 @@ END.
 """
 
 
+# The same gauss worker, split for the remote half: Far on shard 0,
+# Tally pinned to shard 1, so every Tally call crosses the wire.
+REMOTE_FAR = """
+MODULE Far;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN Tally.gauss(40) + Tally.gauss(80);
+END;
+END.
+"""
+
+REMOTE_TALLY = """
+MODULE Tally;
+PROCEDURE gauss(n): INT;
+VAR i, total: INT;
+BEGIN
+  total := 0;
+  i := 1;
+  WHILE i <= n DO
+    total := total + i;
+    i := i + 1;
+  END;
+  RETURN total;
+END;
+END.
+"""
+
+
+def remote_demo():
+    """Two shards, one call tree: returns (cluster, results)."""
+    from repro.net import Cluster
+
+    cluster = Cluster(
+        [REMOTE_FAR, REMOTE_TALLY],
+        shards=2,
+        config="i4",
+        entry=("Far", "main"),
+        pins={"Far": 0, "Tally": 1},
+        record=True,
+    )
+    results = cluster.call("Far", "main")
+    return cluster, results
+
+
 def main() -> None:
     machine = build_machine([SOURCE], MachineConfig.i4())
     machine.halted = True  # discard the default start; the scheduler owns it
@@ -91,6 +142,24 @@ def main() -> None:
         f"shared frame heap: {heap.stats.allocations} allocations, "
         f"high water {heap.stats.high_water_words} words - no per-process "
         "stack reservations anywhere"
+    )
+
+    from repro.net.stitch import render, stitch
+
+    cluster, results = remote_demo()
+    print("\n--- the same discipline across two machines (repro.net) ---")
+    print(f"Far on shard 0, Tally pinned to shard 1; results: {results}")
+    print(render(stitch(cluster.trace_events())))
+    for shard_id, meters in cluster.meters().items():
+        print(
+            f"shard {shard_id}: {meters['steps']} instructions, "
+            f"{meters['counter']['cycles']} modelled cycles, "
+            f"{meters['blocks']} remote stall(s)"
+        )
+    wire = cluster.transport.stats
+    print(
+        f"wire: {wire.sent} messages, {wire.wire_words} words - metered on "
+        "the transport, never on a machine's cycle counter"
     )
 
 

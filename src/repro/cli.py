@@ -6,7 +6,10 @@ Usage::
     python -m repro disasm prog.mesa [--impl i2]
     python -m repro measure prog.mesa [lib.mesa ...] [--json]
     python -m repro trace prog.mesa [--format chrome|folded|jsonl] [--out f]
-    python -m repro profile prog.mesa [--top 10]
+    python -m repro profile prog.mesa [--top 10] [--shards 2 --pin Math=1]
+    python -m repro serve --shards 4 --requests 1000 --seed 7
+    python -m repro loadgen --requests 1000 --seed 7 --out workload.json
+    python -m repro chaos --net
 
 ``run`` executes a program on one implementation and prints its results,
 output channel, and meters.  ``disasm`` shows the compiled encoding
@@ -63,6 +66,18 @@ def _entry(text: str) -> tuple[str, str]:
     if not module or not proc:
         raise argparse.ArgumentTypeError("entry must look like Module.proc")
     return module, proc
+
+
+def _pin(text: str) -> tuple[str, int]:
+    module, _, shard = text.partition("=")
+    if not module or not shard:
+        raise argparse.ArgumentTypeError("pin must look like Module=shard")
+    try:
+        return module, int(shard)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"pin shard must be an integer, got {shard!r}"
+        ) from None
 
 
 def _build(sources: list[str], preset: str, entry: tuple[str, str]) -> Machine:
@@ -391,9 +406,61 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_cluster(args: argparse.Namespace) -> int:
+    """``profile --shards N``: split the program across a cluster and
+    print the stitched cross-shard call tree (one span per Remote XFER,
+    costed with the callee shard's modelled meters)."""
+    from repro.net.cluster import Cluster
+    from repro.net.stitch import render, stitch
+
+    sources = _read_program_sources(args.files)
+    pins = dict(args.pin) if args.pin else None
+    cluster = Cluster(
+        sources,
+        shards=args.shards,
+        config=args.impl,
+        entry=args.entry,
+        pins=pins,
+        record=True,
+    )
+    ticket = cluster.submit(args.entry[0], args.entry[1], *args.args)
+    cluster.pump()
+    print(f"results: {ticket.results}")
+    roots = stitch(cluster.trace_events())
+    spans = sum(1 for root in roots for _ in root.walk())
+    remote = sum(
+        1
+        for root in roots
+        for node, _ in root.walk()
+        if node.origin not in ("", "root")
+    )
+    print(
+        f"{spans} span(s), {remote} remote, across {args.shards} shard(s) "
+        f"in {cluster.ticks} pump ticks"
+    )
+    print(f"placement: {cluster.placement.table(cluster.shards[0].modules())}")
+    print()
+    print(render(roots))
+    print()
+    for shard_id, meters in cluster.meters().items():
+        print(
+            f"shard {shard_id}: {meters['steps']} instructions, "
+            f"{meters['counter']['cycles']} modelled cycles, "
+            f"{meters['blocks']} remote stalls"
+        )
+    wire = cluster.transport.stats
+    print(
+        f"wire: {wire.sent} messages, {wire.wire_words} words "
+        "(metered on the transport, never on a machine)"
+    )
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs import aggregate, build_call_tree
 
+    if args.shards > 1:
+        return _profile_cluster(args)
     machine, recorder, results = _traced_run(args, capacity=None, trace_steps=False)
     tree = build_call_tree(
         recorder.events,
@@ -558,11 +625,124 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Version tag of the loadgen workload file.
+LOADGEN_SCHEMA = "repro-loadgen/1"
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Generate a seeded serving workload with host-computed answers."""
+    from repro.net.serve import generate_workload
+
+    workload = generate_workload(args.seed, args.requests)
+    doc = {
+        "schema": LOADGEN_SCHEMA,
+        "seed": args.seed,
+        "requests": args.requests,
+        "workload": [request.to_dict() for request in workload],
+    }
+    text = json.dumps(doc, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(
+            f"{args.requests} request(s) (seed {args.seed}) written to {args.out}"
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Drive a shard pool through a loadgen workload and report."""
+    from repro.net.cluster import Cluster
+    from repro.net.serve import SERVICE_SOURCES, Request, Server, generate_workload
+    from repro.net.transport import SocketTransport
+    from repro.obs import MetricsRegistry
+
+    if args.workload:
+        doc = json.loads(Path(args.workload).read_text())
+        if doc.get("schema") != LOADGEN_SCHEMA:
+            print(
+                f"serve: {args.workload} is not a {LOADGEN_SCHEMA} workload",
+                file=sys.stderr,
+            )
+            return 2
+        workload = [Request.from_dict(r) for r in doc["workload"]]
+        source = args.workload
+    else:
+        workload = generate_workload(args.seed, args.requests)
+        source = f"seed {args.seed}"
+    transport = SocketTransport() if args.socket else None
+    cluster = Cluster(
+        list(SERVICE_SOURCES),
+        shards=args.shards,
+        config=args.impl,
+        transport=transport,
+    )
+    metrics = MetricsRegistry()
+    server = Server(
+        cluster,
+        queue_capacity=args.queue_capacity,
+        batch_size=args.batch_size,
+        metrics=metrics,
+    )
+    try:
+        report = server.serve(workload)
+    finally:
+        cluster.close()
+    summary = report.to_dict()
+    print(
+        f"served {report.completed}/{report.requests} request(s) ({source}) "
+        f"on {report.shards} shard(s) in {report.ticks} pump ticks"
+    )
+    print(
+        f"lost={report.lost} wrong={report.wrong} retried={report.retried} "
+        f"backpressure_stalls={report.backpressure_stalls}"
+    )
+    print(
+        f"latency: p50={summary['p50_ticks']} p99={summary['p99_ticks']} "
+        f"pump ticks; wire: {report.wire_words} words"
+    )
+    if args.json or args.out:
+        doc = {
+            "report": summary,
+            "metrics": metrics.snapshot(),
+            "placement": cluster.placement.table(cluster.shards[0].modules()),
+            "wire": cluster.transport.stats.as_dict(),
+        }
+        text = json.dumps(doc, indent=2) + "\n"
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"report written to {args.out}")
+        else:
+            print(text, end="")
+    return 0 if report.lost == 0 and report.wrong == 0 else 1
+
+
+def _net_chaos(args: argparse.Namespace) -> int:
+    """``chaos --net``: the transport-fault sweep over a split cluster."""
+    from repro.net.chaos import NET_PLANS, run_net_chaos
+
+    plans = tuple(args.plans) if args.plans else tuple(NET_PLANS)
+    unknown = [name for name in plans if name not in NET_PLANS]
+    if unknown:
+        print(f"chaos: unknown net plans {unknown} "
+              f"(canned: {', '.join(NET_PLANS)})", file=sys.stderr)
+        return 2
+    report = run_net_chaos(plans=plans, seeds=args.seeds)
+    print(report.summary())
+    if args.report:
+        Path(args.report).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written to {args.report}")
+    return 0 if report.ok else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Replay seeded fault plans across I1-I4; fail on any divergence."""
     from repro.faults.chaos import CANNED_PLANS, DEFAULT_PROGRAMS, run_chaos
     from repro.workloads.programs import CORPUS
 
+    if args.net:
+        return _net_chaos(args)
     programs = tuple(args.programs) if args.programs else DEFAULT_PROGRAMS
     unknown = [name for name in programs if name not in CORPUS]
     if unknown:
@@ -747,6 +927,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="integer arguments for the entry procedure")
     profile.add_argument("--top", type=int, default=10, metavar="N",
                         help="procedures to list (default 10)")
+    profile.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="split the program across N shards and print "
+                             "the stitched cross-shard call tree (default 1)")
+    profile.add_argument("--pin", type=_pin, action="append", metavar="MOD=SHARD",
+                        help="pin a module to a shard (repeatable; default: "
+                             "consistent-hash placement)")
     profile.set_defaults(func=cmd_profile)
 
     verify = sub.add_parser(
@@ -795,7 +981,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seeds per (program, plan) pair (default 5)")
     chaos.add_argument("--report", metavar="PATH", default=None,
                        help="write the full JSON conformance report here")
+    chaos.add_argument("--net", action="store_true",
+                       help="run the transport-fault sweep instead: drops, "
+                            "duplicates, delays, and partitions over a "
+                            "2-shard split cluster")
     chaos.set_defaults(func=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", help="drive a shard pool through a loadgen workload"
+    )
+    serve.add_argument("--shards", type=int, default=4, metavar="N",
+                       help="shards in the pool (default 4)")
+    serve.add_argument("--impl", choices=["i1", "i2", "i3", "i4"], default="i2",
+                       help="implementation preset per shard (default i2)")
+    serve.add_argument("--workload", metavar="PATH", default=None,
+                       help="loadgen workload file (default: generate from "
+                            "--requests/--seed)")
+    serve.add_argument("--requests", type=int, default=100, metavar="N",
+                       help="requests to generate when no workload file "
+                            "(default 100)")
+    serve.add_argument("--seed", type=int, default=7, metavar="S",
+                       help="workload seed (default 7)")
+    serve.add_argument("--queue-capacity", type=int, default=8, metavar="N",
+                       help="bounded per-shard run queue (default 8)")
+    serve.add_argument("--batch-size", type=int, default=4, metavar="N",
+                       help="admissions per pump round (default 4)")
+    serve.add_argument("--socket", action="store_true",
+                       help="carry the wire records over a real socketpair")
+    serve.add_argument("--json", action="store_true",
+                       help="also print the full JSON report")
+    serve.add_argument("--out", metavar="PATH", default=None,
+                       help="write the full JSON report here")
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="generate a seeded serving workload with known answers"
+    )
+    loadgen.add_argument("--requests", type=int, default=100, metavar="N",
+                         help="requests to generate (default 100)")
+    loadgen.add_argument("--seed", type=int, default=7, metavar="S",
+                         help="generator seed (default 7)")
+    loadgen.add_argument("--out", metavar="PATH", default=None,
+                         help="write the workload JSON here (default stdout)")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     check = sub.add_parser(
         "check", help="statically verify programs without executing them"

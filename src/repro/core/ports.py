@@ -12,6 +12,12 @@ the partner and suspends; when the partner (or anyone holding a port to
 us) transfers back, ``send`` returns the incoming record.  The partner
 reference is refreshed from ``ctx.source`` on every resume, so a port
 keeps working even if the peer context is recreated.
+
+The same shape stretched across machine boundaries is :mod:`repro.net`:
+a Remote XFER suspends the caller on an implicit port (the process goes
+``BLOCKED`` holding its outstanding request) and the reply's transfer
+record resumes it — see :class:`repro.net.shard.Shard` for the stub and
+skeleton that play the two port ends.
 """
 
 from __future__ import annotations

@@ -221,6 +221,35 @@ class TrapError(InterpreterError):
 
 
 # ---------------------------------------------------------------------------
+# Remote XFER (repro.net)
+# ---------------------------------------------------------------------------
+
+
+class NetError(ReproError):
+    """Base class for Remote XFER and serving-layer failures."""
+
+
+class WireError(NetError):
+    """A wire message could not be encoded, decoded, or validated."""
+
+
+class RouteError(NetError):
+    """A request could not be routed (unknown shard, bad placement)."""
+
+
+class LostRequest(NetError):
+    """A remote call exhausted its retries without a reply."""
+
+    def __init__(self, request_id: int, attempts: int, target: str) -> None:
+        super().__init__(
+            f"request {request_id} to {target} lost after {attempts} attempt(s)"
+        )
+        self.request_id = request_id
+        self.attempts = attempts
+        self.target = target
+
+
+# ---------------------------------------------------------------------------
 # Compiler
 # ---------------------------------------------------------------------------
 

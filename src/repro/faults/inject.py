@@ -30,7 +30,7 @@ restored run replays the remaining injections deterministically.
 
 from __future__ import annotations
 
-from repro.faults.plan import STATE_ACTIONS, FaultPlan, Injection
+from repro.faults.plan import NET_ACTIONS, STATE_ACTIONS, FaultPlan, Injection
 
 
 class FaultInjector:
@@ -54,7 +54,9 @@ class FaultInjector:
         #: (injection index, steps, cycles) per firing, for reports.
         self.fired: list[tuple[int, int, int]] = []
         self._counts = [0] * len(plan.injections)
-        self._armed = [True] * len(plan.injections)
+        # Net actions belong to the transport's fault policy (repro.net),
+        # not to a machine's trace stream: never arm them here.
+        self._armed = [i.action not in NET_ACTIONS for i in plan.injections]
         self._applying = False
         if state is not None:
             counts = state.get("event_counts", [])

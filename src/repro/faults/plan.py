@@ -44,6 +44,20 @@ the driver:
   onto a fresh image and resumes;
 * ``trap`` — dispatch a machine trap of kind ``detail`` (e.g.
   ``divide_by_zero``), exercising trap-in-trap and quarantine paths.
+
+Network actions target the wire, not a machine: they are interpreted by
+the transport's fault policy (:class:`repro.net.transport.NetFaultPolicy`)
+rather than the :class:`~repro.faults.inject.FaultInjector`, and their
+triggers must be ``on_event`` over the ``net.send`` stream — the k-th
+message offered to the transport:
+
+* ``net_drop`` — the message vanishes (the caller's timeout/retry path
+  must recover it);
+* ``net_dup`` — the message is delivered twice (request-id dedup on the
+  callee must keep execution at-most-once);
+* ``net_delay`` — delivery is deferred by ``detail`` pump ticks;
+* ``net_partition`` — the link ``detail`` (``"a->b:ticks"``, or just
+  ``"ticks"`` for all links) queues messages until it heals.
 """
 
 from __future__ import annotations
@@ -55,6 +69,10 @@ STATE_ACTIONS = frozenset({"drain_av", "exhaust_heap", "flush_rstack", "flush_ba
 
 #: Actions that break the run loop and are executed by the driver.
 CONTROL_ACTIONS = frozenset({"snapshot", "kill", "trap"})
+
+#: Actions applied to wire messages by the transport's fault policy
+#: (repro.net); their triggers count ``net.send`` occurrences.
+NET_ACTIONS = frozenset({"net_drop", "net_dup", "net_delay", "net_partition"})
 
 
 @dataclass(frozen=True)
@@ -95,8 +113,13 @@ class Injection:
     once: bool = True
 
     def __post_init__(self) -> None:
-        if self.action not in STATE_ACTIONS | CONTROL_ACTIONS:
+        if self.action not in STATE_ACTIONS | CONTROL_ACTIONS | NET_ACTIONS:
             raise ValueError(f"unknown action {self.action!r}")
+        if self.action in NET_ACTIONS and self.trigger.kind != "event":
+            raise ValueError(
+                f"net action {self.action!r} needs an on_event trigger over "
+                "the net.send stream"
+            )
 
 
 @dataclass(frozen=True)

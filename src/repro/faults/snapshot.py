@@ -13,9 +13,11 @@ the machine is bit-identical — on every modelled meter — to never
 having stopped.
 
 Schema versioning policy (see ``docs/faults.md``): the schema string
-``repro-snapshot/1`` names the layout; any change to the meaning or
+``repro-snapshot/2`` names the layout; any change to the meaning or
 shape of a section bumps the version, and :func:`restore` refuses a
-snapshot whose schema it does not know.  Host-side caches (decode
+snapshot whose schema it does not know.  (Version 2 added the process
+records' ``remote`` field and the scheduler's ``blocks`` stat — a
+process can now be BLOCKED on a Remote XFER, see :mod:`repro.net`.)  Host-side caches (decode
 cache, linkage cache) are deliberately **not** captured: they are
 rebuilt cold, and their charging discipline guarantees identical meters
 either way.  Host trap *handlers* (Python callables) are likewise not
@@ -41,7 +43,7 @@ from repro.interp.frames import FrameState
 from repro.interp.traps import TrapKind
 
 #: The schema this module writes and the only one it restores.
-SNAPSHOT_SCHEMA = "repro-snapshot/1"
+SNAPSHOT_SCHEMA = "repro-snapshot/2"
 
 #: Config fields that must match between capture and restore; the rest
 #: (cost model, step limit) are carried by the rebuilt image itself.
@@ -310,6 +312,7 @@ def capture(machine, scheduler=None) -> dict:
                 "preemptions": scheduler.stats.preemptions,
                 "yields": scheduler.stats.yields,
                 "quarantines": scheduler.stats.quarantines,
+                "blocks": scheduler.stats.blocks,
             },
             "processes": [
                 {
@@ -328,6 +331,7 @@ def capture(machine, scheduler=None) -> dict:
                     "steps": p.steps,
                     "traps": p.traps,
                     "fault": p.fault,
+                    "remote": p.remote,
                 }
                 for p in scheduler.processes
             ],
@@ -577,6 +581,7 @@ def _restore_scheduler(scheduler, data: dict, deref) -> None:
     stats.preemptions = data["stats"]["preemptions"]
     stats.yields = data["stats"]["yields"]
     stats.quarantines = data["stats"]["quarantines"]
+    stats.blocks = data["stats"]["blocks"]
     scheduler.processes = [
         Process(
             pid=p["pid"],
@@ -594,6 +599,7 @@ def _restore_scheduler(scheduler, data: dict, deref) -> None:
             steps=p["steps"],
             traps=p["traps"],
             fault=p["fault"],
+            remote=p["remote"],
         )
         for p in data["processes"]
     ]

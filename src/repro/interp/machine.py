@@ -134,6 +134,18 @@ class Machine:
         #: Scheduler hooks (see repro.interp.processes).
         self.yield_requested = False
         self.on_halt: Callable[["Machine"], bool] | None = None
+        #: Remote XFER hook (see repro.net.shard): a callable
+        #: ``stub(meta, kind, return_pc) -> bool`` consulted at the top
+        #: of the shared call path.  Returning True means the call was
+        #: diverted to another machine: the stub has collected the
+        #: argument record (through the uncounted state-access paths, so
+        #: the caller's modelled meters are untouched) and parked a
+        #: request in :attr:`remote_pending`; the machine yields so the
+        #: scheduler can block the calling process on the reply.
+        self.remote_stub: Callable | None = None
+        #: The request record the remote stub parked (consumed by the
+        #: scheduler when it blocks the calling process).
+        self.remote_pending: dict | None = None
         #: Trap handlers: kind -> callable(machine, kind, detail).
         self.trap_handlers: dict[TrapKind, Callable] = {}
         #: Trap contexts: kind -> procedure descriptor word.  When set,
@@ -666,6 +678,15 @@ class Machine:
             raise InvalidContext(
                 f"call target {resolved.entry_address:#x} is not a procedure entry"
             )
+        stub = self.remote_stub
+        if stub is not None and stub(meta, kind, return_pc):
+            # Diverted to a remote machine: the stub consumed the
+            # argument record and parked a request; nothing local — no
+            # transfer charge, no frame — happens here.  ``self.pc`` is
+            # already ``return_pc``, so when the reply's result words
+            # are loaded onto the saved stack the process resumes as if
+            # an ordinary call had just returned.
+            return
         caller = self.frame
         fast = FetchStats.call_is_fast(kind)
         self.fetch.record(kind, fast, self.counter)

@@ -83,6 +83,11 @@ class MachineConfig:
     #: Execution budget (instructions) before StepLimitExceeded.
     step_limit: int = 5_000_000
 
+    #: Aggregate instruction budget for a whole :class:`Scheduler.run`
+    #: (all processes together).  Serving loops and tests share this one
+    #: knob instead of the old hard-coded ``max_steps=10_000_000``.
+    scheduler_max_steps: int = 10_000_000
+
     #: Host-side call-site linkage caching (a simulation speedup, not a
     #: modelled mechanism): the first execution of a call instruction
     #: memoizes its resolved target, and later executions skip the table

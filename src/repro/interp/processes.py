@@ -36,6 +36,10 @@ class ProcessStatus(enum.Enum):
     READY = "ready"
     RUNNING = "running"
     DONE = "done"
+    #: Suspended awaiting a remote reply (repro.net): the process made a
+    #: Remote XFER and leaves the rotation until :meth:`Scheduler.unblock`
+    #: delivers the result words onto its saved evaluation stack.
+    BLOCKED = "blocked"
     #: Quarantined: the process took an unhandled trap (or stormed past
     #: its trap quota) and was removed from the rotation so it cannot
     #: wedge the scheduler.  Its ``fault`` field records the diagnostics.
@@ -66,6 +70,9 @@ class Process:
     traps: int = 0
     #: Diagnostics when status is FAULTED: trap kind, pc, proc, detail.
     fault: dict | None = None
+    #: The outstanding remote request while status is BLOCKED (the dict
+    #: the machine's remote stub parked in ``machine.remote_pending``).
+    remote: dict | None = None
 
 
 @dataclass
@@ -77,6 +84,8 @@ class SwitchStats:
     yields: int = 0
     #: Processes quarantined (unhandled trap or trap-storm quota).
     quarantines: int = 0
+    #: Processes suspended on a remote call (repro.net).
+    blocks: int = 0
 
 
 class Scheduler:
@@ -113,8 +122,17 @@ class Scheduler:
         self.processes.append(process)
         return process
 
-    def run(self, max_steps: int = 10_000_000) -> list[Process]:
-        """Run all processes to completion; returns them with results."""
+    def run(self, max_steps: int | None = None) -> list[Process]:
+        """Run until no process is READY; returns them with results.
+
+        *max_steps* defaults to ``config.scheduler_max_steps`` — one
+        knob shared by serving loops and tests.  The loop also returns
+        (rather than spinning) when every remaining process is BLOCKED
+        on a remote reply; the caller (a :class:`repro.net` shard pump)
+        delivers replies and calls :meth:`run` again.
+        """
+        if max_steps is None:
+            max_steps = self.machine.config.scheduler_max_steps
         machine = self.machine
         machine.on_halt = self._on_halt
         total = 0
@@ -160,8 +178,13 @@ class Scheduler:
                         break  # the step completed the process
                     if machine.yield_requested:
                         machine.yield_requested = False
-                        self.stats.yields += 1
-                        self._switch_out(process, reason="yield")
+                        pending = machine.remote_pending
+                        if pending is not None:
+                            machine.remote_pending = None
+                            self._block(process, pending)
+                        else:
+                            self.stats.yields += 1
+                            self._switch_out(process, reason="yield")
                         break
                     if self.quantum and process.steps % self.quantum == 0:
                         if self._another_ready(process):
@@ -273,6 +296,86 @@ class Scheduler:
         process.status = ProcessStatus.READY
         self.current = None
         self._emit_switch("sched.switch_out", process, reason=reason)
+
+    def _block(self, process: Process, pending: dict) -> None:
+        """Suspend a process on an outstanding remote call.
+
+        The machine's remote stub already consumed the argument record
+        through the uncounted paths; the ordinary switch-out discipline
+        (flush return stack and banks, save the state vector as memory
+        traffic) applies unchanged — a Remote XFER pays exactly one
+        modelled process switch on the calling shard.
+        """
+        self._switch_out(process, reason="remote")
+        process.status = ProcessStatus.BLOCKED
+        process.remote = pending
+        self.stats.blocks += 1
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(
+                "sched.block",
+                f"p{process.pid}",
+                pid=process.pid,
+                proc=f"{process.module}.{process.proc}",
+                target=f"{pending.get('module')}.{pending.get('proc')}",
+            )
+
+    def unblock(self, process: Process, results: list[int]) -> None:
+        """Deliver a remote reply: result words land on the saved stack.
+
+        The words join the process's saved state vector directly (not
+        through counted pushes): transporting them is wire traffic,
+        metered by the net layer, and the ordinary switch-in charge
+        already covers reading the now-longer state vector back from
+        storage — exactly what a local call's results would have cost
+        sitting on the stack across a switch.
+        """
+        if process.status is not ProcessStatus.BLOCKED:
+            raise SchedulerError(
+                f"unblock of p{process.pid} which is {process.status.value}, "
+                "not blocked"
+            )
+        process.stack = process.stack + tuple(to_word(value) for value in results)
+        process.remote = None
+        process.status = ProcessStatus.READY
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(
+                "sched.unblock",
+                f"p{process.pid}",
+                pid=process.pid,
+                proc=f"{process.module}.{process.proc}",
+                results=list(results),
+            )
+
+    def fault_blocked(self, process: Process, fault: dict) -> None:
+        """A remote call failed: quarantine the blocked caller.
+
+        Unlike :meth:`_quarantine` the process is not running, so there
+        is no machine state to clean up — its chain is simply abandoned
+        with the remote fault recorded in its diagnostics.
+        """
+        if process.status is not ProcessStatus.BLOCKED:
+            raise SchedulerError(
+                f"fault_blocked of p{process.pid} which is "
+                f"{process.status.value}, not blocked"
+            )
+        process.status = ProcessStatus.FAULTED
+        process.fault = dict(fault)
+        process.remote = None
+        self.stats.quarantines += 1
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(
+                "sched.fault",
+                f"p{process.pid}",
+                pid=process.pid,
+                proc=f"{process.module}.{process.proc}",
+                trap=fault.get("trap", "remote"),
+                pc=fault.get("pc", -1),
+                fault_proc=fault.get("proc", ""),
+                detail=fault.get("detail", ""),
+            )
 
     def _quarantine(
         self, process: Process, trap: str, pc: int, proc: str, detail: str

@@ -1,0 +1,74 @@
+"""repro.net — Remote XFER: multi-machine RPC and serving.
+
+The paper's XFER primitive stretched across machine boundaries.  A
+:class:`Cluster` holds N :class:`Shard` machines (each linking the same
+program image) in one host process; a :class:`~repro.net.placement.
+Placement` routes each module to a home shard; a call into a module
+homed elsewhere is intercepted by the caller shard's **stub**, travels
+as a versioned ``repro-wire/1`` transfer record over a
+:class:`~repro.net.transport.InProcessTransport` (or the
+:class:`~repro.net.transport.SocketTransport` behind the same
+interface), and executes on the home shard as an ordinary root
+activation — the callee sees a plain XFER with its exact modelled
+semantics and charges.
+
+Layered on top: the serving path (:mod:`repro.net.serve` — batching,
+bounded run queues with backpressure, retry with backoff, latency
+percentiles), transport fault injection (:class:`~repro.net.transport.
+NetFaultPolicy` interpreting ``net_*`` FaultPlan actions), the net
+chaos sweep (:mod:`repro.net.chaos`), and cross-shard trace stitching
+(:mod:`repro.net.stitch`).
+
+Metering discipline, which the conformance tests pin: the stub touches
+only uncounted state paths; a remote call costs the caller exactly one
+ordinary modelled process switch; all wire cost lives on the
+transport's explicit meters, never on a machine's cycle counter; and
+callee-side per-activation meter deltas are bit-identical to a local
+machine replaying the same activations.
+"""
+
+from repro.net.cluster import Cluster, Ticket, build_shard_machine
+from repro.net.placement import HashRing, Placement
+from repro.net.serve import (
+    SERVICE_SOURCES,
+    Request,
+    Server,
+    ServeReport,
+    generate_workload,
+    run_serve,
+)
+from repro.net.shard import Shard
+from repro.net.stitch import Span, render, stitch
+from repro.net.transport import (
+    InProcessTransport,
+    NetFaultPolicy,
+    SocketTransport,
+    TransportStats,
+)
+from repro.net.wire import WIRE_SCHEMA, Message, decode, wire_words
+
+__all__ = [
+    "Cluster",
+    "HashRing",
+    "InProcessTransport",
+    "Message",
+    "NetFaultPolicy",
+    "Placement",
+    "Request",
+    "SERVICE_SOURCES",
+    "ServeReport",
+    "Server",
+    "Shard",
+    "SocketTransport",
+    "Span",
+    "Ticket",
+    "TransportStats",
+    "WIRE_SCHEMA",
+    "build_shard_machine",
+    "decode",
+    "generate_workload",
+    "render",
+    "run_serve",
+    "stitch",
+    "wire_words",
+]

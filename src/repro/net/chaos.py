@@ -1,0 +1,278 @@
+"""Net chaos: drive a split cluster through transport faults, on I1-I4.
+
+The conformance question mirrors the machine-level chaos harness
+(:mod:`repro.faults.chaos`), lifted to the wire: under a seeded plan of
+``net_*`` injections — drops, duplicates, delays, partitions — a
+cluster must either **RECOVER** (the retry discipline re-sends, dedup
+keeps execution at-most-once, and the final results equal the unfaulted
+single-machine reference) or **TRAP** cleanly (the root request faults
+with full diagnostics: a named trap, the failing procedure, a detail
+that tells the operator what was lost).  Silent corruption — a wrong
+answer, a hung pump, a request executed twice — is non-conformance.
+
+Every case also re-runs itself: the same (preset, plan) pair must
+produce bit-identical per-shard modelled meters twice in a row, faults
+and all, because the transport's fault policy is a pure function of the
+send stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import NetError
+from repro.faults.plan import FaultPlan, Injection, on_event
+from repro.interp.processes import ProcessStatus
+from repro.net.cluster import Cluster
+from repro.net.transport import InProcessTransport, NetFaultPolicy
+from repro.workloads.programs import program
+
+NET_CHAOS_SCHEMA = "repro-net-chaos/1"
+
+ALL_PRESETS = ("i1", "i2", "i3", "i4")
+
+#: The split program every net case runs: Main on shard 0, Math on
+#: shard 1, so every Math call is a Remote XFER exposed to the plan.
+CASE_PROGRAM = "mathlib"
+CASE_PINS = {"Main": 0, "Math": 1}
+CASE_SHARDS = 2
+
+
+def _plan_net_partition(rng: random.Random) -> tuple[Injection, ...]:
+    """A partition mid-conversation, plus a drop and a duplicate."""
+    return (
+        Injection(
+            on_event("net.send", rng.randrange(2, 20)),
+            "net_partition",
+            detail=f"0->1:{rng.randrange(2, 6)}",
+        ),
+        Injection(on_event("net.send", rng.randrange(20, 40)), "net_drop"),
+        Injection(on_event("net.send", rng.randrange(40, 55)), "net_dup"),
+    )
+
+
+def _plan_net_drop_storm(rng: random.Random) -> tuple[Injection, ...]:
+    """Several scattered drops; retries must cover every one."""
+    ordinals = sorted(rng.sample(range(2, 55), 4))
+    return tuple(
+        Injection(on_event("net.send", ordinal), "net_drop")
+        for ordinal in ordinals
+    )
+
+
+def _plan_net_dup_delay(rng: random.Random) -> tuple[Injection, ...]:
+    """Duplicates and delays; dedup must keep execution at-most-once."""
+    first, second = sorted(rng.sample(range(2, 50), 2))
+    return (
+        Injection(on_event("net.send", first), "net_dup"),
+        Injection(
+            on_event("net.send", second),
+            "net_delay",
+            detail=str(rng.randrange(2, 5)),
+        ),
+    )
+
+
+def _plan_net_blackhole(rng: random.Random) -> tuple[Injection, ...]:
+    """Swallow one call *and every retry of it*: six consecutive drops
+    outlast the retry budget, so the caller must trap with
+    ``lost_request`` — never hang, never answer wrong."""
+    start = rng.randrange(2, 40)
+    return tuple(
+        Injection(on_event("net.send", start + offset), "net_drop")
+        for offset in range(6)
+    )
+
+
+NET_PLANS = {
+    "net_partition": _plan_net_partition,
+    "net_drop_storm": _plan_net_drop_storm,
+    "net_dup_delay": _plan_net_dup_delay,
+    "net_blackhole": _plan_net_blackhole,
+}
+
+
+def make_net_plan(name: str, seed: int) -> FaultPlan:
+    """Instantiate canned net plan *name*, seeded and reproducible."""
+    try:
+        generator = NET_PLANS[name]
+    except KeyError:
+        raise NetError(
+            f"unknown net chaos plan {name!r} (known: {', '.join(sorted(NET_PLANS))})"
+        ) from None
+    rng = random.Random(f"{name}:{seed}")
+    return FaultPlan(name=name, seed=seed, injections=generator(rng))
+
+
+@dataclass
+class NetOutcome:
+    """How one (preset, plan) cluster run ended."""
+
+    klass: str  # "recovered" | "trapped"
+    results: list[int] = field(default_factory=list)
+    trap: str = ""
+    detail: str = ""
+    ticks: int = 0
+    injections_fired: int = 0
+    wire: dict = field(default_factory=dict)
+    meters: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.klass,
+            "results": list(self.results),
+            "trap": self.trap,
+            "detail": self.detail,
+            "ticks": self.ticks,
+            "injections_fired": self.injections_fired,
+            "wire": dict(self.wire),
+        }
+
+
+def run_net_case(preset: str, plan: FaultPlan) -> NetOutcome:
+    """One cluster run of the split case program under *plan*."""
+    prog = program(CASE_PROGRAM)
+    policy = NetFaultPolicy(plan)
+    cluster = Cluster(
+        list(prog.sources),
+        shards=CASE_SHARDS,
+        config=preset,
+        pins=CASE_PINS,
+        transport=InProcessTransport(policy=policy),
+    )
+    ticket = cluster.submit(prog.entry[0], prog.entry[1], *prog.args)
+    cluster.pump()
+    outcome = NetOutcome(
+        klass="recovered",
+        ticks=cluster.ticks,
+        injections_fired=len(policy.fired),
+        wire=cluster.transport.stats.as_dict(),
+        meters=cluster.meters(),
+    )
+    if ticket.status is ProcessStatus.DONE:
+        outcome.results = ticket.results
+    elif ticket.status is ProcessStatus.FAULTED:
+        fault = ticket.process.fault or {}
+        outcome.klass = "trapped"
+        outcome.trap = fault.get("trap", "")
+        outcome.detail = fault.get("detail", "")
+    else:  # pragma: no cover - pump() only returns at quiescence
+        raise NetError(f"case ended with ticket status {ticket.status}")
+    return outcome
+
+
+def _check_outcome(preset: str, outcome: NetOutcome, reference: list[int]) -> list[str]:
+    failures: list[str] = []
+    if outcome.klass == "recovered":
+        if outcome.results != reference:
+            failures.append(
+                f"{preset}: recovered with results {outcome.results} "
+                f"!= reference {reference}"
+            )
+    else:
+        if not outcome.trap:
+            failures.append(f"{preset}: trapped without a trap kind")
+        if not outcome.detail:
+            failures.append(f"{preset}: trapped without diagnostics")
+    return failures
+
+
+@dataclass
+class NetCaseResult:
+    """One (plan, seed) cell: outcomes on every preset."""
+
+    plan: dict
+    seed: int
+    outcomes: dict[str, NetOutcome]
+    failures: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "outcomes": {p: o.to_dict() for p, o in self.outcomes.items()},
+            "failures": list(self.failures),
+        }
+
+
+@dataclass
+class NetChaosReport:
+    """The sweep: plans x seeds, each across the presets."""
+
+    cases: list[NetCaseResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": NET_CHAOS_SCHEMA,
+            "ok": self.ok,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+    def summary(self) -> str:
+        by_class: dict[str, int] = {}
+        for case in self.cases:
+            for outcome in case.outcomes.values():
+                by_class[outcome.klass] = by_class.get(outcome.klass, 0) + 1
+        lines = [
+            f"net chaos: {len(self.cases)} cases "
+            f"({CASE_PROGRAM} split across {CASE_SHARDS} shards)",
+            "outcomes: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(by_class.items())),
+        ]
+        failed = [case for case in self.cases if not case.ok]
+        if failed:
+            lines.append(f"FAILED: {len(failed)} non-conformant cases")
+            for case in failed[:10]:
+                lines.append(
+                    f"  plan={case.plan['name']} seed={case.seed}: "
+                    f"{'; '.join(case.failures)}"
+                )
+        else:
+            lines.append("all implementations conformant")
+        return "\n".join(lines)
+
+
+def run_net_chaos(
+    plans: tuple[str, ...] = tuple(NET_PLANS),
+    seeds: int | tuple[int, ...] = 3,
+    presets: tuple[str, ...] = ALL_PRESETS,
+) -> NetChaosReport:
+    """The sweep: every plan, seeded, across the presets — with the
+    determinism re-run baked in (meters must match twice)."""
+    seed_list = tuple(range(seeds)) if isinstance(seeds, int) else tuple(seeds)
+    prog = program(CASE_PROGRAM)
+    reference = list(prog.expect_results)
+    report = NetChaosReport()
+    for plan_name in plans:
+        for seed in seed_list:
+            plan = make_net_plan(plan_name, seed)
+            outcomes: dict[str, NetOutcome] = {}
+            failures: list[str] = []
+            for preset in presets:
+                outcome = run_net_case(preset, plan)
+                rerun = run_net_case(preset, plan)
+                if rerun.meters != outcome.meters:
+                    failures.append(
+                        f"{preset}: per-shard meters differ between two "
+                        f"seeded runs of the same plan"
+                    )
+                outcomes[preset] = outcome
+                failures.extend(_check_outcome(preset, outcome, reference))
+            report.cases.append(
+                NetCaseResult(
+                    plan=plan.to_dict(),
+                    seed=seed,
+                    outcomes=outcomes,
+                    failures=failures,
+                )
+            )
+    return report

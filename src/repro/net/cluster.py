@@ -1,0 +1,291 @@
+"""A cluster: N machine shards, one placement, one transport, one pump.
+
+Every shard links the **same program image** from the same sources with
+the same configuration — the deterministic link guarantees identical
+entry addresses, and the ``hello`` handshake (which reuses the snapshot
+codec's configuration token) verifies it.  The :class:`~repro.net.
+placement.Placement` then decides *where each module executes*: a call
+into a module homed elsewhere becomes a Remote XFER through the stub,
+and arrives on the home shard as an ordinary root activation.
+
+The pump is a deterministic event loop: each tick visits the shards in
+id order — deliver polled messages, run what is runnable, flush
+replies and outgoing calls — then advances the transport (delays age,
+partitions heal).  When nothing moves and nothing is in flight, either
+all work is done or some caller is waiting on a lost reply, in which
+case the timeout/retry discipline takes over.  Everything is a pure
+function of (sources, configuration, placement, fault plan, submitted
+requests), so two runs with the same seed are bit-identical on every
+shard's modelled meters — the property the conformance suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetError, TrapError
+from repro.interp.machine import Machine
+from repro.interp.machineconfig import MachineConfig
+from repro.interp.processes import Process, ProcessStatus
+from repro.net import wire
+from repro.net.placement import DEFAULT_VNODES, Placement
+from repro.net.shard import Shard
+from repro.net.transport import InProcessTransport
+
+#: Pump ticks without a reply before a request is re-sent.
+DEFAULT_TIMEOUT_TICKS = 8
+#: Re-sends before a request is declared lost and its caller faulted.
+DEFAULT_MAX_RETRIES = 3
+
+
+@dataclass
+class Ticket:
+    """A submitted root request and the process executing it."""
+
+    module: str
+    proc: str
+    args: tuple[int, ...]
+    span: str
+    shard_id: int
+    process: Process
+    submitted_tick: int = 0
+    completed_tick: int | None = None
+
+    @property
+    def status(self) -> ProcessStatus:
+        return self.process.status
+
+    @property
+    def done(self) -> bool:
+        return self.process.status in (ProcessStatus.DONE, ProcessStatus.FAULTED)
+
+    @property
+    def results(self) -> list[int]:
+        return list(self.process.results)
+
+
+@dataclass
+class ClusterStats:
+    """Pump-level accounting (host-side)."""
+
+    ticks: int = 0
+    submitted: int = 0
+    completed: int = 0
+    faulted: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def build_shard_machine(
+    sources: list[str],
+    config: MachineConfig,
+    entry: tuple[str, str] = ("Main", "main"),
+) -> Machine:
+    """Compile and link one shard's image (no auto-start).
+
+    Identical inputs produce an identical image on every shard — the
+    property the handshake checks and Remote XFER relies on.
+    """
+    from repro.lang.compiler import CompileOptions, compile_program
+    from repro.lang.linker import link
+
+    modules = compile_program(sources, CompileOptions.for_config(config))
+    image = link(modules, config, entry)
+    return Machine(image)
+
+
+class Cluster:
+    """N shards in one host process, pumped to quiescence."""
+
+    def __init__(
+        self,
+        sources: list[str],
+        shards: int = 2,
+        config: MachineConfig | str | None = None,
+        entry: tuple[str, str] = ("Main", "main"),
+        pins: dict[str, int] | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        transport: InProcessTransport | None = None,
+        record: bool = False,
+        quantum: int = 0,
+        timeout_ticks: int = DEFAULT_TIMEOUT_TICKS,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+    ) -> None:
+        if shards < 1:
+            raise NetError(f"a cluster needs at least one shard, got {shards}")
+        if isinstance(config, str):
+            config = MachineConfig.preset(config)
+        self.config = config or MachineConfig.i2()
+        self.entry = entry
+        self.placement = Placement(list(range(shards)), pins=pins, vnodes=vnodes)
+        self.timeout_ticks = timeout_ticks
+        self.max_retries = max_retries
+        self.wire_recorder = None
+        if transport is None:
+            tracer = None
+            if record:
+                from repro.obs import TraceRecorder
+
+                self.wire_recorder = tracer = TraceRecorder(capacity=None)
+            transport = InProcessTransport(tracer=tracer)
+        self.transport = transport
+        self.shards: list[Shard] = [
+            Shard(
+                shard_id,
+                build_shard_machine(sources, self.config, entry),
+                self.placement,
+                record=record,
+                quantum=quantum,
+            )
+            for shard_id in range(shards)
+        ]
+        self.tickets: list[Ticket] = []
+        self.ticks = 0
+        self.stats = ClusterStats()
+        self._handshake()
+
+    def close(self) -> None:
+        close = getattr(self.transport, "close", None)
+        if close is not None:
+            close()
+
+    # -- setup -------------------------------------------------------------
+
+    def _handshake(self) -> None:
+        """Shard 0 greets every peer; each validates config and census."""
+        zero = self.shards[0]
+        zero.hello_ok = True
+        for shard in self.shards[1:]:
+            self.transport.send(
+                wire.hello(0, shard.id, zero.machine.config, zero.modules())
+            )
+        for shard in self.shards[1:]:
+            shard.deliver(self.transport.poll(shard.id))
+            if not shard.hello_ok:  # pragma: no cover - deliver raises first
+                raise NetError(f"shard {shard.id} never completed the handshake")
+
+    # -- requests ----------------------------------------------------------
+
+    def submit(self, module: str, proc: str, *args: int) -> Ticket:
+        """Spawn a root request on the module's home shard."""
+        shard = self.shards[self.placement.home(module)]
+        span = shard.new_span()
+        process = shard.submit(module, proc, tuple(args), span)
+        ticket = Ticket(
+            module=module,
+            proc=proc,
+            args=tuple(args),
+            span=span,
+            shard_id=shard.id,
+            process=process,
+            submitted_tick=self.ticks,
+        )
+        self.tickets.append(ticket)
+        self.stats.submitted += 1
+        return ticket
+
+    def call(self, module: str, proc: str, *args: int) -> list[int]:
+        """Submit, pump to quiescence, and return (or raise) the result."""
+        ticket = self.submit(module, proc, *args)
+        self.pump()
+        if ticket.status is ProcessStatus.FAULTED:
+            fault = ticket.process.fault or {}
+            raise TrapError(
+                fault.get("trap", "remote"),
+                detail=fault.get("detail", ""),
+                pc=fault.get("pc", -1),
+                proc=fault.get("proc", ""),
+            )
+        return ticket.results
+
+    # -- the pump ----------------------------------------------------------
+
+    def pump(self, max_ticks: int = 100_000) -> int:
+        """Drive the shards until quiescent; returns ticks consumed.
+
+        Quiescent: nothing ran, nothing is queued or in flight, and no
+        caller is awaiting a reply.  Awaiting callers keep the pump
+        ticking so the timeout/retry discipline can re-send or, when
+        retries are exhausted, fault them — the pump always terminates.
+        """
+        start = self.ticks
+        while True:
+            progress = False
+            for shard in self.shards:
+                messages = self.transport.poll(shard.id)
+                if messages:
+                    shard.deliver(messages)
+                    progress = True
+                if shard.step(self.ticks):
+                    progress = True
+                outgoing = shard.drain_outbox()
+                for message in outgoing:
+                    self.transport.send(message)
+                if outgoing:
+                    progress = True
+            self.transport.tick()
+            self.ticks += 1
+            if self.ticks - start > max_ticks:
+                raise NetError(
+                    f"cluster did not quiesce within {max_ticks} ticks "
+                    f"({sum(s.awaiting for s in self.shards)} request(s) "
+                    "outstanding)"
+                )
+            self._mark_completions()
+            if progress or self.transport.pending():
+                continue
+            if any(shard.has_ready() for shard in self.shards):
+                continue
+            if not any(shard.awaiting for shard in self.shards):
+                break
+            # Stalled on replies: age the timeouts; retries re-enter the
+            # transport through the ordinary outbox path.
+            for shard in self.shards:
+                if shard.retry(self.ticks, self.timeout_ticks, self.max_retries):
+                    for message in shard.drain_outbox():
+                        self.transport.send(message)
+        self.stats.ticks = self.ticks
+        return self.ticks - start
+
+    def _mark_completions(self) -> None:
+        for ticket in self.tickets:
+            if ticket.completed_tick is None and ticket.done:
+                ticket.completed_tick = self.ticks
+                if ticket.status is ProcessStatus.DONE:
+                    self.stats.completed += 1
+                else:
+                    self.stats.faulted += 1
+                # Close the root span so the stitcher sees an end stamp
+                # (remote-served spans get theirs from the reply flush).
+                shard = self.shards[ticket.shard_id]
+                tracer = shard.machine.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "net.reply",
+                        f"{ticket.module}.{ticket.proc}",
+                        span=ticket.span,
+                        shard=shard.id,
+                        msg="root",
+                        pid=ticket.process.pid,
+                    )
+
+    # -- observability -----------------------------------------------------
+
+    def meters(self) -> dict[int, dict]:
+        """Per-shard modelled meters (the determinism fixture)."""
+        return {
+            shard.id: {
+                "counter": shard.machine.counter.snapshot(),
+                "steps": shard.machine.steps,
+                "switches": shard.scheduler.stats.switches,
+                "blocks": shard.scheduler.stats.blocks,
+            }
+            for shard in self.shards
+        }
+
+    def trace_events(self) -> dict[int, list]:
+        """Per-shard recorded events (requires ``record=True``)."""
+        return {
+            shard.id: list(shard.recorder.events)
+            for shard in self.shards
+            if shard.recorder is not None
+        }

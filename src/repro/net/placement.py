@@ -1,0 +1,82 @@
+"""Module placement: consistent-hash routing of module -> shard.
+
+Routing must be a pure function of the module name and the shard set —
+every shard (and the serving layer) computes the same answer with no
+coordination, and adding a shard moves only ~1/N of the modules.  The
+classic construction: each shard contributes ``vnodes`` points on a
+hash ring (SHA-256 of ``"shard:replica"``), and a module lives on the
+shard owning the first point clockwise of the module's own hash.
+
+Explicit *pins* override the ring — the conformance tests and the
+examples use them to place specific modules on specific shards.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import RouteError
+
+#: Ring points per shard; enough that a module census spreads evenly
+#: across up to 8 shards.
+DEFAULT_VNODES = 64
+
+
+def _point(key: str) -> int:
+    """A 64-bit position on the ring for *key*."""
+    return int.from_bytes(hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over a fixed set of shard ids."""
+
+    def __init__(self, shard_ids: list[int], vnodes: int = DEFAULT_VNODES) -> None:
+        if not shard_ids:
+            raise RouteError("a hash ring needs at least one shard")
+        if vnodes < 1:
+            raise RouteError(f"vnodes must be >= 1, got {vnodes}")
+        self.shard_ids = sorted(shard_ids)
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard_id in self.shard_ids:
+            for replica in range(vnodes):
+                points.append((_point(f"shard-{shard_id}:{replica}"), shard_id))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def home(self, key: str) -> int:
+        """The shard owning *key*: first ring point clockwise of its hash."""
+        index = bisect.bisect_right(self._points, _point(key)) % len(self._points)
+        return self._owners[index]
+
+
+class Placement:
+    """Where each module executes: pins first, the ring otherwise."""
+
+    def __init__(
+        self,
+        shard_ids: list[int],
+        pins: dict[str, int] | None = None,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        self.ring = HashRing(shard_ids, vnodes)
+        self.pins = dict(pins or {})
+        known = set(self.ring.shard_ids)
+        for module, shard_id in self.pins.items():
+            if shard_id not in known:
+                raise RouteError(
+                    f"module {module!r} pinned to unknown shard {shard_id}"
+                )
+
+    def home(self, module: str) -> int:
+        """The shard on which *module*'s procedures execute."""
+        pinned = self.pins.get(module)
+        if pinned is not None:
+            return pinned
+        return self.ring.home(module)
+
+    def table(self, modules: list[str]) -> dict[str, int]:
+        """The full routing table for a module census (docs, reports)."""
+        return {module: self.home(module) for module in sorted(modules)}

@@ -1,0 +1,370 @@
+"""The serving layer: a shard pool driven by a seeded load generator.
+
+``repro serve`` builds a :class:`~repro.net.cluster.Cluster` whose
+image is a small multi-module *service* program, and a :class:`Server`
+admits requests against it with the disciplines a real RPC tier needs:
+
+* **batching** — at most ``batch_size`` admissions per pump round;
+* **bounded run queues with backpressure** — a shard accepts at most
+  ``queue_capacity`` in-flight root requests; requests routed to a full
+  shard wait in the server's admission queue and the stall is counted;
+* **retry with backoff** — a faulted root request is resubmitted up to
+  ``max_retries`` times, waiting ``backoff_base * 2^attempt`` pump
+  ticks before each retry;
+* **end-to-end latency** — measured in pump ticks from admission to
+  completion, reported as exact p50/p99 (the raw samples are kept) and
+  as a log2 :class:`~repro.obs.metrics.Histogram` in the ``net.*``
+  metric namespace.
+
+``repro loadgen`` produces the workload: a seeded, reproducible request
+sequence whose expected results are computed host-side, so the report
+can verify **zero lost requests and zero wrong answers** — the
+acceptance bar for the serving path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import NetError
+from repro.net.cluster import Cluster, Ticket
+from repro.obs import MetricsRegistry
+
+#: The service program: four leaf modules behind a dispatcher, so a
+#: multi-shard placement exercises Remote XFER on nearly every request.
+SERVICE_SOURCES: tuple[str, ...] = (
+    """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN 0;
+END;
+PROCEDURE dispatch(op, a, b): INT;
+BEGIN
+  IF op = 0 THEN RETURN Fib.fib(a); END;
+  IF op = 1 THEN RETURN Gauss.sum(a); END;
+  IF op = 2 THEN RETURN Gcd.gcd(a, b); END;
+  RETURN Pow.power(a, b);
+END;
+END.
+""",
+    """
+MODULE Fib;
+PROCEDURE fib(n): INT;
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN Fib.fib(n - 1) + Fib.fib(n - 2);
+END;
+END.
+""",
+    """
+MODULE Gauss;
+PROCEDURE sum(n): INT;
+VAR acc: INT;
+BEGIN
+  acc := 0;
+  WHILE n > 0 DO
+    acc := acc + n;
+    n := n - 1;
+  END;
+  RETURN acc;
+END;
+END.
+""",
+    """
+MODULE Gcd;
+PROCEDURE gcd(a, b): INT;
+BEGIN
+  WHILE b # 0 DO
+    a := a MOD b;
+    IF a = 0 THEN RETURN b; END;
+    b := b MOD a;
+  END;
+  RETURN a;
+END;
+END.
+""",
+    """
+MODULE Pow;
+PROCEDURE power(base, exponent): INT;
+VAR result: INT;
+BEGIN
+  result := 1;
+  WHILE exponent > 0 DO
+    result := result * base;
+    exponent := exponent - 1;
+  END;
+  RETURN result;
+END;
+END.
+""",
+)
+
+
+def _fib(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+@dataclass(frozen=True)
+class Request:
+    """One loadgen request and its host-computed expected result."""
+
+    index: int
+    op: int
+    a: int
+    b: int
+    expected: int
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "op": self.op,
+            "a": self.a,
+            "b": self.b,
+            "expected": self.expected,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> Request:
+        return cls(
+            index=data["index"],
+            op=data["op"],
+            a=data["a"],
+            b=data["b"],
+            expected=data["expected"],
+        )
+
+
+def generate_workload(seed: int, requests: int) -> list[Request]:
+    """A seeded request sequence with known answers (``repro loadgen``)."""
+    rng = random.Random(seed)
+    workload: list[Request] = []
+    for index in range(requests):
+        op = rng.randrange(4)
+        if op == 0:  # Fib.fib
+            a, b = rng.randrange(1, 13), 0
+            expected = _fib(a)
+        elif op == 1:  # Gauss.sum
+            a, b = rng.randrange(1, 40), 0
+            expected = a * (a + 1) // 2
+        elif op == 2:  # Gcd.gcd
+            a, b = rng.randrange(1, 500), rng.randrange(1, 500)
+            expected = _gcd(a, b)
+        else:  # Pow.power
+            a, b = rng.randrange(2, 6), rng.randrange(0, 7)
+            expected = a**b
+        workload.append(Request(index=index, op=op, a=a, b=b, expected=expected))
+    return workload
+
+
+@dataclass
+class ServeReport:
+    """What a serving run did — the acceptance evidence."""
+
+    shards: int
+    requests: int
+    completed: int = 0
+    lost: int = 0
+    wrong: int = 0
+    retried: int = 0
+    backpressure_stalls: int = 0
+    ticks: int = 0
+    wire_words: int = 0
+    latencies: list[int] = field(default_factory=list)
+
+    def percentile(self, q: float) -> int:
+        """Exact latency percentile in pump ticks (nearest-rank)."""
+        if not self.latencies:
+            return 0
+        ordered = sorted(self.latencies)
+        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "requests": self.requests,
+            "completed": self.completed,
+            "lost": self.lost,
+            "wrong": self.wrong,
+            "retried": self.retried,
+            "backpressure_stalls": self.backpressure_stalls,
+            "ticks": self.ticks,
+            "wire_words": self.wire_words,
+            "p50_ticks": self.percentile(0.50),
+            "p99_ticks": self.percentile(0.99),
+            "requests_per_tick": (
+                round(self.completed / self.ticks, 4) if self.ticks else 0.0
+            ),
+        }
+
+
+class Server:
+    """Admission control over a cluster: batching, backpressure, retry."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        queue_capacity: int = 8,
+        batch_size: int = 4,
+        max_retries: int = 2,
+        backoff_base: int = 2,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if queue_capacity < 1:
+            raise NetError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if batch_size < 1:
+            raise NetError(f"batch_size must be >= 1, got {batch_size}")
+        self.cluster = cluster
+        self.queue_capacity = queue_capacity
+        self.batch_size = batch_size
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.metrics = metrics or MetricsRegistry()
+
+    # -- internals ---------------------------------------------------------
+
+    def _inflight(self, tracked: list[dict]) -> dict[int, int]:
+        """Root requests currently executing, per shard."""
+        counts = {shard.id: 0 for shard in self.cluster.shards}
+        for entry in tracked:
+            ticket = entry["ticket"]
+            if ticket is not None and not ticket.done:
+                counts[ticket.shard_id] += 1
+        return counts
+
+    def _submit(self, request: Request) -> Ticket:
+        return self.cluster.submit(
+            "Main", "dispatch", request.op, request.a, request.b
+        )
+
+    def serve(self, workload: list[Request], max_rounds: int = 1_000_000) -> ServeReport:
+        """Run the whole workload to completion and report.
+
+        Each round admits up to ``batch_size`` waiting requests (skipping
+        any whose home shard is at capacity — a backpressure stall), then
+        pumps the cluster one quiescence cycle.  Faulted requests re-enter
+        the admission queue after their backoff expires.
+        """
+        cluster = self.cluster
+        report = ServeReport(shards=len(cluster.shards), requests=len(workload))
+        latency = self.metrics.histogram("net.latency_ticks")
+        admitted_metric = self.metrics.counter("net.admitted")
+        stalled_metric = self.metrics.counter("net.backpressure_stalls")
+        retried_metric = self.metrics.counter("net.retries")
+        depth_gauge = self.metrics.gauge("net.admission_queue_depth")
+
+        tracked = [
+            {"request": request, "ticket": None, "attempts": 0, "not_before": 0}
+            for request in workload
+        ]
+        waiting = list(range(len(tracked)))  # indices, FIFO admission order
+        start_tick = cluster.ticks
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > max_rounds:
+                raise NetError(
+                    f"serve did not finish within {max_rounds} rounds "
+                    f"({len(waiting)} request(s) still waiting)"
+                )
+            inflight = self._inflight(tracked)
+            admitted = 0
+            still_waiting: list[int] = []
+            for index in waiting:
+                entry = tracked[index]
+                if admitted >= self.batch_size or cluster.ticks < entry["not_before"]:
+                    still_waiting.append(index)
+                    continue
+                home = cluster.placement.home("Main")
+                if inflight[home] >= self.queue_capacity:
+                    report.backpressure_stalls += 1
+                    stalled_metric.inc()
+                    still_waiting.append(index)
+                    continue
+                ticket = self._submit(entry["request"])
+                entry["ticket"] = ticket
+                entry["attempts"] += 1
+                entry["admitted_tick"] = cluster.ticks
+                inflight[home] += 1
+                admitted += 1
+                admitted_metric.inc()
+            waiting = still_waiting
+            depth_gauge.set(len(waiting))
+
+            cluster.pump()
+
+            # Harvest completions; faulted requests go back to the queue
+            # with exponential backoff until their retries run out.
+            for index, entry in enumerate(tracked):
+                ticket = entry["ticket"]
+                if ticket is None or entry.get("settled"):
+                    continue
+                if not ticket.done:
+                    continue
+                request = entry["request"]
+                if ticket.status.value == "done":
+                    entry["settled"] = True
+                    report.completed += 1
+                    ticks = cluster.ticks - entry["admitted_tick"]
+                    report.latencies.append(ticks)
+                    latency.observe(ticks)
+                    results = ticket.results
+                    if not results or results[-1] != request.expected:
+                        report.wrong += 1
+                elif entry["attempts"] <= self.max_retries:
+                    report.retried += 1
+                    retried_metric.inc()
+                    entry["ticket"] = None
+                    entry["not_before"] = cluster.ticks + self.backoff_base * (
+                        2 ** (entry["attempts"] - 1)
+                    )
+                    waiting.append(index)
+                else:
+                    entry["settled"] = True
+                    report.lost += 1
+            if not waiting and all(entry.get("settled") for entry in tracked):
+                break
+
+        report.ticks = cluster.ticks - start_tick
+        report.wire_words = cluster.transport.stats.wire_words
+        return report
+
+
+def run_serve(
+    shards: int = 4,
+    requests: int = 100,
+    seed: int = 7,
+    config: str = "i2",
+    queue_capacity: int = 8,
+    batch_size: int = 4,
+    transport=None,
+    record: bool = False,
+) -> tuple[ServeReport, Cluster, MetricsRegistry]:
+    """Build the service cluster, run a seeded workload, return evidence."""
+    cluster = Cluster(
+        list(SERVICE_SOURCES),
+        shards=shards,
+        config=config,
+        transport=transport,
+        record=record,
+    )
+    metrics = MetricsRegistry()
+    server = Server(
+        cluster,
+        queue_capacity=queue_capacity,
+        batch_size=batch_size,
+        metrics=metrics,
+    )
+    report = server.serve(generate_workload(seed, requests))
+    return report, cluster, metrics

@@ -1,0 +1,123 @@
+"""Stitch per-shard traces into one cross-shard call tree.
+
+Every Remote XFER carries a span id (``"<shard>:<ordinal>"``) and its
+parent's span id on the wire, so each shard's recorder sees a
+consistent fragment of the distributed call tree: a ``net.serve`` event
+when a span starts executing on the shard (stamped with the shard
+machine's steps and cycles at that instant) and a ``net.reply`` event
+when its activation completes.  Stitching is then pure bookkeeping —
+collect the fragments, link spans to parents, and the roots are the
+submitted requests.
+
+The stitched node attributes **modelled callee cost** to each span: the
+shard's step and cycle deltas between serve and reply.  Wire cost stays
+on the transport's explicit meters and never appears in a node — the
+same separation the conformance suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs import events as ev
+
+
+@dataclass
+class Span:
+    """One remote activation: where it ran and what it cost there."""
+
+    span: str
+    parent: str | None
+    name: str
+    shard: int
+    pid: int
+    origin: str
+    start_steps: int = 0
+    start_cycles: int = 0
+    end_steps: int | None = None
+    end_cycles: int | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def steps(self) -> int:
+        """Callee-side modelled instructions, serve to reply."""
+        if self.end_steps is None:
+            return 0
+        return self.end_steps - self.start_steps
+
+    @property
+    def cycles(self) -> int:
+        """Callee-side modelled cycles, serve to reply."""
+        if self.end_cycles is None:
+            return 0
+        return self.end_cycles - self.start_cycles
+
+    def walk(self, depth: int = 0):
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+def stitch(events_by_shard: dict[int, list]) -> list[Span]:
+    """Build the cross-shard span forest from per-shard trace events.
+
+    *events_by_shard* maps shard id to its recorder's events (e.g.
+    :meth:`repro.net.cluster.Cluster.trace_events`).  Returns the root
+    spans (submitted requests), children ordered by span id ordinal —
+    a deterministic order, since span ids are allocated deterministically.
+    """
+    spans: dict[str, Span] = {}
+    for shard_id, events in sorted(events_by_shard.items()):
+        for event in events:
+            if event.kind == ev.NET_SERVE:
+                data = event.data
+                spans[data["span"]] = Span(
+                    span=data["span"],
+                    parent=data.get("parent"),
+                    name=event.name,
+                    shard=shard_id,
+                    pid=data["pid"],
+                    origin=str(data.get("origin", "")),
+                    start_steps=event.steps,
+                    start_cycles=event.cycles,
+                )
+            elif event.kind == ev.NET_REPLY:
+                node = spans.get(event.data["span"])
+                if node is not None and node.end_steps is None:
+                    node.end_steps = event.steps
+                    node.end_cycles = event.cycles
+    roots: list[Span] = []
+    for node in spans.values():
+        parent = spans.get(node.parent) if node.parent is not None else None
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+
+    def _ordinal(span: Span) -> tuple[int, int]:
+        shard, _, ordinal = span.span.partition(":")
+        return int(shard), int(ordinal)
+
+    for node in spans.values():
+        node.children.sort(key=_ordinal)
+    roots.sort(key=_ordinal)
+    return roots
+
+
+def render(roots: list[Span]) -> str:
+    """An ASCII tree of the stitched spans (``repro profile --shards``)."""
+    lines: list[str] = []
+    for root in roots:
+        for node, depth in root.walk():
+            indent = "  " * depth
+            marker = "" if depth == 0 else "└ "
+            done = (
+                f"steps={node.steps} cycles={node.cycles}"
+                if node.end_steps is not None
+                else "(no reply)"
+            )
+            lines.append(
+                f"{indent}{marker}{node.span} {node.name} "
+                f"[shard {node.shard}] {done}"
+            )
+    return "\n".join(lines)

@@ -21,6 +21,38 @@ def test_example_runs(script):
     assert completed.stdout.strip(), "examples must print something"
 
 
+def test_multiprocess_remote_demo_meters():
+    """The two-shard half of the multiprocess example, with the metering
+    discipline pinned: correct result, the caller charged exactly one
+    modelled process switch per remote call, the callee's work on the
+    callee's meters, and bit-identical meters on a re-run."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "multiprocess_example",
+        Path(__file__).resolve().parent.parent / "examples" / "multiprocess.py",
+    )
+    example = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(example)
+
+    cluster, results = example.remote_demo()
+    assert results == [820 + 3240]  # gauss(40) + gauss(80)
+    meters = cluster.meters()
+    # Two remote calls: the caller shard blocked exactly twice, and the
+    # callee shard did all the gauss work as ordinary root activations.
+    assert meters[0]["blocks"] == 2
+    assert meters[1]["blocks"] == 0
+    assert meters[1]["steps"] > meters[0]["steps"]
+    # Wire cost is metered on the transport, never on a machine: the
+    # conversation is hello + 2 * (call + reply).
+    assert cluster.transport.stats.sent == 5
+    assert cluster.transport.stats.wire_words > 0
+    # Determinism: a fresh run reproduces every modelled meter exactly.
+    cluster2, results2 = example.remote_demo()
+    assert results2 == results
+    assert cluster2.meters() == meters
+
+
 def test_expected_examples_present():
     names = {script.stem for script in EXAMPLES}
     assert {

@@ -176,3 +176,73 @@ def test_restore_rejects_foreign_program():
     foreign = build([other_source], preset="i2")
     with pytest.raises(SnapshotError):
         restore(foreign, state)
+
+
+# ---------------------------------------------------------------------------
+# Blocked processes (repro-snapshot/2): freeze mid-remote-call, resume
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_blocked_process_roundtrips_and_resumes():
+    """Freeze a shard whose process is BLOCKED on a Remote XFER, restore
+    it into a fresh cluster, and finish: same results, same modelled
+    meters as an uninterrupted split run."""
+    from repro.interp.processes import ProcessStatus
+    from repro.net.cluster import Cluster
+    from repro.workloads.programs import program
+
+    prog = program("mathlib")
+    sources = list(prog.sources)
+    pins = {"Main": 0, "Math": 1}
+
+    # Reference: the same split program, run straight through.
+    ref = Cluster(sources, shards=2, config="i2", pins=pins)
+    assert ref.call("Main", "main") == list(prog.expect_results)
+    ref_meters = ref.meters()
+
+    # Run shard 0's scheduler just until the stub blocks the caller --
+    # before the call is flushed to the wire, so the outstanding request
+    # lives entirely in the process record.
+    c1 = Cluster(sources, shards=2, config="i2", pins=pins)
+    ticket = c1.submit("Main", "main")
+    c1.shards[0].scheduler.run()
+    process = ticket.process
+    assert process.status is ProcessStatus.BLOCKED
+    assert process.remote is not None and "id" not in process.remote
+    state = capture(c1.shards[0].machine, c1.shards[0].scheduler)
+    assert state["schema"] == "repro-snapshot/2"
+
+    # Restore onto a fresh cluster's shard 0 and pump to completion.
+    c2 = Cluster(sources, shards=2, config="i2", pins=pins)
+    restore(c2.shards[0].machine, state, c2.shards[0].scheduler)
+    restored = c2.shards[0].scheduler.processes[0]
+    assert restored.status is ProcessStatus.BLOCKED
+    assert restored.remote == process.remote
+    assert c2.shards[0].scheduler.stats.blocks == 1
+    c2.pump()
+    assert restored.status is ProcessStatus.DONE
+    assert list(restored.results) == list(prog.expect_results)
+    # The interruption is invisible to every modelled meter.
+    assert c2.meters() == ref_meters
+
+
+def test_snapshot_blocked_process_is_a_fixed_point():
+    """capture -> restore -> capture over a BLOCKED process table."""
+    from repro.interp.processes import ProcessStatus
+    from repro.net.cluster import Cluster, build_shard_machine
+    from repro.interp.machineconfig import MachineConfig
+    from repro.interp.processes import Scheduler
+    from repro.workloads.programs import program
+
+    prog = program("mathlib")
+    sources = list(prog.sources)
+    c1 = Cluster(sources, shards=2, config="i2", pins={"Main": 0, "Math": 1})
+    ticket = c1.submit("Main", "main")
+    c1.shards[0].scheduler.run()
+    assert ticket.process.status is ProcessStatus.BLOCKED
+    state = capture(c1.shards[0].machine, c1.shards[0].scheduler)
+
+    fresh = build_shard_machine(sources, MachineConfig.i2())
+    scheduler = Scheduler(fresh)
+    restore(fresh, state, scheduler)
+    assert capture(fresh, scheduler) == state

@@ -1,0 +1,169 @@
+"""The serving layer: batching, backpressure, retries, zero-loss."""
+
+import json
+
+import pytest
+
+from repro.errors import NetError
+from repro.net.cluster import Cluster
+from repro.net.serve import (
+    SERVICE_SOURCES,
+    Request,
+    Server,
+    generate_workload,
+    run_serve,
+)
+from repro.net.transport import InProcessTransport, NetFaultPolicy, SocketTransport
+from repro.faults.plan import FaultPlan, Injection, on_event
+
+
+def test_workload_is_seeded_and_carries_correct_answers():
+    first = generate_workload(7, 50)
+    second = generate_workload(7, 50)
+    assert first == second
+    assert generate_workload(8, 50) != first
+    assert {r.op for r in first} == {0, 1, 2, 3}  # all four services hit
+    for request in first:
+        assert Request.from_dict(request.to_dict()) == request
+
+
+def test_serve_completes_with_zero_lost_and_zero_wrong():
+    report, cluster, metrics = run_serve(shards=2, requests=60, seed=7)
+    assert report.completed == 60
+    assert report.lost == 0
+    assert report.wrong == 0
+    assert report.ticks > 0
+    assert len(report.latencies) == 60
+    assert report.percentile(0.5) <= report.percentile(0.99)
+    # The serving metrics live in the net.* namespace.
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["net.admitted"] == 60
+    assert snapshot["histograms"]["net.latency_ticks"]["count"] == 60
+
+
+def test_serve_is_deterministic_across_runs():
+    first, c1, _ = run_serve(shards=4, requests=80, seed=11)
+    second, c2, _ = run_serve(shards=4, requests=80, seed=11)
+    assert first.to_dict() == second.to_dict()
+    assert c1.meters() == c2.meters()
+
+
+def test_backpressure_stalls_when_the_queue_is_bounded():
+    report, _, metrics = run_serve(
+        shards=2, requests=40, seed=3, queue_capacity=1, batch_size=8
+    )
+    assert report.lost == 0 and report.wrong == 0
+    assert report.backpressure_stalls > 0
+    assert metrics.snapshot()["counters"]["net.backpressure_stalls"] > 0
+
+
+def test_serve_retries_requests_that_fault_in_flight():
+    """A blackhole that swallows one remote call (and its transport
+    retries) faults that root request; the server must resubmit it and
+    still finish with zero lost."""
+    plan = FaultPlan(
+        name="swallow",
+        seed=1,
+        injections=tuple(
+            Injection(on_event("net.send", 10 + k), "net_drop") for k in range(8)
+        ),
+    )
+    cluster = Cluster(
+        list(SERVICE_SOURCES),
+        shards=2,
+        config="i2",
+        transport=InProcessTransport(policy=NetFaultPolicy(plan)),
+    )
+    server = Server(cluster, queue_capacity=4, batch_size=2, max_retries=3)
+    report = server.serve(generate_workload(5, 30))
+    assert report.completed == 30
+    assert report.lost == 0
+    assert report.wrong == 0
+    assert report.retried > 0
+
+
+def test_serve_over_a_socket_matches_in_process():
+    reference, ref_cluster, _ = run_serve(shards=2, requests=30, seed=9)
+    socketed = SocketTransport()
+    try:
+        report, cluster, _ = run_serve(
+            shards=2, requests=30, seed=9, transport=socketed
+        )
+        assert report.to_dict() == reference.to_dict()
+        assert cluster.meters() == ref_cluster.meters()
+    finally:
+        socketed.close()
+
+
+def test_server_validates_its_knobs():
+    cluster = Cluster(list(SERVICE_SOURCES), shards=1, config="i2")
+    with pytest.raises(NetError, match="queue_capacity"):
+        Server(cluster, queue_capacity=0)
+    with pytest.raises(NetError, match="batch_size"):
+        Server(cluster, batch_size=0)
+
+
+def test_report_serializes_for_the_bench_artifact():
+    report, _, _ = run_serve(shards=2, requests=20, seed=7)
+    doc = json.loads(json.dumps(report.to_dict()))
+    assert doc["requests"] == 20
+    assert doc["lost"] == 0
+    assert doc["p99_ticks"] >= doc["p50_ticks"] >= 0
+    assert doc["requests_per_tick"] > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+def test_cli_loadgen_and_serve_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+
+    workload_file = tmp_path / "wl.json"
+    assert main(
+        ["loadgen", "--requests", "15", "--seed", "7", "--out", str(workload_file)]
+    ) == 0
+    doc = json.loads(workload_file.read_text())
+    assert doc["schema"] == "repro-loadgen/1"
+    assert len(doc["workload"]) == 15
+    out_file = tmp_path / "report.json"
+    assert main(
+        ["serve", "--shards", "2", "--workload", str(workload_file),
+         "--out", str(out_file)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "served 15/15" in out
+    assert "lost=0 wrong=0" in out
+    report = json.loads(out_file.read_text())
+    assert report["report"]["lost"] == 0
+    assert report["placement"]["Main"] in (0, 1)
+
+
+def test_cli_serve_rejects_a_non_workload_file(tmp_path, capsys):
+    from repro.cli import main
+
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"schema": "something-else"}')
+    assert main(["serve", "--workload", str(bogus)]) == 2
+
+
+def test_cli_profile_stitches_across_shards(tmp_path, capsys):
+    from repro.cli import main
+    from repro.workloads.programs import program
+
+    prog = program("mathlib")
+    files = []
+    for index, source in enumerate(prog.sources):
+        path = tmp_path / f"m{index}.mesa"
+        path.write_text(source)
+        files.append(str(path))
+    assert main(
+        ["profile", *files, "--shards", "2", "--pin", "Main=0",
+         "--pin", "Math=1", "--impl", "i2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "results: [119]" in out
+    assert "31 span(s), 30 remote" in out
+    assert "Math.gcd [shard 1]" in out
+    assert "metered on the transport" in out
