@@ -651,6 +651,53 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_processes(args: argparse.Namespace, workload, source: str) -> int:
+    """``serve --processes``: each shard a real OS worker process."""
+    from repro.net.procserve import ProcessCluster, ProcessServer
+    from repro.net.serve import SERVICE_SOURCES
+
+    cluster = ProcessCluster(
+        list(SERVICE_SOURCES),
+        shards=args.shards,
+        config=args.impl,
+        self_homed=(args.route == "direct"),
+    )
+    try:
+        server = ProcessServer(
+            cluster,
+            route=args.route,
+            queue_capacity=args.queue_capacity,
+            batch_size=args.batch_size,
+        )
+        report = server.serve(workload)
+        meters = cluster.meters()
+    finally:
+        cluster.close()
+    summary = report.to_dict()
+    print(
+        f"served {report.completed}/{report.requests} request(s) ({source}) "
+        f"on {report.shards} worker process(es), route={args.route}, "
+        f"in {summary['elapsed_s']}s ({summary['requests_per_s']} req/s)"
+    )
+    print(
+        f"lost={report.lost} wrong={report.wrong} retried={report.retried} "
+        f"backpressure_stalls={report.backpressure_stalls}"
+    )
+    print(
+        f"latency: p50={summary['p50_ms']}ms p99={summary['p99_ms']}ms; "
+        f"wire: {summary['wire']['wire_words']} words"
+    )
+    if args.json or args.out:
+        doc = {"report": summary, "meters": {str(k): v for k, v in meters.items()}}
+        text = json.dumps(doc, indent=2) + "\n"
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"report written to {args.out}")
+        else:
+            print(text, end="")
+    return 0 if report.lost == 0 and report.wrong == 0 else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Drive a shard pool through a loadgen workload and report."""
     from repro.net.cluster import Cluster
@@ -671,6 +718,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         workload = generate_workload(args.seed, args.requests)
         source = f"seed {args.seed}"
+    if args.processes:
+        return _serve_processes(args, workload, source)
     transport = SocketTransport() if args.socket else None
     cluster = Cluster(
         list(SERVICE_SOURCES),
@@ -720,7 +769,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def _net_chaos(args: argparse.Namespace) -> int:
     """``chaos --net``: the transport-fault sweep over a split cluster."""
-    from repro.net.chaos import NET_PLANS, run_net_chaos
+    from repro.net.chaos import NET_PLANS, run_net_chaos, run_net_chaos_process
 
     plans = tuple(args.plans) if args.plans else tuple(NET_PLANS)
     unknown = [name for name in plans if name not in NET_PLANS]
@@ -728,7 +777,10 @@ def _net_chaos(args: argparse.Namespace) -> int:
         print(f"chaos: unknown net plans {unknown} "
               f"(canned: {', '.join(NET_PLANS)})", file=sys.stderr)
         return 2
-    report = run_net_chaos(plans=plans, seeds=args.seeds)
+    if args.processes:
+        report = run_net_chaos_process(plans=plans, seeds=args.seeds)
+    else:
+        report = run_net_chaos(plans=plans, seeds=args.seeds)
     print(report.summary())
     if args.report:
         Path(args.report).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
@@ -743,6 +795,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.net:
         return _net_chaos(args)
+    if args.processes:
+        print("chaos: --processes requires --net", file=sys.stderr)
+        return 2
     programs = tuple(args.programs) if args.programs else DEFAULT_PROGRAMS
     unknown = [name for name in programs if name not in CORPUS]
     if unknown:
@@ -985,6 +1040,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the transport-fault sweep instead: drops, "
                             "duplicates, delays, and partitions over a "
                             "2-shard split cluster")
+    chaos.add_argument("--processes", action="store_true",
+                       help="with --net: drive the sweep across real OS "
+                            "worker processes through the front door's "
+                            "fault router (outcome-class conformance)")
     chaos.set_defaults(func=cmd_chaos)
 
     serve = sub.add_parser(
@@ -1008,6 +1067,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admissions per pump round (default 4)")
     serve.add_argument("--socket", action="store_true",
                        help="carry the wire records over a real socketpair")
+    serve.add_argument("--processes", action="store_true",
+                       help="promote each shard to a real OS worker process "
+                            "behind the asyncio front door")
+    serve.add_argument("--route", choices=["direct", "dispatch"],
+                       default="direct",
+                       help="process-mode routing: direct (leaf procedure on "
+                            "a round-robin worker; the scale route) or "
+                            "dispatch (Main.dispatch with worker-to-worker "
+                            "Remote XFER; the conformance route)")
     serve.add_argument("--json", action="store_true",
                        help="also print the full JSON report")
     serve.add_argument("--out", metavar="PATH", default=None,

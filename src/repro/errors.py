@@ -233,6 +233,26 @@ class WireError(NetError):
     """A wire message could not be encoded, decoded, or validated."""
 
 
+class TruncatedFrameError(WireError):
+    """A byte stream ended mid-frame: the peer closed with unterminated
+    bytes still buffered.
+
+    Raised instead of silently discarding the partial frame — a
+    truncated transfer record is data loss, and the reader must surface
+    it so the retry/dedup discipline (or the operator) can act on it.
+    Carries ``buffered``, the number of orphaned bytes.
+    """
+
+    def __init__(self, buffered: int, preview: str = "") -> None:
+        message = (
+            f"peer closed mid-frame: {buffered} unterminated byte(s) buffered"
+        )
+        if preview:
+            message += f" (frame starts {preview!r})"
+        super().__init__(message)
+        self.buffered = buffered
+
+
 class RouteError(NetError):
     """A request could not be routed (unknown shard, bad placement)."""
 

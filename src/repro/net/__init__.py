@@ -16,8 +16,12 @@ Layered on top: the serving path (:mod:`repro.net.serve` — batching,
 bounded run queues with backpressure, retry with backoff, latency
 percentiles), transport fault injection (:class:`~repro.net.transport.
 NetFaultPolicy` interpreting ``net_*`` FaultPlan actions), the net
-chaos sweep (:mod:`repro.net.chaos`), and cross-shard trace stitching
-(:mod:`repro.net.stitch`).
+chaos sweep (:mod:`repro.net.chaos`), cross-shard trace stitching
+(:mod:`repro.net.stitch`), and **process mode** (:mod:`repro.net.
+procserve` / :mod:`repro.net.worker` — each shard a real OS process
+speaking the same ``repro-wire/1`` protocol over framed sockets behind
+an asyncio front door, managed over the separate ``repro-ctl/1``
+control schema).
 
 Metering discipline, which the conformance tests pin: the stub touches
 only uncounted state paths; a remote call costs the caller exactly one
@@ -28,7 +32,16 @@ machine replaying the same activations.
 """
 
 from repro.net.cluster import Cluster, Ticket, build_shard_machine
+from repro.net.ctl import CTL_SCHEMA, Control
+from repro.net.frame import FrameBuffer, encode_frame
 from repro.net.placement import HashRing, Placement
+from repro.net.procserve import (
+    FRONT_DOOR,
+    ProcessCluster,
+    ProcessServeReport,
+    ProcessServer,
+    run_process_serve,
+)
 from repro.net.serve import (
     SERVICE_SOURCES,
     Request,
@@ -48,12 +61,19 @@ from repro.net.transport import (
 from repro.net.wire import WIRE_SCHEMA, Message, decode, wire_words
 
 __all__ = [
+    "CTL_SCHEMA",
     "Cluster",
+    "Control",
+    "FRONT_DOOR",
+    "FrameBuffer",
     "HashRing",
     "InProcessTransport",
     "Message",
     "NetFaultPolicy",
     "Placement",
+    "ProcessCluster",
+    "ProcessServeReport",
+    "ProcessServer",
     "Request",
     "SERVICE_SOURCES",
     "ServeReport",
@@ -66,8 +86,10 @@ __all__ = [
     "WIRE_SCHEMA",
     "build_shard_machine",
     "decode",
+    "encode_frame",
     "generate_workload",
     "render",
+    "run_process_serve",
     "run_serve",
     "stitch",
     "wire_words",

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.errors import NetError
 from repro.faults.plan import FaultPlan, Injection, on_event
 from repro.interp.processes import ProcessStatus
-from repro.net.cluster import Cluster
+from repro.net.cluster import DEFAULT_MAX_RETRIES, Cluster
 from repro.net.transport import InProcessTransport, NetFaultPolicy
 from repro.workloads.programs import program
 
@@ -74,14 +74,28 @@ def _plan_net_dup_delay(rng: random.Random) -> tuple[Injection, ...]:
     )
 
 
+#: Transmissions one request may make before its caller faults: the
+#: initial send plus DEFAULT_MAX_RETRIES retransmissions (the contract
+#: Shard.retry documents and test_net_transport pins).
+RETRY_BUDGET_SENDS = 1 + DEFAULT_MAX_RETRIES
+#: Consecutive drops in the blackhole plan: the full transmission
+#: budget plus slack for frames of other conversations that may share
+#: the targeted send ordinals.  Derived, not hard-coded, so a changed
+#: retry default cannot quietly turn the blackhole into a recoverable
+#: drop storm.
+BLACKHOLE_DROPS = RETRY_BUDGET_SENDS + 2
+
+
 def _plan_net_blackhole(rng: random.Random) -> tuple[Injection, ...]:
-    """Swallow one call *and every retry of it*: six consecutive drops
-    outlast the retry budget, so the caller must trap with
-    ``lost_request`` — never hang, never answer wrong."""
+    """Swallow one call *and every retry of it*: enough consecutive
+    drops (:data:`BLACKHOLE_DROPS` — the ``1 + max_retries``
+    transmission budget, plus slack) outlast the retry budget, so the
+    caller must trap with ``lost_request`` — never hang, never answer
+    wrong."""
     start = rng.randrange(2, 40)
     return tuple(
         Injection(on_event("net.send", start + offset), "net_drop")
-        for offset in range(6)
+        for offset in range(BLACKHOLE_DROPS)
     )
 
 
@@ -239,6 +253,89 @@ class NetChaosReport:
         else:
             lines.append("all implementations conformant")
         return "\n".join(lines)
+
+
+def run_net_case_process(preset: str, plan: FaultPlan) -> NetOutcome:
+    """One run of the split case program across real worker processes.
+
+    The same seeded plan drives the front door's fault router instead
+    of the in-process transport: every routed frame is a ``net.send``,
+    so drops, duplicates, delays, and partitions hit real sockets
+    between real OS processes.
+    """
+    from repro.errors import LostRequest, TrapError
+    from repro.net.procserve import ProcessCluster
+
+    prog = program(CASE_PROGRAM)
+    cluster = ProcessCluster(
+        list(prog.sources),
+        shards=CASE_SHARDS,
+        config=preset,
+        pins=CASE_PINS,
+        fault_plan=plan,
+        timeout_s=0.25,
+        tick_seconds=0.02,
+    )
+    try:
+        outcome = NetOutcome(klass="recovered")
+        try:
+            outcome.results = cluster.call(prog.entry[0], prog.entry[1], *prog.args)
+        except TrapError as fault:
+            outcome.klass = "trapped"
+            outcome.trap = fault.trap
+            outcome.detail = fault.detail
+        except LostRequest as fault:
+            outcome.klass = "trapped"
+            outcome.trap = "lost_request"
+            outcome.detail = str(fault)
+        outcome.injections_fired = len(cluster.policy.fired)
+        outcome.wire = cluster.stats.as_dict()
+        outcome.meters = cluster.meters()
+    finally:
+        cluster.close()
+    return outcome
+
+
+def run_net_chaos_process(
+    plans: tuple[str, ...] = tuple(NET_PLANS),
+    seeds: int | tuple[int, ...] = 2,
+    presets: tuple[str, ...] = ("i2",),
+) -> NetChaosReport:
+    """The chaos sweep against process-backed transport.
+
+    Conformance here is **outcome-class only**: every case must either
+    recover with the reference results or trap with full diagnostics —
+    never hang, never answer wrong, never execute twice.  The
+    in-process sweep's meter-determinism re-run is deliberately *not*
+    applied: with real sockets and real timers, frame arrival order is
+    a function of host scheduling, not of the plan alone, so two runs
+    of the same plan may legally retry (and therefore meter) slightly
+    differently.  Per-activation meter conformance for process mode is
+    pinned separately (tests/test_net_proc.py) where it is well
+    defined.
+    """
+    seed_list = tuple(range(seeds)) if isinstance(seeds, int) else tuple(seeds)
+    prog = program(CASE_PROGRAM)
+    reference = list(prog.expect_results)
+    report = NetChaosReport()
+    for plan_name in plans:
+        for seed in seed_list:
+            plan = make_net_plan(plan_name, seed)
+            outcomes: dict[str, NetOutcome] = {}
+            failures: list[str] = []
+            for preset in presets:
+                outcome = run_net_case_process(preset, plan)
+                outcomes[preset] = outcome
+                failures.extend(_check_outcome(preset, outcome, reference))
+            report.cases.append(
+                NetCaseResult(
+                    plan=plan.to_dict(),
+                    seed=seed,
+                    outcomes=outcomes,
+                    failures=failures,
+                )
+            )
+    return report
 
 
 def run_net_chaos(

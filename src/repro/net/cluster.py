@@ -34,7 +34,9 @@ from repro.net.transport import InProcessTransport
 
 #: Pump ticks without a reply before a request is re-sent.
 DEFAULT_TIMEOUT_TICKS = 8
-#: Re-sends before a request is declared lost and its caller faulted.
+#: Retransmissions after the initial send: a request is transmitted at
+#: most ``1 + DEFAULT_MAX_RETRIES`` times (each granted a full timeout)
+#: before its blocked caller faults with ``lost_request``.
 DEFAULT_MAX_RETRIES = 3
 
 

@@ -1,0 +1,74 @@
+"""Frame discipline for ``repro-wire/1`` byte streams.
+
+Every transfer record crosses a socket as **one UTF-8 JSON document per
+line** — the canonical encoding (:meth:`repro.net.wire.Message.encode`)
+contains no raw newlines, so ``\\n`` is an unambiguous frame
+terminator.  This module owns the two halves of that contract:
+
+* :func:`encode_frame` — one encoded record to its on-wire bytes;
+* :class:`FrameBuffer` — the reassembly side: feed it ``recv`` chunks
+  in any fragmentation (a frame may arrive split across chunks, or
+  many frames may arrive in one chunk) and it yields exactly the
+  complete frames, keeping partial bytes buffered for the next chunk.
+
+The failure mode this class exists to make loud: a peer closing the
+connection mid-frame.  The bytes of a half-written transfer record
+must never be silently dropped — :meth:`FrameBuffer.finish` raises
+:class:`~repro.errors.TruncatedFrameError` whenever EOF arrives with
+unterminated bytes buffered, and :attr:`FrameBuffer.buffered` lets a
+transport's ``pending()`` account for a frame that is still in
+reassembly.  Both the single-process :class:`~repro.net.transport.
+SocketTransport` and the multi-process worker protocol
+(:mod:`repro.net.worker`) ride on this one implementation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TruncatedFrameError
+
+#: Bytes per ``recv`` call — frames may be larger; the buffer reassembles.
+RECV_BYTES = 65536
+
+
+def encode_frame(text: str) -> bytes:
+    """One encoded record -> its framed on-wire bytes."""
+    return text.encode("utf-8") + b"\n"
+
+
+class FrameBuffer:
+    """Reassemble newline-framed records from an arbitrary chunk stream."""
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    @property
+    def buffered(self) -> int:
+        """Bytes of a partial frame awaiting their terminator."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[str]:
+        """Absorb one ``recv`` chunk; return every now-complete frame."""
+        self._buffer += chunk
+        frames: list[str] = []
+        while True:
+            line, sep, rest = self._buffer.partition(b"\n")
+            if not sep:
+                break
+            self._buffer = rest
+            if line:  # tolerate keepalive blank lines
+                frames.append(line.decode("utf-8"))
+        return frames
+
+    def finish(self) -> None:
+        """The stream ended (EOF).  Loudly reject a truncated frame.
+
+        A clean close lands exactly on a frame boundary; anything else
+        means the peer died mid-write and the buffered prefix is an
+        unrecoverable partial record — raising beats pretending the
+        frame never existed.
+        """
+        if self._buffer:
+            preview = self._buffer[:32].decode("utf-8", errors="replace")
+            raise TruncatedFrameError(len(self._buffer), preview)

@@ -1,0 +1,839 @@
+"""Process mode: every shard a real OS process behind an asyncio front door.
+
+:class:`~repro.net.cluster.Cluster` pumps its shards cooperatively in
+one host process; this module promotes the same shards to worker
+**processes** (:mod:`repro.net.worker`) without changing what travels
+between them: workers speak ``repro-wire/1`` over newline-framed
+sockets, calls still arrive as ordinary root activations, dedup and the
+reply cache still make execution at-most-once, and the modelled meters
+still never see the wire.  Management (meters, trace events, snapshot,
+restore, shutdown) rides a separate ``repro-ctl/1`` schema so the data
+plane stays exactly what the conformance suite pins.
+
+The **front door** is one asyncio event loop on a background thread:
+
+* it binds a listener (a Unix socket in a private tempdir; TCP loopback
+  where ``AF_UNIX`` is unavailable), forks the workers **before** the
+  loop thread starts, and accepts one connection per worker;
+* each worker's ``hello`` is cross-checked against the others — same
+  configuration token, same module census — the same deterministic-link
+  handshake the in-process cluster performs;
+* wire frames are routed by destination: shard-to-shard traffic is
+  forwarded between workers, and replies addressed to the front door's
+  own pseudo-shard id (:data:`FRONT_DOOR`) resolve the caller futures;
+* root submissions are ordinary wire ``call`` records from
+  ``src == FRONT_DOOR``, which buys the front door the worker-side
+  dedup/at-most-once machinery for free, including its timeout/retry
+  discipline: a request is transmitted at most ``1 + max_retries``
+  times, then raises :class:`~repro.errors.LostRequest`.
+
+Chaos plans plug into the router: a :class:`~repro.net.transport.
+NetFaultPolicy` sees every routed frame as a ``net.send``, so the same
+seeded ``net_*`` plans that drive the in-process transport drive real
+processes — drops and duplicates act immediately, delays and partition
+heals become real timers (``tick_seconds`` per modelled tick).
+
+:class:`ProcessServer` is the serving layer over it, with the same
+admission disciplines as :class:`~repro.net.serve.Server` — bounded
+per-worker in-flight requests with counted backpressure stalls,
+batched admission, exponential-backoff resubmission — measured in
+seconds instead of pump ticks.  Two routes:
+
+* ``"dispatch"`` — every request enters ``Main.dispatch`` on its home
+  worker and fans out to the leaf modules as worker-to-worker Remote
+  XFERs (the conformance route);
+* ``"direct"`` — the front door routes each request straight to its
+  leaf procedure on a round-robin worker, with every worker self-homed
+  (``self_homed=True``) so requests are embarrassingly parallel (the
+  scale route: this is how the 1M-request benchmark runs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import socket
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import LostRequest, NetError, TrapError, TruncatedFrameError, WireError
+from repro.faults.plan import FaultPlan
+from repro.interp.machineconfig import MachineConfig
+from repro.net import ctl, wire
+from repro.net.cluster import DEFAULT_MAX_RETRIES
+from repro.net.frame import RECV_BYTES, FrameBuffer, encode_frame
+from repro.net.placement import DEFAULT_VNODES, Placement
+from repro.net.serve import Request
+from repro.net.transport import NetFaultPolicy, TransportStats, _parse_partition
+from repro.net.wire import wire_words
+from repro.net.worker import FRONT_DOOR, run_worker
+
+__all__ = [
+    "FRONT_DOOR",
+    "ProcessCluster",
+    "ProcessServeReport",
+    "ProcessServer",
+    "run_process_serve",
+]
+
+#: Seconds the constructor waits for every worker to connect and greet.
+STARTUP_TIMEOUT = 120.0
+
+#: Seconds of real time per modelled transport tick: ``net_delay`` and
+#: ``net_partition`` details are stated in ticks, and process mode turns
+#: them into timers at this exchange rate.
+DEFAULT_TICK_SECONDS = 0.05
+
+
+class _WorkerHandle:
+    """Front-door bookkeeping for one connected worker."""
+
+    __slots__ = ("id", "writer", "alive", "error", "hello")
+
+    def __init__(self, shard_id: int, writer: asyncio.StreamWriter, hello: wire.Message) -> None:
+        self.id = shard_id
+        self.writer = writer
+        self.alive = True
+        self.error: str | None = None
+        self.hello = hello
+
+
+class ProcessCluster:
+    """N shard worker processes behind one asyncio front door.
+
+    The public methods are synchronous and thread-safe: each marshals
+    onto the front door's event loop and blocks for the result, so the
+    cluster drops into code written for the in-process
+    :class:`~repro.net.cluster.Cluster` (``call`` raises
+    :class:`~repro.errors.TrapError` on a remote fault and
+    :class:`~repro.errors.LostRequest` on retry exhaustion; ``meters``
+    returns the same per-shard shape).
+    """
+
+    def __init__(
+        self,
+        sources: list[str],
+        shards: int = 2,
+        config: MachineConfig | str | None = None,
+        entry: tuple[str, str] = ("Main", "main"),
+        pins: dict[str, int] | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        record: bool = False,
+        quantum: int = 0,
+        timeout_s: float = 1.0,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        root_timeout_s: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        tick_seconds: float = DEFAULT_TICK_SECONDS,
+        self_homed: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise NetError(f"a cluster needs at least one shard, got {shards}")
+        if isinstance(config, str):
+            config = MachineConfig.preset(config)
+        self.config = config or MachineConfig.i2()
+        self.shards = shards
+        self.placement = Placement(list(range(shards)), pins=pins, vnodes=vnodes)
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        # The front door must outwait a worker's own full retry cycle
+        # (its sub-calls may be riding out chaos), so its per-attempt
+        # patience defaults to the worker's whole transmission budget.
+        self.root_timeout_s = (
+            root_timeout_s
+            if root_timeout_s is not None
+            else timeout_s * (2 + max_retries)
+        )
+        self.tick_seconds = tick_seconds
+        self.policy = NetFaultPolicy(fault_plan) if fault_plan is not None else None
+        self.stats = TransportStats()
+        self.worker_errors: list[str] = []
+
+        self._handles: dict[int, _WorkerHandle] = {}
+        self._pending: dict[int, asyncio.Future] = {}
+        self._ctl_pending: dict[tuple[int, int], asyncio.Future] = {}
+        self._next_request = 0
+        self._next_ctl = 0
+        self._held: list[tuple[wire.Message, str]] = []
+        self._partitions: dict[str, asyncio.TimerHandle] = {}
+        self._closed = False
+
+        # Listener first: bound and listening before any worker forks,
+        # so worker connects land in the backlog even while the loop
+        # thread is still coming up.
+        self._tempdir: str | None = None
+        try:
+            self._tempdir = tempfile.mkdtemp(prefix="repro-net-")
+            path = os.path.join(self._tempdir, "front.sock")
+            lsock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            lsock.bind(path)
+            self.address: tuple = ("unix", path)
+        except (AttributeError, OSError):  # pragma: no cover - no AF_UNIX
+            lsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            lsock.bind(("127.0.0.1", 0))
+            host, port = lsock.getsockname()
+            self.address = ("tcp", host, port)
+        lsock.listen(shards + 4)
+        self._lsock = lsock
+
+        # Workers fork before the asyncio loop thread exists: forking a
+        # process that already runs threads is where fork goes wrong.
+        spec_base = {
+            "shards": shards,
+            "sources": tuple(sources),
+            "config": self.config,
+            "entry": tuple(entry),
+            "pins": dict(pins) if pins else None,
+            "vnodes": vnodes,
+            "quantum": quantum,
+            "record": record,
+            "timeout_s": timeout_s,
+            "max_retries": max_retries,
+            "self_homed": self_homed,
+        }
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._procs: list = []
+        for shard_id in range(shards):
+            spec = dict(spec_base, shard_id=shard_id)
+            proc = context.Process(
+                target=run_worker, args=(self.address, spec), daemon=True
+            )
+            proc.start()
+            self._procs.append(proc)
+
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-front-door", daemon=True
+        )
+        self._thread.start()
+        try:
+            self._run(self._start(), timeout=STARTUP_TIMEOUT + 5)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> ProcessCluster:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run(self, coro, timeout: float | None = None):
+        """Run a coroutine on the front-door loop from the caller thread."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    async def _start(self) -> None:
+        self._ready: asyncio.Future = self._loop.create_future()
+        if self.address[0] == "unix":
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, sock=self._lsock
+            )
+        else:  # pragma: no cover - AF_UNIX always available on CI
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._lsock
+            )
+        try:
+            await asyncio.wait_for(asyncio.shield(self._ready), STARTUP_TIMEOUT)
+        except asyncio.TimeoutError:
+            missing = sorted(set(range(self.shards)) - set(self._handles))
+            raise NetError(
+                f"worker(s) {missing} never completed the handshake"
+                + (f"; worker errors: {'; '.join(self.worker_errors)}"
+                   if self.worker_errors else "")
+            ) from None
+
+    def close(self) -> None:
+        """Shut the workers down cleanly, then tear the loop down."""
+        if self._closed:
+            return
+        self._closed = True
+
+        async def _shutdown() -> None:
+            for handle in list(self._handles.values()):
+                if handle.alive:
+                    try:
+                        await self._control(handle.id, "shutdown", timeout=5.0)
+                    except (NetError, asyncio.TimeoutError):
+                        pass
+                try:
+                    handle.writer.close()
+                except Exception:  # pragma: no cover - already torn down
+                    pass
+            server = getattr(self, "_server", None)
+            if server is not None:
+                server.close()
+
+        if self._thread.is_alive():
+            try:
+                self._run(_shutdown(), timeout=15)
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=2)
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+        if not self._thread.is_alive():
+            self._loop.close()
+        try:
+            self._lsock.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._tempdir is not None:
+            try:
+                os.unlink(os.path.join(self._tempdir, "front.sock"))
+            except OSError:
+                pass
+            try:
+                os.rmdir(self._tempdir)
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- connection handling (loop thread) ---------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        framer = FrameBuffer()
+        shard_id: int | None = None
+        try:
+            while True:
+                chunk = await reader.read(RECV_BYTES)
+                if not chunk:
+                    framer.finish()  # raises on a partial frame: data loss
+                    break
+                for line in framer.feed(chunk):
+                    doc = json.loads(line)
+                    schema = doc.get("schema") if isinstance(doc, dict) else None
+                    if schema == wire.WIRE_SCHEMA:
+                        message = wire.decode_doc(doc)
+                        if shard_id is None:
+                            shard_id = self._register(message, writer)
+                            continue
+                        self._offer(message, line)
+                    elif schema == ctl.CTL_SCHEMA:
+                        self._control_frame(ctl.decode_doc(doc))
+                    else:
+                        raise WireError(f"unroutable frame schema {schema!r}")
+        except (TruncatedFrameError, WireError, NetError, json.JSONDecodeError) as fault:
+            self._note_error(shard_id, str(fault))
+        except ConnectionError:  # pragma: no cover - peer reset
+            pass
+        finally:
+            if shard_id is not None:
+                self._mark_dead(shard_id)
+            writer.close()
+
+    def _register(self, message: wire.Message, writer: asyncio.StreamWriter) -> int:
+        if message.kind != "hello":
+            raise NetError(
+                f"worker connection must open with hello, got {message.kind!r}"
+            )
+        shard_id = message.src
+        if shard_id in self._handles:
+            raise NetError(f"worker {shard_id} connected twice")
+        self._handles[shard_id] = _WorkerHandle(shard_id, writer, message)
+        if len(self._handles) == self.shards and not self._ready.done():
+            # The in-process handshake, centralized: every worker must
+            # present the same configuration token and module census.
+            reference = self._handles[min(self._handles)].hello.body
+            for handle in self._handles.values():
+                body = handle.hello.body
+                if body["config"] != reference["config"]:
+                    self._ready.set_exception(NetError(
+                        f"worker {handle.id} handshake failed: configuration "
+                        "token mismatch — Remote XFER requires identical "
+                        "machine configurations"
+                    ))
+                    return shard_id
+                if body["modules"] != reference["modules"]:
+                    self._ready.set_exception(NetError(
+                        f"worker {handle.id} handshake failed: module census "
+                        "differs — shards must link the same image"
+                    ))
+                    return shard_id
+            self._ready.set_result(None)
+        return shard_id
+
+    def _note_error(self, shard_id: int | None, detail: str) -> None:
+        label = f"worker {shard_id}" if shard_id is not None else "worker"
+        self.worker_errors.append(f"{label}: {detail}")
+        if shard_id is not None:
+            handle = self._handles.get(shard_id)
+            if handle is not None and handle.error is None:
+                handle.error = detail
+
+    def _mark_dead(self, shard_id: int) -> None:
+        handle = self._handles.get(shard_id)
+        if handle is None:
+            return
+        handle.alive = False
+        # Control futures for a dead worker can never resolve; wire
+        # futures are left to the retry discipline (-> LostRequest).
+        for key in [k for k in self._ctl_pending if k[0] == shard_id]:
+            future = self._ctl_pending.pop(key)
+            if not future.done():
+                future.set_exception(NetError(
+                    f"worker {shard_id} died"
+                    + (f": {handle.error}" if handle.error else "")
+                ))
+
+    def _control_frame(self, record: ctl.Control) -> None:
+        if record.kind == "worker_error":
+            self._note_error(record.shard, record.body["error"])
+            if not self._ready.done():
+                self._ready.set_exception(NetError(self.worker_errors[-1]))
+            return
+        future = self._ctl_pending.get((record.shard, record.seq))
+        if future is not None and not future.done():
+            future.set_result(record)
+
+    # -- the fault router (loop thread) ------------------------------------
+
+    def _offer(self, message: wire.Message, raw: str) -> None:
+        """One ``net.send``: count it, let the chaos policy act, route."""
+        self.stats.sent += 1
+        self.stats.wire_words += wire_words(raw)
+        copies = 1
+        delay = 0.0
+        if self.policy is not None:
+            for injection in self.policy.actions_for(message):
+                if injection.action == "net_drop":
+                    self.stats.dropped += 1
+                    return
+                if injection.action == "net_dup":
+                    copies += 1
+                    self.stats.duplicated += 1
+                elif injection.action == "net_delay":
+                    ticks = int(injection.detail or "1")
+                    delay = max(delay, ticks * self.tick_seconds)
+                    self.stats.delayed += 1
+                elif injection.action == "net_partition":
+                    key, ticks = _parse_partition(injection.detail)
+                    self._partition(key, ticks * self.tick_seconds)
+        for _ in range(copies):
+            if delay > 0:
+                self._loop.call_later(delay, self._route_frame, message, raw)
+            else:
+                self._route_frame(message, raw)
+
+    def _partition(self, key: str, seconds: float) -> None:
+        timer = self._partitions.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        self._partitions[key] = self._loop.call_later(
+            max(seconds, self.tick_seconds), self._heal, key
+        )
+
+    def _heal(self, key: str) -> None:
+        self._partitions.pop(key, None)
+        held, self._held = self._held, []
+        for message, raw in held:
+            self._route_frame(message, raw)
+
+    def _route_frame(self, message: wire.Message, raw: str) -> None:
+        if "*" in self._partitions or f"{message.src}->{message.dst}" in self._partitions:
+            self.stats.held += 1
+            self._held.append((message, raw))
+            return
+        if message.dst == FRONT_DOOR:
+            self.stats.delivered += 1
+            self._resolve(message)
+            return
+        handle = self._handles.get(message.dst)
+        if handle is None or not handle.alive:
+            # A dead shard is a blackhole; the sender's retry discipline
+            # turns this into a clean lost_request, never a hang.
+            self.stats.dropped += 1
+            return
+        handle.writer.write(encode_frame(raw))
+        self.stats.delivered += 1
+
+    def _resolve(self, message: wire.Message) -> None:
+        future = self._pending.get(message.body["id"])
+        if future is not None and not future.done():
+            future.set_result(message)
+
+    # -- requests ----------------------------------------------------------
+
+    async def call_async(
+        self, shard: int, module: str, proc: str, args: tuple[int, ...]
+    ) -> list[int]:
+        """Submit one root request to *shard* and await its results.
+
+        At-most-once end to end: every transmission reuses the same
+        request id, so the worker's (src, id) dedup either ignores the
+        duplicate (still executing) or resends the byte-identical
+        cached reply.  After ``1 + max_retries`` transmissions without
+        an answer the request is abandoned with
+        :class:`~repro.errors.LostRequest`.
+        """
+        request_id = self._next_request
+        self._next_request += 1
+        span = f"{FRONT_DOOR}:{request_id}"
+        message = wire.call(
+            FRONT_DOOR, shard, request_id, span, None, module, proc, list(args)
+        )
+        raw = message.encode()
+        future = self._loop.create_future()
+        self._pending[request_id] = future
+        try:
+            for _ in range(1 + self.max_retries):
+                self._offer(message, raw)
+                try:
+                    reply = await asyncio.wait_for(
+                        asyncio.shield(future), self.root_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    continue
+                if reply.kind == "reply":
+                    return list(reply.body["results"])
+                body = reply.body
+                raise TrapError(
+                    body["trap"],
+                    detail=f"remote fault on shard {reply.src}: {body['detail']}",
+                    pc=body["pc"],
+                    proc=body["proc"],
+                )
+            raise LostRequest(
+                request_id, 1 + self.max_retries, f"{module}.{proc}"
+            )
+        finally:
+            self._pending.pop(request_id, None)
+
+    def call_on(self, shard: int, module: str, proc: str, *args: int) -> list[int]:
+        """Synchronous ``call_async`` against an explicit worker."""
+        return self._run(self.call_async(shard, module, proc, tuple(args)))
+
+    def call(self, module: str, proc: str, *args: int) -> list[int]:
+        """Submit to the module's home worker; return (or raise) results."""
+        return self.call_on(self.placement.home(module), module, proc, *args)
+
+    # -- the control plane -------------------------------------------------
+
+    async def _control(
+        self, shard: int, kind: str, body: dict | None = None, timeout: float = 30.0
+    ) -> ctl.Control:
+        handle = self._handles.get(shard)
+        if handle is None or not handle.alive:
+            raise NetError(
+                f"no live worker for shard {shard}"
+                + (f" (last error: {handle.error})" if handle and handle.error else "")
+            )
+        seq = self._next_ctl
+        self._next_ctl += 1
+        record = ctl.Control(kind=kind, shard=shard, seq=seq, body=body or {})
+        future = self._loop.create_future()
+        self._ctl_pending[(shard, seq)] = future
+        try:
+            handle.writer.write(encode_frame(record.encode()))
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            raise NetError(
+                f"worker {shard} did not answer {kind!r} within {timeout}s"
+            ) from None
+        finally:
+            self._ctl_pending.pop((shard, seq), None)
+
+    def meters(self) -> dict[int, dict]:
+        """Per-shard modelled meters — the same shape as ``Cluster.meters()``."""
+
+        async def gather() -> dict[int, dict]:
+            replies = await asyncio.gather(
+                *[self._control(shard, "meters") for shard in sorted(self._handles)]
+            )
+            return {reply.shard: reply.body["meters"] for reply in replies}
+
+        return self._run(gather())
+
+    def trace_events(self) -> dict[int, list]:
+        """Per-shard recorded events (requires ``record=True``), as
+        :class:`~repro.obs.events.TraceEvent` so the stitcher can run
+        unchanged over process-backed shards."""
+        from repro.obs.events import TraceEvent
+
+        async def gather() -> dict[int, list]:
+            replies = await asyncio.gather(
+                *[self._control(shard, "events") for shard in sorted(self._handles)]
+            )
+            return {reply.shard: reply.body["events"] for reply in replies}
+
+        return {
+            shard: [
+                TraceEvent(
+                    seq=doc["seq"],
+                    kind=doc["kind"],
+                    name=doc["name"],
+                    steps=doc["steps"],
+                    cycles=doc["cycles"],
+                    data=doc["data"],
+                )
+                for doc in events
+            ]
+            for shard, events in self._run(gather()).items()
+        }
+
+    def snapshot(self, shard: int) -> dict:
+        """A ``repro-snapshot/2`` document of one worker's machine."""
+        return self._run(self._control(shard, "snapshot")).body["state"]
+
+    def restore(self, shard: int, state: dict) -> None:
+        """Restore a ``repro-snapshot/2`` document into one worker."""
+        self._run(self._control(shard, "restore", {"state": state}))
+
+    def status(self, shard: int) -> list[dict]:
+        """One worker's process table (pid, status, results, fault)."""
+        return self._run(self._control(shard, "status")).body["processes"]
+
+
+# ---------------------------------------------------------------------------
+# The serving layer
+# ---------------------------------------------------------------------------
+
+
+def _direct_target(request: Request) -> tuple[str, str, tuple[int, ...]]:
+    """The leaf procedure a request resolves to, bypassing the dispatcher."""
+    if request.op == 0:
+        return "Fib", "fib", (request.a,)
+    if request.op == 1:
+        return "Gauss", "sum", (request.a,)
+    if request.op == 2:
+        return "Gcd", "gcd", (request.a, request.b)
+    return "Pow", "power", (request.a, request.b)
+
+
+class _Tracked:
+    """Per-request admission bookkeeping (slotted: there can be 1M+)."""
+
+    __slots__ = ("request", "attempts", "not_before", "settled")
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self.attempts = 0
+        self.not_before = 0.0
+        self.settled = False
+
+
+@dataclass
+class ProcessServeReport:
+    """What a process-mode serving run did — the acceptance evidence."""
+
+    shards: int
+    requests: int
+    route: str
+    completed: int = 0
+    lost: int = 0
+    wrong: int = 0
+    retried: int = 0
+    backpressure_stalls: int = 0
+    elapsed_s: float = 0.0
+    wire: dict = field(default_factory=dict)
+    latencies_ms: list = field(default_factory=list)
+
+    def percentile(self, q: float) -> float:
+        """Exact end-to-end latency percentile in ms (nearest-rank)."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "requests": self.requests,
+            "route": self.route,
+            "completed": self.completed,
+            "lost": self.lost,
+            "wrong": self.wrong,
+            "retried": self.retried,
+            "backpressure_stalls": self.backpressure_stalls,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "requests_per_s": (
+                round(self.completed / self.elapsed_s, 1) if self.elapsed_s else 0.0
+            ),
+            "p50_ms": round(self.percentile(0.50), 3),
+            "p99_ms": round(self.percentile(0.99), 3),
+            "wire": dict(self.wire),
+        }
+
+
+class ProcessServer:
+    """Admission control over a :class:`ProcessCluster`.
+
+    The same disciplines as :class:`~repro.net.serve.Server`, in real
+    time: at most ``batch_size`` admissions per scheduling round, at
+    most ``queue_capacity`` in-flight root requests per worker (a
+    request routed to a full worker waits and the stall is counted),
+    and a failed request re-enters the tail of the admission queue
+    after ``backoff_base * 2^(k-1)`` seconds for its k-th resubmission
+    — first retry waits exactly ``backoff_base`` — until
+    ``max_retries`` resubmissions are spent and it counts as lost.
+    """
+
+    def __init__(
+        self,
+        cluster: ProcessCluster,
+        route: str = "direct",
+        queue_capacity: int = 8,
+        batch_size: int = 4,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+    ) -> None:
+        if route not in ("direct", "dispatch"):
+            raise NetError(f"unknown route {route!r} (direct or dispatch)")
+        if queue_capacity < 1:
+            raise NetError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if batch_size < 1:
+            raise NetError(f"batch_size must be >= 1, got {batch_size}")
+        self.cluster = cluster
+        self.route = route
+        self.queue_capacity = queue_capacity
+        self.batch_size = batch_size
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+
+    def _target(self, entry: _Tracked) -> tuple[int, str, str, tuple[int, ...]]:
+        request = entry.request
+        if self.route == "dispatch":
+            shard = self.cluster.placement.home("Main")
+            return shard, "Main", "dispatch", (request.op, request.a, request.b)
+        module, proc, args = _direct_target(request)
+        return request.index % self.cluster.shards, module, proc, args
+
+    def serve(self, workload: list[Request]) -> ProcessServeReport:
+        """Run the whole workload to completion and report."""
+        return self.cluster._run(self._serve(workload))
+
+    async def _serve(self, workload: list[Request]) -> ProcessServeReport:
+        cluster = self.cluster
+        report = ProcessServeReport(
+            shards=cluster.shards, requests=len(workload), route=self.route
+        )
+        entries = [_Tracked(request) for request in workload]
+        waiting: deque[int] = deque(range(len(entries)))
+        inflight = {shard: 0 for shard in range(cluster.shards)}
+        wake = asyncio.Event()
+        tasks: set[asyncio.Task] = set()
+        started = time.monotonic()
+
+        async def run_one(index: int, shard: int, module: str, proc: str, args) -> None:
+            entry = entries[index]
+            admitted_at = time.monotonic()
+            failed = False
+            try:
+                results = await cluster.call_async(shard, module, proc, args)
+            except (LostRequest, TrapError):
+                failed = True
+            inflight[shard] -= 1
+            if not failed:
+                entry.settled = True
+                report.completed += 1
+                report.latencies_ms.append((time.monotonic() - admitted_at) * 1000)
+                if not results or results[-1] != entry.request.expected:
+                    report.wrong += 1
+            elif entry.attempts <= self.max_retries:
+                report.retried += 1
+                entry.not_before = time.monotonic() + self.backoff_base * (
+                    2 ** (entry.attempts - 1)
+                )
+                waiting.append(index)
+            else:
+                entry.settled = True
+                report.lost += 1
+            wake.set()
+
+        # Admission loop: examine at most a few batches' worth of the
+        # queue head per round — a skipped entry rotates to the tail —
+        # so a long backpressured queue costs O(batch) per round, not
+        # O(queue), and a million-request queue stays serveable.
+        examine_cap = max(4 * self.batch_size, 64)
+        while True:
+            admitted = 0
+            examined = 0
+            now = time.monotonic()
+            while waiting and admitted < self.batch_size and examined < examine_cap:
+                examined += 1
+                index = waiting.popleft()
+                entry = entries[index]
+                if now < entry.not_before:
+                    waiting.append(index)
+                    continue
+                shard, module, proc, args = self._target(entry)
+                if inflight[shard] >= self.queue_capacity:
+                    report.backpressure_stalls += 1
+                    waiting.append(index)
+                    continue
+                inflight[shard] += 1
+                entry.attempts += 1
+                task = asyncio.ensure_future(run_one(index, shard, module, proc, args))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                admitted += 1
+            if not waiting and not tasks:
+                break
+            wake.clear()
+            if admitted == 0:
+                # Nothing admissible: sleep until a completion frees a
+                # slot (or briefly, for a backoff deadline to pass).
+                try:
+                    await asyncio.wait_for(wake.wait(), 0.01)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await asyncio.sleep(0)
+
+        report.elapsed_s = time.monotonic() - started
+        report.wire = cluster.stats.as_dict()
+        return report
+
+
+def run_process_serve(
+    shards: int = 4,
+    requests: int = 1000,
+    seed: int = 7,
+    config: str = "i2",
+    route: str = "direct",
+    queue_capacity: int = 8,
+    batch_size: int = 4,
+    record: bool = False,
+    fault_plan: FaultPlan | None = None,
+) -> tuple[ProcessServeReport, dict[int, dict]]:
+    """Build a process-mode service cluster, run a seeded workload, and
+    return (report, per-shard meters).  The cluster is torn down before
+    returning."""
+    from repro.net.serve import SERVICE_SOURCES, generate_workload
+
+    cluster = ProcessCluster(
+        list(SERVICE_SOURCES),
+        shards=shards,
+        config=config,
+        record=record,
+        fault_plan=fault_plan,
+        self_homed=(route == "direct"),
+    )
+    try:
+        server = ProcessServer(
+            cluster,
+            route=route,
+            queue_capacity=queue_capacity,
+            batch_size=batch_size,
+        )
+        report = server.serve(generate_workload(seed, requests))
+        meters = cluster.meters()
+    finally:
+        cluster.close()
+    return report, meters

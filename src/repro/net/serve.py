@@ -9,8 +9,10 @@ admits requests against it with the disciplines a real RPC tier needs:
   ``queue_capacity`` in-flight root requests; requests routed to a full
   shard wait in the server's admission queue and the stall is counted;
 * **retry with backoff** — a faulted root request is resubmitted up to
-  ``max_retries`` times, waiting ``backoff_base * 2^attempt`` pump
-  ticks before each retry;
+  ``max_retries`` times; the k-th resubmission (k = 1..max_retries)
+  waits ``backoff_base * 2^(k-1)`` pump ticks, so the **first retry
+  waits exactly ``backoff_base`` ticks** and each further retry
+  doubles the wait;
 * **end-to-end latency** — measured in pump ticks from admission to
   completion, reported as exact p50/p99 (the raw samples are kept) and
   as a log2 :class:`~repro.obs.metrics.Histogram` in the ``net.*``
@@ -115,9 +117,11 @@ def _gcd(a: int, b: int) -> int:
     return a
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
-    """One loadgen request and its host-computed expected result."""
+    """One loadgen request and its host-computed expected result.
+
+    Slotted: a scale run materializes millions of these."""
 
     index: int
     op: int
@@ -253,8 +257,14 @@ class Server:
 
         Each round admits up to ``batch_size`` waiting requests (skipping
         any whose home shard is at capacity — a backpressure stall), then
-        pumps the cluster one quiescence cycle.  Faulted requests re-enter
-        the admission queue after their backoff expires.
+        pumps the cluster one quiescence cycle.  A faulted request
+        re-enters the **tail** of the admission queue with
+        ``not_before = ticks + backoff_base * 2^(attempts-1)`` (so its
+        first retry waits exactly ``backoff_base`` ticks) and becomes
+        admissible again on the first round where
+        ``cluster.ticks >= not_before`` — the equality case admits, so
+        re-entry is deterministic: same seed, same knobs, same admission
+        schedule, every run.
         """
         cluster = self.cluster
         report = ServeReport(shards=len(cluster.shards), requests=len(workload))

@@ -299,21 +299,31 @@ class Shard:
                 "process": process,
                 "message": message,
                 "sent": now_tick,
-                "attempts": 1,
+                "sends": 1,
             }
             self.outbox.append(message)
             sent = True
         return sent
 
     def retry(self, now_tick: int, timeout_ticks: int, max_retries: int) -> bool:
-        """Re-send calls whose replies are overdue; fault on exhaustion."""
+        """Re-send calls whose replies are overdue; fault on exhaustion.
+
+        The retry contract, stated once and pinned by
+        ``tests/test_net_transport.py``: ``max_retries`` counts
+        **retransmissions after the initial send**, so a request is
+        transmitted at most ``1 + max_retries`` times, each
+        transmission granted a full ``timeout_ticks`` wait; when the
+        last wait expires the blocked caller faults with a clean
+        ``lost_request`` trap.  (``entry["sends"]`` counts total
+        transmissions, starting at 1 for the initial send.)
+        """
         acted = False
         for request_id in list(self._awaiting):
             entry = self._awaiting[request_id]
             if now_tick - entry["sent"] < timeout_ticks:
                 continue
             message = entry["message"]
-            if entry["attempts"] > max_retries:
+            if entry["sends"] >= 1 + max_retries:
                 del self._awaiting[request_id]
                 self.scheduler.fault_blocked(
                     entry["process"],
@@ -323,13 +333,14 @@ class Shard:
                         "proc": f"{message.body['module']}.{message.body['proc']}",
                         "detail": (
                             f"request {request_id} unanswered after "
-                            f"{entry['attempts']} attempt(s)"
+                            f"{entry['sends']} transmission(s) "
+                            f"(1 send + {max_retries} retries)"
                         ),
                     },
                 )
                 acted = True
                 continue
-            entry["attempts"] += 1
+            entry["sends"] += 1
             entry["sent"] = now_tick
             self.outbox.append(message)
             tracer = self.machine.tracer
@@ -339,7 +350,7 @@ class Shard:
                     message.describe(),
                     span=message.body["span"],
                     shard=self.id,
-                    attempt=entry["attempts"],
+                    attempt=entry["sends"],
                 )
             acted = True
         return acted

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.errors import WireError
 from repro.faults.plan import NET_ACTIONS, FaultPlan, Injection
+from repro.net.frame import RECV_BYTES, FrameBuffer, encode_frame
 from repro.net.wire import Message, decode
 
 
@@ -42,7 +43,6 @@ class TransportStats:
     duplicated: int = 0
     delayed: int = 0
     held: int = 0
-    retries_seen: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -258,12 +258,17 @@ class InProcessTransport:
 class SocketTransport(InProcessTransport):
     """The same semantics, with the encoded records crossing a socket.
 
-    Every committed message is written as one UTF-8 JSON line to a
-    ``socketpair``; ``poll`` first drains the socket, decoding each
-    line back into a :class:`~repro.net.wire.Message` and routing it
-    into the per-shard queues.  Fault semantics (policy, delays,
-    partitions) are inherited unchanged — they act before the bytes
-    are written, exactly as a faulty network would.
+    Every committed message is written as one framed UTF-8 JSON line
+    (:mod:`repro.net.frame`) to a ``socketpair``; ``poll`` first drains
+    the socket, decoding each complete frame back into a
+    :class:`~repro.net.wire.Message` and routing it into the per-shard
+    queues.  A frame split across ``recv`` chunks (or larger than one
+    recv buffer) stays in the :class:`~repro.net.frame.FrameBuffer`
+    until its terminator arrives; if the peer closes mid-frame the
+    drain raises :class:`~repro.errors.TruncatedFrameError` instead of
+    silently discarding the partial record.  Fault semantics (policy,
+    delays, partitions) are inherited unchanged — they act before the
+    bytes are written, exactly as a faulty network would.
     """
 
     def __init__(self, policy: NetFaultPolicy | None = None, tracer=None) -> None:
@@ -272,7 +277,14 @@ class SocketTransport(InProcessTransport):
 
         self._rx, self._tx = socket.socketpair()
         self._rx.setblocking(False)
-        self._buffer = b""
+        # Non-blocking writes with an explicit outgoing buffer: a frame
+        # larger than the kernel socket buffer would otherwise deadlock
+        # a blocking ``sendall`` (nothing drains the read side until
+        # ``poll``).  ``_drain_socket`` interleaves flush and recv, so
+        # even a single frame bigger than the whole buffer crosses.
+        self._tx.setblocking(False)
+        self._out = b""
+        self._framer = FrameBuffer()
         self._in_socket = 0
 
     def close(self) -> None:
@@ -280,26 +292,55 @@ class SocketTransport(InProcessTransport):
         self._rx.close()
 
     def _commit(self, message: Message) -> None:
-        self._tx.sendall(message.encode().encode("utf-8") + b"\n")
+        self._out += encode_frame(message.encode())
         self._in_socket += 1
+        self._flush_tx()
 
-    def _drain_socket(self) -> None:
-        while True:
+    def _flush_tx(self) -> int:
+        """Push buffered outgoing bytes; return how many were written."""
+        written = 0
+        while self._out:
             try:
-                chunk = self._rx.recv(65536)
+                sent = self._tx.send(self._out)
             except BlockingIOError:
                 break
-            if not chunk:  # pragma: no cover - peer closed
+            self._out = self._out[sent:]
+            written += sent
+        return written
+
+    def _drain_socket(self) -> None:
+        closed = False
+        while True:
+            flushed = self._flush_tx()
+            try:
+                chunk = self._rx.recv(RECV_BYTES)
+            except BlockingIOError:
+                if flushed:  # recv freed buffer space; keep pushing
+                    continue
                 break
-            self._buffer += chunk
-        while b"\n" in self._buffer:
-            line, self._buffer = self._buffer.split(b"\n", 1)
-            self._in_socket -= 1
-            super()._commit(decode(line.decode("utf-8")))
+            except OSError:  # pragma: no cover - rx already closed
+                closed = True
+                break
+            if not chunk:
+                closed = True
+                break
+            for line in self._framer.feed(chunk):
+                self._in_socket -= 1
+                super()._commit(decode(line))
+        if closed:
+            # EOF with buffered partial bytes is data loss; surface it.
+            self._framer.finish()
 
     def poll(self, dst: int) -> list[Message]:
         self._drain_socket()
         return super().poll(dst)
 
     def pending(self) -> int:
-        return super().pending() + self._in_socket
+        # _in_socket counts frames this transport wrote but has not yet
+        # decoded; a partial frame from a writer we did not count (or a
+        # desynced counter) must still register as in flight, so the
+        # pump cannot declare quiescence over buffered bytes.
+        in_flight = self._in_socket
+        if in_flight == 0 and self._framer.buffered:
+            in_flight = 1
+        return super().pending() + in_flight

@@ -101,14 +101,10 @@ def wire_words(encoded: str) -> int:
     return (len(encoded.encode("utf-8")) + 1) // 2
 
 
-def decode(text: str) -> Message:
-    """Parse and validate one encoded wire record."""
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as fault:
-        raise WireError(f"wire record is not JSON: {fault}") from fault
-    if not isinstance(doc, dict):
-        raise WireError("wire record must be a JSON object")
+def decode_doc(doc: dict) -> Message:
+    """Validate one already-parsed wire document (shared with the
+    worker protocol, which inspects the schema field before choosing a
+    decoder and must not parse the JSON twice)."""
     schema = doc.get("schema")
     if schema != WIRE_SCHEMA:
         raise WireError(
@@ -120,6 +116,17 @@ def decode(text: str) -> Message:
     return Message(
         kind=doc["kind"], src=doc["src"], dst=doc["dst"], body=doc["body"]
     )
+
+
+def decode(text: str) -> Message:
+    """Parse and validate one encoded wire record."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as fault:
+        raise WireError(f"wire record is not JSON: {fault}") from fault
+    if not isinstance(doc, dict):
+        raise WireError("wire record must be a JSON object")
+    return decode_doc(doc)
 
 
 # -- constructors ------------------------------------------------------------

@@ -1,0 +1,287 @@
+"""One shard as an operating-system process.
+
+This module is the body of a worker spawned by the
+:class:`~repro.net.procserve.ProcessCluster`: it builds an ordinary
+:class:`~repro.net.shard.Shard` (compiling and linking the same image
+every other worker links — the deterministic link the hello handshake
+verifies), connects back to the asyncio front door, and pumps a small
+synchronous loop:
+
+1. read framed records off the socket (:class:`~repro.net.frame.
+   FrameBuffer` reassembles frames split across ``recv`` chunks and
+   refuses truncated ones);
+2. dispatch each by schema — ``repro-wire/1`` records go to the
+   shard's ordinary ``deliver`` path (calls spawn root activations,
+   replies unblock callers, dedup and the reply cache work untouched),
+   ``repro-ctl/1`` records are management (meters, trace events,
+   snapshot/restore, status, shutdown);
+3. run whatever is runnable (``shard.step``), retry overdue remote
+   calls, and flush the outbox back to the front door, which routes
+   shard-to-shard records to their destination worker.
+
+The tick domain is the only thing that changes between the in-process
+pump and a worker: the cooperative pump counts rounds, a worker counts
+``time.monotonic()`` seconds.  ``Shard.retry`` only ever compares
+differences against a timeout, so the same stub/skeleton code runs in
+both worlds — and the modelled meters cannot tell them apart, which is
+the conformance claim process mode inherits.
+
+A worker that dies on an unexpected exception sends a ``worker_error``
+control record (best effort) before exiting non-zero, so the front
+door can report *why* a shard vanished instead of just seeing EOF.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.errors import ReproError
+from repro.interp.processes import ProcessStatus
+from repro.net import ctl, wire
+from repro.net.cluster import build_shard_machine
+from repro.net.frame import RECV_BYTES, FrameBuffer, encode_frame
+from repro.net.placement import Placement
+from repro.net.shard import Shard
+
+#: The front door's pseudo-shard id: root submissions arrive as wire
+#: ``call`` records from this source, and replies route back to it.
+FRONT_DOOR = -1
+
+#: Seconds a worker blocks in ``recv`` before re-checking timers.
+POLL_SECONDS = 0.02
+
+#: Seconds a worker keeps retrying its initial connect (the front door
+#: may still be binding its listener when the process starts).
+CONNECT_WINDOW = 10.0
+
+
+def connect(address: tuple) -> socket.socket:
+    """Dial the front door: ``("unix", path)`` or ``("tcp", host, port)``."""
+    deadline = time.monotonic() + CONNECT_WINDOW
+    while True:
+        try:
+            if address[0] == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.connect(address[1])
+            else:
+                sock = socket.create_connection((address[1], address[2]))
+            return sock
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
+class Worker:
+    """The synchronous pump around one shard (testable without a fork)."""
+
+    def __init__(self, sock: socket.socket, spec: dict) -> None:
+        self.sock = sock
+        self.spec = spec
+        self.id = spec["shard_id"]
+        self.timeout_s = spec.get("timeout_s", 1.0)
+        self.max_retries = spec.get("max_retries", 3)
+        if spec.get("self_homed"):
+            # Every module homed here: the stub never fires, each root
+            # activation runs start-to-finish locally.  This is the
+            # embarrassingly-parallel serving route ("direct"), where
+            # the front door spreads whole requests across workers
+            # instead of splitting one request across them.
+            placement = Placement([self.id])
+        else:
+            placement = Placement(
+                list(range(spec["shards"])),
+                pins=spec.get("pins"),
+                vnodes=spec.get("vnodes", 64),
+            )
+        self.shard = Shard(
+            self.id,
+            build_shard_machine(
+                list(spec["sources"]), spec["config"], tuple(spec["entry"])
+            ),
+            placement,
+            record=spec.get("record", False),
+            quantum=spec.get("quantum", 0),
+        )
+        self._framer = FrameBuffer()
+        self._running = True
+
+    # -- frame IO ----------------------------------------------------------
+
+    def _send_text(self, text: str) -> None:
+        self.sock.sendall(encode_frame(text))
+
+    def _flush_outbox(self) -> None:
+        messages = self.shard.drain_outbox()
+        if messages:
+            # One syscall for the whole batch: the front door's framer
+            # splits them back apart regardless of packetization.
+            self.sock.sendall(
+                b"".join(encode_frame(m.encode()) for m in messages)
+            )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, frame: str) -> None:
+        doc = json.loads(frame)
+        schema = doc.get("schema") if isinstance(doc, dict) else None
+        if schema == wire.WIRE_SCHEMA:
+            self.shard.deliver([wire.decode_doc(doc)])
+        elif schema == ctl.CTL_SCHEMA:
+            self._control(ctl.decode_doc(doc))
+        else:
+            raise ReproError(f"worker {self.id}: unroutable frame schema {schema!r}")
+
+    def _control(self, record: ctl.Control) -> None:
+        if record.kind == "meters":
+            reply = record.reply("meters_reply", {"meters": self.meters()})
+        elif record.kind == "events":
+            events = []
+            if self.shard.recorder is not None:
+                events = [event.as_dict() for event in self.shard.recorder.events]
+            reply = record.reply("events_reply", {"events": events})
+        elif record.kind == "snapshot":
+            from repro.faults.snapshot import capture
+
+            state = capture(self.shard.machine, self.shard.scheduler)
+            reply = record.reply("snapshot_reply", {"state": state})
+        elif record.kind == "restore":
+            from repro.faults.snapshot import restore
+
+            restore(self.shard.machine, record.body["state"], self.shard.scheduler)
+            reply = record.reply("restore_reply")
+        elif record.kind == "status":
+            reply = record.reply("status_reply", {"processes": self.status()})
+        elif record.kind == "shutdown":
+            self._running = False
+            reply = record.reply("shutdown_reply")
+        else:
+            raise ReproError(
+                f"worker {self.id}: unexpected control kind {record.kind!r}"
+            )
+        self._send_text(reply.encode())
+
+    def meters(self) -> dict:
+        """The shard's modelled meters (same shape as Cluster.meters())."""
+        return {
+            "counter": self.shard.machine.counter.snapshot(),
+            "steps": self.shard.machine.steps,
+            "switches": self.shard.scheduler.stats.switches,
+            "blocks": self.shard.scheduler.stats.blocks,
+        }
+
+    def status(self) -> list[dict]:
+        """The process table, JSON-ready (the ``status`` control reply)."""
+        return [
+            {
+                "pid": p.pid,
+                "module": p.module,
+                "proc": p.proc,
+                "args": list(p.args),
+                "status": p.status.value,
+                "results": list(p.results),
+                "fault": p.fault,
+            }
+            for p in self.shard.scheduler.processes
+        ]
+
+    # -- the pump ----------------------------------------------------------
+
+    #: Process-table size beyond which completed processes are reaped.
+    PRUNE_THRESHOLD = 512
+
+    def _prune_done(self) -> None:
+        """Reap completed processes so scheduler scans stay O(live).
+
+        The cooperative scheduler keeps every spawned process in one
+        list and scans it; a serving worker spawns one process per
+        request, so a long run would slow down as it ages.  Completed
+        processes carry nothing the worker still needs (replies are
+        cached on the shard), so reap them and renumber the survivors —
+        ``spawn`` relies on ``pid == index``.  Skipped while recording:
+        renumbered pids would scramble a trace.
+        """
+        if self.shard.recorder is not None:
+            return
+        scheduler = self.shard.scheduler
+        if len(scheduler.processes) < self.PRUNE_THRESHOLD:
+            return
+        finished = (ProcessStatus.DONE, ProcessStatus.FAULTED)
+        live = [p for p in scheduler.processes if p.status not in finished]
+        if len(live) == len(scheduler.processes):
+            return
+        spans = self.shard._spans
+        renumbered: dict[int, str] = {}
+        for index, process in enumerate(live):
+            if process.pid in spans:
+                renumbered[index] = spans[process.pid]
+            process.pid = index
+        scheduler.processes[:] = live
+        scheduler._rotor = 0
+        self.shard._spans = renumbered
+        # The dedup reply cache only has to span the window in which a
+        # duplicate can still arrive — the sender's full retry cycle,
+        # a few seconds — not the whole run.  Keep the newest few
+        # thousand (dicts preserve insertion order); an in-process
+        # Shard keeps everything, but it also serves bounded runs.
+        cache = self.shard._reply_cache
+        if len(cache) > 8192:
+            for key in list(cache)[:-4096]:
+                del cache[key]
+
+    def pump_once(self) -> None:
+        """Run until locally idle, age retries, flush the outbox."""
+        now = time.monotonic()
+        while self.shard.step(now):
+            pass
+        if self.shard.awaiting:
+            self.shard.retry(time.monotonic(), self.timeout_s, self.max_retries)
+        self._flush_outbox()
+        self._prune_done()
+
+    def run(self) -> None:
+        """The worker loop: greet, then read/dispatch/pump until EOF."""
+        self._send_text(
+            wire.hello(
+                self.id, FRONT_DOOR, self.shard.machine.config, self.shard.modules()
+            ).encode()
+        )
+        self.sock.settimeout(POLL_SECONDS)
+        while self._running:
+            try:
+                chunk = self.sock.recv(RECV_BYTES)
+            except TimeoutError:
+                chunk = None
+            except OSError:
+                break
+            if chunk == b"":
+                # EOF: a partial frame buffered here is data loss — let
+                # FrameBuffer.finish raise rather than exit clean.
+                self._framer.finish()
+                break
+            if chunk:
+                for frame in self._framer.feed(chunk):
+                    self._dispatch(frame)
+            self.pump_once()
+
+
+def run_worker(address: tuple, spec: dict) -> None:
+    """Process entry point: build the shard, serve until shutdown/EOF."""
+    sock = connect(address)
+    try:
+        Worker(sock, spec).run()
+    except Exception as fault:  # surface the diagnostic, then die loudly
+        try:
+            record = ctl.Control(
+                kind="worker_error",
+                shard=spec.get("shard_id", -1),
+                body={"error": f"{type(fault).__name__}: {fault}"},
+            )
+            sock.sendall(encode_frame(record.encode()))
+        except OSError:
+            pass
+        raise
+    finally:
+        sock.close()

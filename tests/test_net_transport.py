@@ -1,0 +1,179 @@
+"""Frame discipline and retry accounting — the wire-layer contracts.
+
+Two bugs this file pins shut:
+
+* a peer closing mid-frame must raise :class:`TruncatedFrameError`
+  (and a partial frame must register in ``pending()``), never silently
+  discard the buffered bytes;
+* ``max_retries`` counts **retransmissions after the initial send** —
+  a request is transmitted at most ``1 + max_retries`` times before
+  the blocked caller faults with ``lost_request``.
+"""
+
+import pytest
+
+from repro.errors import TruncatedFrameError
+from repro.interp.machineconfig import MachineConfig
+from repro.interp.processes import ProcessStatus
+from repro.net import wire
+from repro.net.cluster import build_shard_machine
+from repro.net.frame import RECV_BYTES, FrameBuffer, encode_frame
+from repro.net.placement import Placement
+from repro.net.shard import Shard
+from repro.net.transport import SocketTransport
+from repro.workloads.programs import program
+
+# ---------------------------------------------------------------------------
+# FrameBuffer: reassembly under arbitrary fragmentation
+# ---------------------------------------------------------------------------
+
+
+def test_frame_split_across_many_recv_chunks_reassembles():
+    framer = FrameBuffer()
+    frame = encode_frame('{"k": "v"}')
+    collected = []
+    for index in range(len(frame)):  # worst case: one byte per recv
+        collected += framer.feed(frame[index : index + 1])
+    assert collected == ['{"k": "v"}']
+    assert framer.buffered == 0
+
+
+def test_many_frames_in_one_chunk_and_blank_keepalives():
+    framer = FrameBuffer()
+    chunk = encode_frame("one") + b"\n" + encode_frame("two") + encode_frame("three")
+    assert framer.feed(chunk) == ["one", "two", "three"]
+    framer.finish()  # clean boundary: no-op
+
+
+def test_partial_frame_is_buffered_then_completed():
+    framer = FrameBuffer()
+    assert framer.feed(b'{"half":') == []
+    assert framer.buffered == len(b'{"half":')
+    assert framer.feed(b" 1}\n") == ['{"half": 1}']
+    assert framer.buffered == 0
+
+
+def test_eof_mid_frame_raises_instead_of_discarding():
+    framer = FrameBuffer()
+    framer.feed(b'{"lost bytes')
+    with pytest.raises(TruncatedFrameError, match="12 unterminated byte"):
+        framer.finish()
+
+
+def test_frame_larger_than_one_recv_buffer():
+    """A message bigger than RECV_BYTES must cross intact: the framer
+    holds the growing prefix until the terminator finally arrives."""
+    big = wire.reply(1, 0, 3, "0:1", list(range(40_000)))
+    frame = encode_frame(big.encode())
+    assert len(frame) > RECV_BYTES
+    framer = FrameBuffer()
+    frames = []
+    for start in range(0, len(frame), RECV_BYTES):
+        frames += framer.feed(frame[start : start + RECV_BYTES])
+    assert len(frames) == 1
+    assert wire.decode(frames[0]) == big
+
+
+# ---------------------------------------------------------------------------
+# SocketTransport: the same contracts over a real byte stream
+# ---------------------------------------------------------------------------
+
+
+def test_socket_transport_carries_messages_larger_than_64k():
+    transport = SocketTransport()
+    try:
+        big = wire.reply(1, 0, 9, "0:2", list(range(40_000)))
+        transport.send(big)
+        assert transport.poll(0) == [big]
+        assert transport.pending() == 0
+    finally:
+        transport.close()
+
+
+def test_socket_transport_counts_a_partial_frame_as_pending():
+    """Buffered bytes of an unterminated frame are in flight: the pump
+    must not declare quiescence over them."""
+    transport = SocketTransport()
+    try:
+        transport._tx.sendall(b'{"schema": "repro-wire/1", "kind"')
+        assert transport.poll(0) == []  # nothing complete yet
+        assert transport._framer.buffered > 0
+        assert transport.pending() >= 1
+    finally:
+        transport.close()
+
+
+def test_socket_transport_peer_close_mid_frame_is_loud():
+    transport = SocketTransport()
+    try:
+        transport._tx.sendall(b'{"never": "terminated"')
+        transport._tx.close()
+        with pytest.raises(TruncatedFrameError, match="peer closed mid-frame"):
+            transport.poll(0)
+    finally:
+        transport._rx.close()
+
+
+# ---------------------------------------------------------------------------
+# Retry accounting: exactly 1 + max_retries transmissions, then fault
+# ---------------------------------------------------------------------------
+
+MATHLIB = program("mathlib")
+PINS = {"Main": 0, "Math": 1}
+
+
+def _lone_shard() -> Shard:
+    """Shard 0 with Math homed remotely — and no shard 1 to answer."""
+    return Shard(
+        0,
+        build_shard_machine(list(MATHLIB.sources), MachineConfig.i2()),
+        Placement([0, 1], pins=PINS),
+    )
+
+
+@pytest.mark.parametrize("max_retries", [0, 2, 3])
+def test_exact_send_count_under_retry_exhaustion(max_retries):
+    """The pinned contract: initial send + ``max_retries`` byte-identical
+    retransmissions, then a clean ``lost_request`` fault — never one
+    transmission more or fewer."""
+    shard = _lone_shard()
+    process = shard.submit("Main", "main", (), "0:0")
+    while shard.step(0):
+        pass
+    assert process.status is ProcessStatus.BLOCKED
+    first = [m for m in shard.drain_outbox() if m.kind == "call"]
+    assert len(first) == 1
+    transmissions = 1
+    timeout = 5
+    tick = 0
+    while process.status is ProcessStatus.BLOCKED and tick <= 100:
+        tick += timeout
+        shard.retry(tick, timeout, max_retries)
+        resent = [m for m in shard.drain_outbox() if m.kind == "call"]
+        for message in resent:  # every retransmission is byte-identical
+            assert message.encode() == first[0].encode()
+        transmissions += len(resent)
+    assert transmissions == 1 + max_retries
+    assert process.status is ProcessStatus.FAULTED
+    assert process.fault["trap"] == "lost_request"
+    assert f"{1 + max_retries} transmission(s)" in process.fault["detail"]
+    assert not shard.awaiting  # bookkeeping cleared on exhaustion
+
+
+def test_reply_before_exhaustion_cancels_the_retry_clock():
+    """A reply that lands after retries began must unblock normally."""
+    shard = _lone_shard()
+    process = shard.submit("Main", "main", (), "0:0")
+    while shard.step(0):
+        pass
+    [call] = [m for m in shard.drain_outbox() if m.kind == "call"]
+    shard.retry(5, 5, 3)  # one retransmission under way
+    assert len(shard.drain_outbox()) == 1
+    reply = wire.reply(1, 0, call.body["id"], call.body["span"], [7])
+    shard.deliver([reply])
+    while shard.step(6):
+        pass
+    # The answered request is settled (main moved on to its next remote
+    # call, which is what awaits now) and the caller never faulted.
+    assert call.body["id"] not in shard._awaiting
+    assert process.status is not ProcessStatus.FAULTED
