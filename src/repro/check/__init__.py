@@ -11,7 +11,7 @@ See ``docs/checker.md`` for the full catalogue of checks and the paper
 sections each one guards.
 """
 
-from repro.check.callgraph import CallGraph, ProcNode
+from repro.check.callgraph import CallGraph, ProcNode, spawn_roots
 from repro.check.cfg import BasicBlock, ControlFlowGraph, build_cfg
 from repro.check.checker import check_image, check_modules
 from repro.check.diagnostics import (
@@ -21,24 +21,41 @@ from repro.check.diagnostics import (
     instruction_context,
 )
 from repro.check.effects import DYNAMIC_OPS, FIXED_EFFECTS, OperandLimits
+from repro.check.interproc import (
+    FACTS_SCHEMA,
+    CallSite,
+    EntryBounds,
+    ImageAnalysis,
+    ProcSummary,
+    analyze_image,
+    soundness_differential,
+)
 from repro.check.stackcheck import CallEffect, StackRules, verify_stack_depths
 
 __all__ = [
     "BasicBlock",
     "CallEffect",
     "CallGraph",
+    "CallSite",
     "CheckReport",
     "ControlFlowGraph",
     "DYNAMIC_OPS",
     "Diagnostic",
+    "EntryBounds",
+    "FACTS_SCHEMA",
     "FIXED_EFFECTS",
+    "ImageAnalysis",
     "OperandLimits",
     "ProcNode",
+    "ProcSummary",
     "Severity",
     "StackRules",
+    "analyze_image",
     "build_cfg",
     "check_image",
     "check_modules",
     "instruction_context",
+    "soundness_differential",
+    "spawn_roots",
     "verify_stack_depths",
 ]

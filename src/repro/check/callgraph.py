@@ -14,10 +14,19 @@ they add no edges).  Procedures outside the reachable set are reported
 as unreachable — WARNING, not ERROR, because an unused export is legal;
 it is simply dead weight in the code segment the section 5 space
 analysis counts.
+
+The entry procedure is not the only way control enters an image.  A
+process spawned on a :class:`~repro.interp.processes.Scheduler` starts
+at its own procedure, and the net serving layer runs incoming Remote
+XFERs as root activations — none of which appear as call edges.  Those
+procedures are *roots*, not dead code: :func:`spawn_roots` derives them
+from spawned processes (or plain ``(module, proc)`` pairs), and
+``check_image``/``check_modules`` accept them as ``extra_roots``.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.check.diagnostics import CheckReport, Severity
@@ -70,6 +79,14 @@ class CallGraph:
             work.extend(self.successors(node) - seen)
         return seen
 
+    def descriptor_targets(self) -> set[ProcNode]:
+        """Every procedure some reachable-or-not taker holds a descriptor
+        for — the set a data-dependent ``XF`` could land in."""
+        targets: set[ProcNode] = set()
+        for referenced in self.references.values():
+            targets |= referenced
+        return targets
+
     def report_unreachable(self, roots: list[ProcNode], report: CheckReport) -> set[ProcNode]:
         """Warn about procedures no chain of transfers from *roots* reaches."""
         live = self.reachable_from(roots)
@@ -85,3 +102,22 @@ class CallGraph:
                 node.name,
             )
         return live
+
+
+def spawn_roots(processes: Iterable) -> list[ProcNode]:
+    """Call-graph roots for procedures entered from outside the graph.
+
+    Accepts anything with ``module``/``proc`` attributes (a
+    :class:`~repro.interp.processes.Process`, or the Scheduler's
+    ``processes`` list directly) or plain ``(module, proc)`` tuples.
+    Pass the result as ``extra_roots`` to ``check_image`` /
+    ``check_modules`` so scheduler-spawned processes and externally
+    served entry points are not falsely reported unreachable.
+    """
+    roots: list[ProcNode] = []
+    for process in processes:
+        module, proc = (
+            process if isinstance(process, tuple) else (process.module, process.proc)
+        )
+        roots.append(ProcNode(module, proc))
+    return roots

@@ -183,10 +183,7 @@ def build_cfg(
         falls_through = op not in _NO_FALL_THROUGH
         if target is not None and last.offset not in bad_targets:
             block.successors.append(target)
-            if op in _CONDITIONAL_JUMPS:
-                falls_through = True
-            else:
-                falls_through = False
+            falls_through = op in _CONDITIONAL_JUMPS
         if falls_through:
             following = last.offset + last.length
             if following >= end:

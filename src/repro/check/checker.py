@@ -188,12 +188,16 @@ def check_modules(
     stack_limit: int = DEFAULT_STACK_LIMIT,
     entry: tuple[str, str] | None = None,
     report: CheckReport | None = None,
+    extra_roots: list[tuple[str, str]] | None = None,
 ) -> CheckReport:
     """Verify compiled modules before linking.
 
     *entry* names the call-graph root as ``(module, procedure)``; without
     one, every procedure counts as a root (so nothing is flagged
     unreachable — there is no program yet, only a library).
+    *extra_roots* adds further ``(module, procedure)`` roots — procedures
+    entered from outside the call graph, such as scheduler-spawned
+    processes (see :func:`repro.check.callgraph.spawn_roots`).
     """
     report = report or CheckReport()
     by_name: dict[str, ModuleCode] = {}
@@ -228,6 +232,7 @@ def check_modules(
             roots = sorted(graph.nodes)
     else:
         roots = sorted(graph.nodes)
+    roots.extend(ProcNode(*root) for root in extra_roots or [])
     graph.report_unreachable(roots, report)
     return report
 
@@ -390,8 +395,18 @@ def _module_resolver(
 # -- post-link: check_image -----------------------------------------------------
 
 
-def check_image(image: ProgramImage, report: CheckReport | None = None) -> CheckReport:
-    """Verify a linked program image without executing it."""
+def check_image(
+    image: ProgramImage,
+    report: CheckReport | None = None,
+    extra_roots: list[tuple[str, str]] | None = None,
+) -> CheckReport:
+    """Verify a linked program image without executing it.
+
+    *extra_roots* names additional ``(module, procedure)`` call-graph
+    roots beyond the image entry — procedures control enters from
+    outside the graph (spawned processes, externally served root
+    XFERs) that must not be flagged unreachable.
+    """
     report = report or CheckReport()
     raw = image.code.raw
     graph = CallGraph()
@@ -422,7 +437,9 @@ def check_image(image: ProgramImage, report: CheckReport | None = None) -> Check
             instance_counts[name],
         )
 
-    graph.report_unreachable([ProcNode(image.entry.module, image.entry.name)], report)
+    roots = [ProcNode(image.entry.module, image.entry.name)]
+    roots.extend(ProcNode(*root) for root in extra_roots or [])
+    graph.report_unreachable(roots, report)
     return report
 
 

@@ -121,6 +121,43 @@ EXTERNAL_CALL_INDEX: dict[Op, int | None] = {
 #: Direct calls whose operand is a code address (resolved by the linker).
 DIRECT_CALL_OPS: frozenset[Op] = frozenset({Op.DFC, Op.SDFC})
 
+# -- effect classes (the interprocedural analyzer's vocabulary) ---------------
+#
+# Each set names the opcodes that give a procedure one observable effect
+# beyond its own frame.  :mod:`repro.check.interproc` scans bodies for
+# them and closes the per-procedure summaries over the call graph, so a
+# procedure is "locals-only" exactly when nothing it can transitively
+# reach touches globals, the heap, or a port.
+
+#: Reads of the owning module's global frame (including taking addresses).
+GLOBAL_READ_OPS: frozenset[Op] = frozenset({Op.LG, Op.LGA})
+
+#: Writes into the global frame.
+GLOBAL_WRITE_OPS: frozenset[Op] = frozenset({Op.SG})
+
+#: Reads through computed pointers (frames, globals, or heap records).
+HEAP_READ_OPS: frozenset[Op] = frozenset({Op.RD})
+
+#: Writes through computed pointers, and record allocation/release —
+#: anything that mutates storage the frame heap shares.
+HEAP_WRITE_OPS: frozenset[Op] = frozenset({Op.WR, Op.ALOC, Op.FREE})
+
+#: Port operations: the output channel and the scheduler's yield point.
+PORT_OPS: frozenset[Op] = frozenset({Op.OUT, Op.YIELD})
+
+#: Opcodes that can dispatch a machine trap on data the checker cannot
+#: see: divide/modulo by zero, allocation faults, XFER to a bad context
+#: word, and the breakpoint.  (Frame-allocation exhaustion on calls is
+#: excluded: it depends on arena pressure, not on the call site.)
+TRAP_POSSIBLE_OPS: frozenset[Op] = frozenset(
+    {Op.DIV, Op.MOD, Op.ALOC, Op.FREE, Op.XF, Op.BRK}
+)
+
+#: Opcodes that put a context word on the stack: a live frame captured
+#: this way can escape and later be XFERed into, which is why the
+#: analyzer treats their owners as resumable (see interproc.py).
+CONTEXT_CAPTURE_OPS: frozenset[Op] = frozenset({Op.LLC, Op.LRC})
+
 assert CALL_OPS == (
     frozenset(EXTERNAL_CALL_INDEX) | LOCAL_CALL_OPS | DIRECT_CALL_OPS
 ), "checker call classification out of sync with the opcode table"

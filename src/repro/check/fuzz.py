@@ -293,3 +293,65 @@ DEFECT_INJECTIONS = [
     ("bad fsi", "fsi-range", inject_bad_fsi),
     ("jump into mid-instruction", "jump-into-instruction", inject_jump_into_instruction),
 ]
+
+
+# -- analyzer-targeted defect injection ------------------------------------------
+#
+# Same contract as DEFECT_INJECTIONS, but the verdict comes from
+# :func:`repro.check.interproc.analyze_image`: each defect either lies
+# to the analyzer about a procedure's transfer behaviour (compiler
+# metadata tamper) or under-declares a frame so the facts gate must
+# refuse to emit.  Tests assert the paired check id appears AND that
+# ``ImageAnalysis.to_facts`` raises — a lying image gets no facts.
+
+
+def inject_hidden_indirect_callee(image: ProgramImage) -> bool:
+    """Declare ``performs_xfer=False`` on a body that contains XF.
+
+    The classic FDO footgun: a procedure whose indirect callees vanish
+    from the call graph because the compiler's summary says it never
+    transfers.  The analyzer must catch the lie by scanning the
+    bytecode (check id ``undeclared-xfer``).
+    """
+    for _linked, procedure, _start, items in _decoded_bodies(image):
+        if any(item.instruction.op is Op.XF for item in items):
+            procedure.performs_xfer = False
+            return True
+    return False
+
+
+def inject_hidden_context_capture(image: ProgramImage) -> bool:
+    """Declare ``captures_context=False`` on a body using LLC/LRC.
+
+    A frame that escapes through an undeclared capture can be XFERed
+    into behind the analyzer's back, so the resumable set would be
+    under-approximated (check id ``undeclared-capture``).
+    """
+    for _linked, procedure, _start, items in _decoded_bodies(image):
+        if any(item.instruction.op in (Op.LLC, Op.LRC) for item in items):
+            procedure.captures_context = False
+            return True
+    return False
+
+
+def inject_underdeclared_frame(image: ProgramImage) -> bool:
+    """Stamp an entry fsi byte to a ladder class smaller than the frame.
+
+    The frame-size bounds in the facts are computed from the fsi bytes;
+    an under-declared frame would make them optimistic, so the base
+    check (``fsi-too-small``) must fail the image before facts exist.
+    """
+    for _linked, procedure, start, _items in _decoded_bodies(image):
+        if image.ladder.size_of(0) < procedure.frame_words:
+            image.code.buffer[start - 1] = 0  # fsi byte precedes the body
+            image.code.epoch += 1
+            return True
+    return False
+
+
+#: (defect label, check id ``analyze_image`` must report, injector).
+ANALYZER_DEFECT_INJECTIONS = [
+    ("hidden indirect callee", "undeclared-xfer", inject_hidden_indirect_callee),
+    ("hidden context capture", "undeclared-capture", inject_hidden_context_capture),
+    ("under-declared frame size", "fsi-too-small", inject_underdeclared_frame),
+]

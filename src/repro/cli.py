@@ -911,6 +911,129 @@ def cmd_check(args: argparse.Namespace) -> int:
     return status
 
 
+def _default_entry(modules) -> tuple[str, str]:
+    """``Main.main`` when present, else the first procedure compiled."""
+    for module in modules:
+        if module.name == "Main" and any(
+            procedure.name == "main" for procedure in module.procedures
+        ):
+            return ("Main", "main")
+    return (modules[0].name, modules[0].procedures[0].name)
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Interprocedural analysis: resolved call graph, effect summaries,
+    stack/frame bounds, and the versioned ``repro-facts/1`` document.
+
+    Exit status: 0 facts emitted for every program, 1 findings (the
+    analysis gate failed, or ``--differential`` observed an edge or
+    depth outside the static prediction), 2 when a program could not be
+    compiled or linked.
+    """
+    import sys
+
+    from repro.check import FACTS_SCHEMA, analyze_image, soundness_differential
+    from repro.errors import ReproError
+    from repro.interp.machineconfig import LinkageKind
+
+    if not args.files and not args.corpus:
+        print("analyze: give source files, --from-python files, or --corpus",
+              file=sys.stderr)
+        return 2
+
+    config = MachineConfig.preset(args.impl)
+    programs: list[tuple[str, list[str], tuple[str, str] | None, object]] = []
+    if args.corpus:
+        from repro.workloads.programs import CORPUS
+
+        for name, program in CORPUS.items():
+            if program.needs_descriptors and config.linkage is LinkageKind.SIMPLE:
+                continue  # no packed descriptors under SIMPLE linkage
+            programs.append(
+                (f"corpus:{name}", list(program.sources), program.entry, program)
+            )
+    if args.from_python:
+        for path in args.files:
+            sources = _embedded_sources(Path(path).read_text())
+            if sources:
+                programs.append((path, sources, None, None))
+            else:
+                print(f"{path}: no embedded MODULE sources, nothing to analyze")
+    elif args.files:
+        programs.append(
+            (", ".join(args.files), _read_sources(args.files), args.entry, None)
+        )
+
+    status = 0
+    documents: dict[str, dict] = {}
+    for label, sources, entry, program in programs:
+        try:
+            modules = compile_program(sources, CompileOptions.for_config(config))
+            if entry is None:
+                entry = _default_entry(modules)
+            image = link(modules, config, entry)
+        except ReproError as fault:
+            print(f"{label}: cannot build: {fault}", file=sys.stderr)
+            status = 2
+            continue
+        extra = [tuple(root) for root in args.root] if args.root else None
+        analysis = analyze_image(image, extra_roots=extra)
+        if not analysis.ok:
+            print(f"== {label} ==")
+            print(analysis.report.format())
+            status = max(status, 1)
+            continue
+        if args.strict and analysis.report.warnings:
+            print(f"== {label} ==")
+            print(analysis.report.format())
+            status = max(status, 1)
+        facts = analysis.to_facts()
+        documents[label] = facts
+        if not args.json:
+            summary = facts["summary"]
+            print(
+                f"{label}: {summary['sites']} site(s): "
+                f"{summary['monomorphic']} monomorphic, "
+                f"{summary['polymorphic']} polymorphic, "
+                f"{summary['unknown']} unknown"
+            )
+            for root, bound in facts["entry_bounds"].items():
+                depth = bound["call_depth"]
+                words = bound["frame_words"]
+                print(
+                    f"  {root}: call depth "
+                    f"{'unbounded' if depth is None else depth}, frame words "
+                    f"{'unbounded' if words is None else words}, eval depth "
+                    f"{bound['eval_depth']}"
+                )
+        if args.differential and program is not None:
+            problems = soundness_differential(program, args.impl)
+            for problem in problems:
+                print(f"  UNSOUND: {problem}")
+            if problems:
+                status = max(status, 1)
+            elif not args.json:
+                print("  differential: every observed edge and depth contained")
+
+    if args.json or args.out:
+        if len(documents) == 1 and not args.corpus:
+            payload = next(iter(documents.values()))
+        else:
+            payload = {
+                "schema": FACTS_SCHEMA,
+                "impl": args.impl,
+                "programs": documents,
+            }
+        text = json.dumps(payload, indent=2)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            if not args.json:
+                print(f"facts written to {args.out}")
+        if args.json:
+            print(text)
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1111,6 +1234,37 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--strict", action="store_true",
                        help="warnings also fail the check")
     check.set_defaults(func=cmd_check)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="interprocedural analysis: call graph, effects, bounds, facts",
+    )
+    analyze.add_argument("files", nargs="*", help="module source files")
+    analyze.add_argument("--entry", type=_entry, default=None,
+                         help="entry procedure, Module.proc (default Main.main)")
+    analyze.add_argument("--impl", choices=["i1", "i2", "i3", "i4"], default="i2",
+                         help="implementation preset to analyze against "
+                              "(default i2)")
+    analyze.add_argument("--corpus", action="store_true",
+                         help="analyze every workload corpus program")
+    analyze.add_argument("--from-python", action="store_true",
+                         help="treat each file as a Python file with embedded "
+                              "MODULE string literals (the examples)")
+    analyze.add_argument("--root", action="append", type=_entry, default=None,
+                         metavar="MODULE.PROC",
+                         help="extra call-graph root (spawned process or "
+                              "served entry); repeatable")
+    analyze.add_argument("--json", action="store_true",
+                         help="print the repro-facts/1 JSON document")
+    analyze.add_argument("--out", metavar="FILE",
+                         help="also write the facts JSON to FILE")
+    analyze.add_argument("--differential", action="store_true",
+                         help="corpus soundness gate: run each program under "
+                              "the tracer and assert every observed call "
+                              "edge and depth is statically predicted")
+    analyze.add_argument("--strict", action="store_true",
+                         help="warnings also fail the analysis")
+    analyze.set_defaults(func=cmd_analyze)
 
     return parser
 

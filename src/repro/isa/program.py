@@ -65,6 +65,15 @@ class Procedure:
     #: Offset of the DIRECTCALL header (the inline GF word) relative to the
     #: code base, or -1 when the segment was built without direct headers.
     direct_offset: int = -1
+    #: Compiler-declared symbol metadata the interprocedural analyzer
+    #: (:mod:`repro.check.interproc`) cross-checks against the bytecode.
+    #: ``performs_xfer`` — the body contains a general ``XF`` transfer;
+    #: ``captures_context`` — the body takes a context word (``LLC``/
+    #: ``LRC``), so a live frame of this procedure can escape and later
+    #: be XFERed into.  ``None`` means undeclared (hand-assembled code);
+    #: the analyzer then falls back to its own bytecode scan silently.
+    performs_xfer: bool | None = None
+    captures_context: bool | None = None
 
     @property
     def local_words(self) -> int:

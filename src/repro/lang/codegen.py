@@ -116,6 +116,10 @@ class ProcedureGenerator:
         #: Statically tracked evaluation-stack depth, to enforce the
         #: empty-stack-at-transfer invariant.
         self._depth = 0
+        #: Symbol metadata for the interprocedural analyzer: does the
+        #: body perform a general XF, and does it capture a context word?
+        self._performs_xfer = False
+        self._captures_context = False
 
     # -- driver ---------------------------------------------------------------
 
@@ -143,6 +147,8 @@ class ProcedureGenerator:
             result_count=1 if self.procedure.returns_value else 0,
             frame_words=frame_words,
             body=body,
+            performs_xfer=self._performs_xfer,
+            captures_context=self._captures_context,
         )
         fixups = [
             CallFixup(
@@ -334,9 +340,11 @@ class ProcedureGenerator:
             self._depth += 1
         elif isinstance(node, ast.MyContext):
             self.asm.emit(Op.LLC)
+            self._captures_context = True
             self._depth += 1
         elif isinstance(node, ast.SourceCtx):
             self.asm.emit(Op.LRC)
+            self._captures_context = True
             self._depth += 1
         elif isinstance(node, ast.ProcLiteral):
             self._proc_literal(node)
@@ -466,6 +474,7 @@ class ProcedureGenerator:
             )
         self._expr(node.dest)
         self.asm.emit(Op.XF)
+        self._performs_xfer = True
         # The outgoing record and destination are consumed; the incoming
         # record (one word by convention) replaces them.
         self._depth -= len(node.args) + 1

@@ -45,6 +45,11 @@ from repro.obs.calltree import (
     aggregate,
     build_call_tree,
 )
+from repro.obs.edges import (
+    observed_call_edges,
+    observed_callees,
+    observed_transfer_depth,
+)
 from repro.obs.events import ALL_KINDS, TraceEvent
 from repro.obs.export import (
     to_chrome_trace,
@@ -77,6 +82,9 @@ __all__ = [
     "Tracer",
     "aggregate",
     "build_call_tree",
+    "observed_call_edges",
+    "observed_callees",
+    "observed_transfer_depth",
     "to_chrome_trace",
     "to_folded_stacks",
     "to_jsonl",

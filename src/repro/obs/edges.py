@@ -1,0 +1,75 @@
+"""Call-edge and depth extraction from a recorded trace.
+
+The interprocedural analyzer's soundness gate
+(:func:`repro.check.interproc.soundness_differential`) compares what the
+machine actually did against the static prediction.  This module turns
+the raw :class:`~repro.obs.events.TraceEvent` stream into the dynamic
+side of that comparison: the set of observed (caller, callee) edges and
+the peak live-activation depth.
+
+Edges come from ``xfer.call`` (ordinary calls; the synthetic
+``"<start>"`` source of the root activation is skipped) and from
+``xfer.xfer`` (general transfers, both the new-frame descriptor arm and
+the resume-a-live-frame arm).  ``xfer.return`` adds no edges — returns
+go back to the caller by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.obs.events import XFER_CALL, XFER_RETURN, XFER_XFER, TraceEvent
+
+#: The machine's placeholder source name for the root activation.
+ROOT_SOURCE = "<start>"
+
+
+def observed_call_edges(events: Iterable[TraceEvent]) -> set[tuple[str, str]]:
+    """Every (source, target) transfer edge the trace witnessed."""
+    edges: set[tuple[str, str]] = set()
+    for event in events:
+        if event.kind == XFER_CALL:
+            source = event.data.get("source", "")
+            if source and source != ROOT_SOURCE:
+                edges.add((source, event.name))
+        elif event.kind == XFER_XFER:
+            source = event.data.get("source", "")
+            if source:
+                edges.add((source, event.name))
+    return edges
+
+
+def observed_callees(events: Iterable[TraceEvent]) -> dict[str, set[str]]:
+    """Observed callee set per caller, from the same edges."""
+    callees: dict[str, set[str]] = {}
+    for source, target in observed_call_edges(events):
+        callees.setdefault(source, set()).add(target)
+    return callees
+
+
+def observed_transfer_depth(events: Iterable[TraceEvent]) -> tuple[int, bool]:
+    """Peak live-activation depth, and whether the count is exact.
+
+    Counts the root activation as depth 1, each ``xfer.call`` as +1 and
+    each ``xfer.return`` as -1.  A descriptor ``xfer.xfer`` builds a new
+    frame on top of a chain that stays live (+1); a resume ``xfer.xfer``
+    jumps into an existing chain whose length the event stream does not
+    carry, so the count stops being exact — the second element of the
+    result turns False and callers should not compare the peak against
+    a static bound (which is unbounded for such programs anyway).
+    """
+    depth = 1
+    peak = 1
+    exact = True
+    for event in events:
+        if event.kind == XFER_CALL:
+            depth += 1
+        elif event.kind == XFER_RETURN:
+            depth -= 1
+        elif event.kind == XFER_XFER:
+            if event.data.get("descriptor"):
+                depth += 1
+            else:
+                exact = False
+        peak = max(peak, depth)
+    return peak, exact

@@ -1,0 +1,132 @@
+"""The ``repro analyze`` command: exit codes, JSON facts, corpus sweep."""
+
+import json
+
+import pytest
+
+from repro.check.interproc import FACTS_SCHEMA
+from repro.cli import main
+
+GOOD_SRC = """
+MODULE Main;
+PROCEDURE helper(n): INT;
+BEGIN
+  RETURN n * 2;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN helper(21);
+END;
+END.
+"""
+
+ORPHAN_SRC = """
+MODULE Main;
+PROCEDURE orphan(n): INT;
+BEGIN
+  RETURN n;
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN 7;
+END;
+END.
+"""
+
+BROKEN_SRC = "MODULE Main; this is not a program"
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.mesa"
+    path.write_text(GOOD_SRC)
+    return str(path)
+
+
+def test_clean_program_exits_zero(good_file, capsys):
+    assert main(["analyze", good_file]) == 0
+    out = capsys.readouterr().out
+    assert "monomorphic" in out
+    assert "call depth 2" in out
+
+
+def test_json_output_is_a_versioned_facts_document(good_file, capsys):
+    assert main(["analyze", good_file, "--json"]) == 0
+    facts = json.loads(capsys.readouterr().out)
+    assert facts["schema"] == FACTS_SCHEMA
+    assert facts["entry"] == "Main.main"
+    procs = {p["name"]: p for p in facts["procedures"]}
+    assert set(procs) == {"helper", "main"}
+    (site,) = procs["main"]["sites"]
+    assert site["classification"] == "monomorphic"
+    assert site["targets"] == ["Main.helper"]
+    assert site["frame_bound_words"] > 0
+    bounds = facts["entry_bounds"]["Main.main"]
+    assert bounds["call_depth"] == 2
+    assert bounds["frame_words"] > 0
+    assert bounds["eval_depth"] >= 1
+    assert facts["summary"]["monomorphic_fraction"] == 1.0
+
+
+def test_out_writes_the_same_document(good_file, tmp_path, capsys):
+    out_path = tmp_path / "facts.json"
+    assert main(["analyze", good_file, "--out", str(out_path)]) == 0
+    capsys.readouterr()
+    facts = json.loads(out_path.read_text())
+    assert facts["schema"] == FACTS_SCHEMA
+
+
+def test_unbuildable_program_exits_two(tmp_path, capsys):
+    path = tmp_path / "broken.mesa"
+    path.write_text(BROKEN_SRC)
+    assert main(["analyze", str(path)]) == 2
+    assert "cannot build" in capsys.readouterr().err
+
+
+def test_no_inputs_exits_two(capsys):
+    assert main(["analyze"]) == 2
+    assert "give source files" in capsys.readouterr().err
+
+
+def test_strict_fails_on_warnings(tmp_path, capsys):
+    path = tmp_path / "orphan.mesa"
+    path.write_text(ORPHAN_SRC)
+    assert main(["analyze", str(path)]) == 0
+    assert main(["analyze", str(path), "--strict"]) == 1
+    assert "unreachable-procedure" in capsys.readouterr().out
+
+
+def test_root_silences_the_orphan_warning(tmp_path, capsys):
+    path = tmp_path / "orphan.mesa"
+    path.write_text(ORPHAN_SRC)
+    code = main(["analyze", str(path), "--strict", "--root", "Main.orphan"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    # The extra root gets its own bounds in the facts.
+    assert main(["analyze", str(path), "--root", "Main.orphan", "--json"]) == 0
+    facts = json.loads(capsys.readouterr().out)
+    assert "Main.orphan" in facts["entry_bounds"]
+
+
+@pytest.mark.parametrize("impl", ["i1", "i2"])
+def test_corpus_sweep_emits_schema_validated_facts(impl, capsys):
+    assert main(["analyze", "--corpus", "--impl", impl, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == FACTS_SCHEMA
+    assert payload["impl"] == impl
+    assert payload["programs"], "the sweep analyzed something"
+    for label, facts in payload["programs"].items():
+        assert label.startswith("corpus:")
+        assert facts["schema"] == FACTS_SCHEMA
+        summary = facts["summary"]
+        assert (
+            summary["monomorphic"] + summary["polymorphic"] + summary["unknown"]
+            == summary["sites"]
+        )
+
+
+def test_corpus_differential_passes(capsys):
+    assert main(["analyze", "--corpus", "--differential"]) == 0
+    out = capsys.readouterr().out
+    assert "UNSOUND" not in out
+    assert "differential: every observed edge and depth contained" in out

@@ -1,0 +1,78 @@
+"""Call-graph roots beyond the entry: spawned processes, served procs."""
+
+from repro.check import check_image, spawn_roots
+from repro.check.callgraph import ProcNode
+from repro.check.fuzz import build_image
+from repro.interp.machine import Machine
+from repro.interp.processes import Scheduler
+
+# Worker.tick is never called from Main: control only ever enters it as
+# a spawned process, so the plain call graph cannot see it.
+SPAWNED_SRC = """
+MODULE Worker;
+PROCEDURE tick(n): INT;
+BEGIN
+  RETURN n + 1;
+END;
+END.
+"""
+
+MAIN_SRC = """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN 1;
+END;
+END.
+"""
+
+
+def build():
+    return build_image([MAIN_SRC, SPAWNED_SRC], ("Main", "main"), "i2")
+
+
+def unreachable_names(report):
+    return {
+        f"{d.module}.{d.procedure}"
+        for d in report.by_check("unreachable-procedure")
+    }
+
+
+def test_spawned_procedure_is_falsely_unreachable_without_roots():
+    # The regression this file guards: before extra_roots, a procedure
+    # only ever entered by the scheduler was flagged as dead code.
+    report = check_image(build())
+    assert "Worker.tick" in unreachable_names(report)
+
+
+def test_extra_roots_mark_spawned_procedures_live():
+    report = check_image(build(), extra_roots=[("Worker", "tick")])
+    assert "Worker.tick" not in unreachable_names(report)
+
+
+def test_spawn_roots_from_scheduler_processes():
+    image = build()
+    scheduler = Scheduler(Machine(image))
+    scheduler.spawn("Worker", "tick", 1)
+    roots = spawn_roots(scheduler.processes)
+    assert ProcNode("Worker", "tick") in roots
+    report = check_image(
+        image, extra_roots=[(node.module, node.name) for node in roots]
+    )
+    assert "Worker.tick" not in unreachable_names(report)
+
+
+def test_spawn_roots_from_plain_tuples():
+    assert spawn_roots([("Main", "main")]) == [ProcNode("Main", "main")]
+
+
+def test_descriptor_targets_collects_every_taken_descriptor():
+    from repro.check.callgraph import CallGraph
+
+    graph = CallGraph()
+    graph.add_reference(ProcNode("Main", "main"), ProcNode("Main", "inc"))
+    graph.add_reference(ProcNode("Main", "setup"), ProcNode("Main", "dec"))
+    assert graph.descriptor_targets() == {
+        ProcNode("Main", "inc"),
+        ProcNode("Main", "dec"),
+    }

@@ -3,8 +3,9 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.check import check_image, check_modules
+from repro.check import analyze_image, check_image, check_modules
 from repro.check.fuzz import (
+    ANALYZER_DEFECT_INJECTIONS,
     DEFECT_INJECTIONS,
     build_image,
     execute,
@@ -41,6 +42,35 @@ def test_injected_defects_are_caught_statically(label, check_id, inject):
     assert diagnostics, f"{label}: expected {check_id}, got\n{report.format()}"
     assert not report.ok
     assert any(d.offset is not None for d in diagnostics), "finding has no location"
+
+
+#: Corpus hosts giving each analyzer-targeted injector an applicable site.
+ANALYZER_HOSTS = {
+    "undeclared-xfer": "coroutine",
+    "undeclared-capture": "coroutine",
+    "fsi-too-small": "sort",
+}
+
+
+@pytest.mark.parametrize(
+    ("label", "check_id", "inject"),
+    ANALYZER_DEFECT_INJECTIONS,
+    ids=[check_id for _, check_id, _ in ANALYZER_DEFECT_INJECTIONS],
+)
+def test_analyzer_injected_defects_refuse_facts(label, check_id, inject):
+    program = CORPUS[ANALYZER_HOSTS[check_id]]
+    image = build_image(program.sources, program.entry, "i2")
+    assert analyze_image(image).ok  # the host starts clean
+    image = build_image(program.sources, program.entry, "i2")
+    assert inject(image), f"no applicable site for {label!r}"
+    analysis = analyze_image(image)
+    report = analysis.report
+    assert report.by_check(check_id), (
+        f"{label}: expected {check_id}, got\n{report.format()}"
+    )
+    assert not analysis.ok
+    with pytest.raises(ValueError):
+        analysis.to_facts()  # a lying image gets no facts
 
 
 def test_clean_corpus_images_run_without_verified_faults():

@@ -1,0 +1,331 @@
+"""The interprocedural analyzer: resolution, effects, bounds, facts."""
+
+import pytest
+
+from repro.check import FACTS_SCHEMA, analyze_image, check_image
+from repro.check.callgraph import ProcNode
+from repro.check.fuzz import build_image
+from repro.interp.machineconfig import LinkageKind, MachineConfig
+from repro.workloads.programs import CORPUS
+
+# A straight-line call chain: every site monomorphic, every bound finite.
+CHAIN_SRC = """
+MODULE Main;
+PROCEDURE leaf(n): INT;
+BEGIN
+  RETURN n + 1;
+END;
+PROCEDURE mid(n): INT;
+BEGIN
+  RETURN leaf(n) + leaf(n + 1);
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN mid(3);
+END;
+END.
+"""
+
+# Two targets taken as PROC literals and XFERed through memory: the
+# dispatch site is polymorphic over the descriptor-taken set.
+DISPATCH_SRC = """
+MODULE Main;
+VAR slot: INT;
+PROCEDURE inc(k): INT;
+BEGIN
+  RETURN k + 1;
+END;
+PROCEDURE dec(k): INT;
+BEGIN
+  RETURN k - 1;
+END;
+PROCEDURE apply(k): INT;
+VAR r: INT;
+BEGIN
+  r := XFER(slot, k);
+  RETURN r;
+END;
+PROCEDURE main(): INT;
+VAR a: INT;
+BEGIN
+  slot := PROC(inc);
+  a := apply(4);
+  slot := PROC(dec);
+  RETURN a + apply(4);
+END;
+END.
+"""
+
+EFFECTS_SRC = """
+MODULE Main;
+VAR counter: INT;
+PROCEDURE pure(n): INT;
+BEGIN
+  RETURN n * n;
+END;
+PROCEDURE bump(): INT;
+BEGIN
+  counter := counter + 1;
+  RETURN counter;
+END;
+PROCEDURE chatty(n): INT;
+BEGIN
+  OUTPUT n;
+  RETURN n;
+END;
+PROCEDURE divides(a, b): INT;
+BEGIN
+  RETURN a DIV b;
+END;
+PROCEDURE wraps(n): INT;
+BEGIN
+  RETURN bump() + pure(n);
+END;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN wraps(2) + chatty(1) + divides(6, 3);
+END;
+END.
+"""
+
+
+def analyze(source_or_sources, entry=("Main", "main"), preset="i2"):
+    sources = (
+        [source_or_sources]
+        if isinstance(source_or_sources, str)
+        else list(source_or_sources)
+    )
+    image = build_image(sources, entry, preset)
+    analysis = analyze_image(image)
+    assert analysis.ok, analysis.report.format()
+    return analysis
+
+
+def summary_of(analysis, name, module="Main"):
+    return analysis.procs[ProcNode(module, name)]
+
+
+# -- call-site resolution and classification ------------------------------------
+
+
+def test_chain_sites_are_all_monomorphic():
+    analysis = analyze(CHAIN_SRC)
+    sites = analysis.sites()
+    assert sites, "the chain has call sites"
+    assert all(site.classification == "monomorphic" for site in sites)
+    assert ("Main.main", "Main.mid") in analysis.edges()
+    assert ("Main.mid", "Main.leaf") in analysis.edges()
+
+
+def test_dispatch_xf_site_is_polymorphic_over_the_taken_set():
+    analysis = analyze(DISPATCH_SRC)
+    xf_sites = [site for site in analysis.sites() if site.kind == "xfer"]
+    assert len(xf_sites) == 1
+    (site,) = xf_sites
+    assert site.classification == "polymorphic"
+    # The universe bounds the site: both taken descriptors, plus apply
+    # itself (it performs the XF, so its own frame is resumable).
+    targets = set(site.targets)
+    assert {"Main.inc", "Main.dec"} <= targets
+    assert targets <= {str(node) for node in analysis.xf_universe}
+    # The ordinary call sites around it stay monomorphic.
+    call_sites = [s for s in analysis.sites() if s.kind == "call"]
+    assert call_sites
+    assert all(s.classification == "monomorphic" for s in call_sites)
+
+
+def test_xf_free_image_has_an_empty_universe():
+    analysis = analyze(CHAIN_SRC)
+    assert analysis.xf_universe == frozenset()
+
+
+# -- effect summaries -----------------------------------------------------------
+
+
+def test_effect_classes_and_transitive_closure():
+    analysis = analyze(EFFECTS_SRC)
+    assert summary_of(analysis, "pure").locals_only
+    assert not summary_of(analysis, "pure").effects
+
+    bump = summary_of(analysis, "bump")
+    assert "reads-globals" in bump.effects
+    assert "writes-globals" in bump.effects
+    assert not bump.locals_only
+
+    chatty = summary_of(analysis, "chatty")
+    assert "performs-ports" in chatty.effects
+
+    divides = summary_of(analysis, "divides")
+    assert "trap-possible" in divides.effects
+    # A possible trap alone does not spoil locals-only: no shared data
+    # is touched.
+    assert divides.locals_only
+
+    # wraps calls bump, so the global effects flow up; pure adds nothing.
+    wraps = summary_of(analysis, "wraps")
+    assert "writes-globals" in wraps.effects
+    assert not wraps.locals_only
+    assert "writes-globals" not in wraps.base_effects
+
+    main = summary_of(analysis, "main")
+    assert {"writes-globals", "performs-ports", "trap-possible"} <= main.effects
+
+
+# -- bounds ---------------------------------------------------------------------
+
+
+def test_finite_chain_bounds():
+    analysis = analyze(CHAIN_SRC)
+    bound = analysis.bounds["Main.main"]
+    assert bound.call_depth == 3  # main -> mid -> leaf
+    leaf = summary_of(analysis, "leaf")
+    mid = summary_of(analysis, "mid")
+    main = summary_of(analysis, "main")
+    assert bound.frame_words == (
+        main.frame_class_words + mid.frame_class_words + leaf.frame_class_words
+    )
+    assert bound.eval_depth == max(
+        s.max_eval_depth for s in (leaf, mid, main)
+    )
+    assert bound.eval_depth <= analysis.image.config.eval_stack_depth
+
+
+def test_recursion_makes_depth_unbounded_but_eval_depth_finite():
+    analysis = analyze(CORPUS["fib"].sources)
+    bound = analysis.bounds["Main.main"]
+    assert bound.call_depth is None
+    assert bound.frame_words is None
+    assert bound.eval_depth >= 2
+
+
+def test_reachable_xf_makes_depth_unbounded():
+    analysis = analyze(DISPATCH_SRC)
+    bound = analysis.bounds["Main.main"]
+    assert bound.call_depth is None
+    assert bound.eval_depth > 0
+
+
+def test_extra_roots_get_their_own_bounds():
+    image = build_image([CHAIN_SRC], ("Main", "main"), "i2")
+    analysis = analyze_image(image, extra_roots=[("Main", "mid")])
+    assert analysis.ok, analysis.report.format()
+    assert analysis.bounds["Main.mid"].call_depth == 2  # mid -> leaf
+
+
+# -- compiler metadata cross-check ----------------------------------------------
+
+
+def test_undeclared_xfer_is_an_analyzer_error():
+    image = build_image([DISPATCH_SRC], ("Main", "main"), "i2")
+    apply_proc = image.instance_of("Main").module.procedure_named("apply")
+    assert apply_proc.performs_xfer is True  # the compiler told the truth
+    apply_proc.performs_xfer = False
+    analysis = analyze_image(image)
+    assert not analysis.ok
+    assert analysis.report.by_check("undeclared-xfer")
+    with pytest.raises(ValueError):
+        analysis.to_facts()
+
+
+def test_undeclared_capture_is_an_analyzer_error():
+    program = CORPUS["coroutine"]
+    image = build_image(program.sources, program.entry, "i2")
+    tampered = False
+    for procedure in image.instance_of("Main").module.procedures:
+        if procedure.captures_context:
+            procedure.captures_context = False
+            tampered = True
+            break
+    assert tampered, "the coroutine program captures contexts"
+    analysis = analyze_image(image)
+    assert not analysis.ok
+    assert analysis.report.by_check("undeclared-capture")
+
+
+def test_hand_assembled_metadata_defaults_to_the_bytecode_scan():
+    # Compiler metadata is tri-state; None (hand-assembled modules)
+    # must fall back to the scan silently rather than erroring.
+    image = build_image([DISPATCH_SRC], ("Main", "main"), "i2")
+    for procedure in image.instance_of("Main").module.procedures:
+        procedure.performs_xfer = None
+        procedure.captures_context = None
+    analysis = analyze_image(image)
+    assert analysis.ok, analysis.report.format()
+    assert summary_of(analysis, "apply").performs_xfer
+
+
+# -- the facts document ---------------------------------------------------------
+
+
+def test_facts_document_shape():
+    analysis = analyze(CHAIN_SRC)
+    facts = analysis.to_facts()
+    assert facts["schema"] == FACTS_SCHEMA
+    assert facts["entry"] == "Main.main"
+    assert facts["linkage"] == "mesa"
+    names = [(p["module"], p["name"]) for p in facts["procedures"]]
+    assert names == sorted(names)
+    for proc in facts["procedures"]:
+        assert proc["frame_class_words"] >= proc["frame_words"]
+        for site in proc["sites"]:
+            assert site["classification"] in (
+                "monomorphic", "polymorphic", "unknown"
+            )
+            if site["classification"] != "unknown":
+                assert site["frame_bound_words"] is not None
+    summary = facts["summary"]
+    assert summary["sites"] == len(analysis.sites())
+    assert (
+        summary["monomorphic"] + summary["polymorphic"] + summary["unknown"]
+        == summary["sites"]
+    )
+
+
+def test_facts_are_refused_for_a_broken_image():
+    from repro.check.fuzz import inject_underdeclared_frame
+
+    program = CORPUS["sort"]
+    image = build_image(program.sources, program.entry, "i2")
+    # Under-declare some procedure's frame: the base check fails.
+    assert inject_underdeclared_frame(image)
+    analysis = analyze_image(image)
+    assert not analysis.ok
+    assert analysis.procs == {}
+    with pytest.raises(ValueError):
+        analysis.to_facts()
+
+
+# -- the acceptance bar over the corpus -----------------------------------------
+
+
+@pytest.mark.parametrize("preset", ["i1", "i2", "i3", "i4"])
+def test_corpus_is_mostly_monomorphic_with_finite_frame_bounds(preset):
+    config = MachineConfig.preset(preset)
+    total = 0
+    good = 0
+    for program in CORPUS.values():
+        if program.needs_descriptors and config.linkage is LinkageKind.SIMPLE:
+            continue
+        image = build_image(program.sources, program.entry, preset)
+        analysis = analyze_image(image)
+        assert analysis.ok, f"{program.name}: {analysis.report.format()}"
+        facts = analysis.to_facts()
+        for proc in facts["procedures"]:
+            for site in proc["sites"]:
+                total += 1
+                if (
+                    site["classification"] == "monomorphic"
+                    and site["frame_bound_words"] is not None
+                ):
+                    good += 1
+    assert total > 0
+    assert good / total >= 0.9, f"{good}/{total} sites meet the bar"
+
+
+def test_corpus_facts_agree_with_check_image():
+    # Every corpus image the checker passes must yield a facts document.
+    for program in CORPUS.values():
+        image = build_image(program.sources, program.entry, "i2")
+        assert check_image(image).ok
+        facts = analyze_image(image).to_facts()
+        assert facts["schema"] == FACTS_SCHEMA

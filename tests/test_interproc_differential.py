@@ -1,0 +1,67 @@
+"""The analyzer's soundness gate: static prediction vs the running machine.
+
+Every corpus program runs under the tracer on every preset; the static
+facts must contain every observed call edge, callee, transfer depth and
+eval-stack depth.  Over-approximation is allowed, under-approximation is
+the property failure this file exists to catch.
+"""
+
+import pytest
+
+from repro.check import analyze_image, soundness_differential
+from repro.check.fuzz import build_image
+from repro.interp.machine import Machine
+from repro.obs import TraceRecorder, observed_call_edges, observed_callees
+from repro.workloads.programs import CORPUS
+
+PRESETS = ("i1", "i2", "i3", "i4")
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_static_prediction_contains_the_dynamic_run(name, preset):
+    problems = soundness_differential(CORPUS[name], preset)
+    assert not problems, "\n".join(problems)
+
+
+def test_observed_callee_sets_are_subsets_of_the_static_sets():
+    # Sharper than the edge check: per caller, the dynamic callee set
+    # must sit inside the static one, including through the XF universe.
+    program = CORPUS["dispatch"]
+    image = build_image(program.sources, program.entry, "i2")
+    analysis = analyze_image(image)
+    assert analysis.ok, analysis.report.format()
+
+    machine = Machine(image)
+    recorder = TraceRecorder(capacity=None)
+    machine.attach_tracer(recorder)
+    machine.start(None, None, *program.args)
+    machine.run(200_000)
+
+    static_callees: dict[str, set[str]] = {}
+    for source, target in analysis.edges():
+        static_callees.setdefault(source, set()).add(target)
+    dynamic = observed_callees(recorder.events)
+    assert dynamic, "the run produced transfer events"
+    for caller, callees in dynamic.items():
+        assert callees <= static_callees.get(caller, set()), (
+            f"{caller} dynamically reached {sorted(callees)} but the static "
+            f"set is {sorted(static_callees.get(caller, set()))}"
+        )
+    # The XF through the interface record was actually exercised.
+    assert any(
+        len(callees) > 1 for callees in dynamic.values()
+    ) or "Main.apply" in dynamic
+
+
+def test_edges_helper_skips_the_synthetic_root_source():
+    program = CORPUS["fib"]
+    image = build_image(program.sources, program.entry, "i2")
+    machine = Machine(image)
+    recorder = TraceRecorder(capacity=None)
+    machine.attach_tracer(recorder)
+    machine.start(None, None, *program.args)
+    machine.run(200_000)
+    edges = observed_call_edges(recorder.events)
+    assert all(source != "<start>" for source, _target in edges)
+    assert ("Main.fib", "Main.fib") in edges
