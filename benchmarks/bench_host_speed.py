@@ -335,4 +335,20 @@ def test_bench_stepwise_uncached(benchmark):
 
 
 if __name__ == "__main__":
-    print(report())
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--engine",
+        choices=["interp", "jit", "both"],
+        default="interp",
+        help="interp: legacy-vs-fused interpreter table; jit: compiled "
+        "blocks vs the interpreter (bench_jit); both: print the two",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.engine in ("interp", "both"):
+        print(report())
+    if cli_args.engine in ("jit", "both"):
+        import bench_jit
+
+        print(bench_jit.report())

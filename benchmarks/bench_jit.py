@@ -1,0 +1,160 @@
+"""JIT — compiled-block engine vs the interpreter, host wall-clock.
+
+Implementation step I5: the template JIT compiles every verified
+procedure's basic blocks into specialized host-Python closures with
+batched meter replay and direct-threaded dispatch (see docs/jit.md).
+This experiment times the same call-dense workload as the host-speed
+experiment (HOST) on both engines across I1-I4 and asserts what the
+conformance suite asserts — identical results, step counts, and meter
+snapshots — so the only moving number is host seconds.
+
+``python benchmarks/run_all.py --json jit`` adds the measurements to
+``BENCH_host.json`` under the ``jit`` experiment: steps/s per preset
+and engine, the speedup ratio, one-time compile seconds, and the code
+cache's block census.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_host_speed import _CALL_DENSE, PRESETS, _build  # noqa: F401
+from repro.analysis.report import banner, format_table
+from repro.jit import install_jit
+
+
+def _time_engine(preset: str, iterations: int, repeats: int, engine: str):
+    """Best-of-*repeats* wall time; returns (seconds, machine, jit engine)."""
+    best = None
+    machine = None
+    jit = None
+    for _ in range(repeats):
+        machine = _build(preset, host_linkage_cache=True)
+        jit = install_jit(machine) if engine == "jit" else None
+        machine.start("Main", "main", iterations)
+        begin = time.perf_counter()
+        machine.run()
+        elapsed = time.perf_counter() - begin
+        best = elapsed if best is None else min(best, elapsed)
+    return best, machine, jit
+
+
+def _measure(iterations: int, repeats: int) -> dict:
+    presets = {}
+    for preset in PRESETS:
+        interp_s, interp_machine, _ = _time_engine(
+            preset, iterations, repeats, "interp"
+        )
+        jit_s, jit_machine, jit = _time_engine(preset, iterations, repeats, "jit")
+        # The engine must not move a single modelled number.
+        assert jit_machine.results() == interp_machine.results()
+        assert jit_machine.steps == interp_machine.steps
+        assert jit_machine.counter.snapshot() == interp_machine.counter.snapshot()
+        cache = jit.cache.stats()
+        presets[preset] = {
+            "steps": jit_machine.steps,
+            "interp_seconds": round(interp_s, 4),
+            "jit_seconds": round(jit_s, 4),
+            "interp_steps_per_second": round(jit_machine.steps / interp_s),
+            "jit_steps_per_second": round(jit_machine.steps / jit_s),
+            "speedup": round(interp_s / jit_s, 2),
+            "compile_seconds": round(cache.pop("compile_seconds"), 4),
+            "code_cache": cache,
+            "engine": jit.stats.as_dict(),
+        }
+    return presets
+
+
+_PAYLOADS: dict[tuple[int, int], dict] = {}
+
+
+def json_payload(iterations: int = 2000, repeats: int = 3) -> dict:
+    """The BENCH_host.json ``jit`` payload (memoized per parameter set)."""
+    key = (iterations, repeats)
+    if key in _PAYLOADS:
+        return _PAYLOADS[key]
+    presets = _measure(iterations, repeats)
+    speedups = {name: entry["speedup"] for name, entry in presets.items()}
+    best = max(speedups, key=speedups.get)
+    payload = {
+        "benchmark": "jit engine vs interpreter wall-clock speed",
+        "workload": {
+            "program": "call-dense corpus shape (Main.main(n))",
+            "iterations": iterations,
+            "repeats": repeats,
+        },
+        "presets": presets,
+        "best_speedup": {"preset": best, "ratio": speedups[best]},
+        "conformance": "results, steps, and meters bit-identical per preset",
+    }
+    _PAYLOADS[key] = payload
+    return payload
+
+
+def report() -> str:
+    payload = json_payload()
+    rows = []
+    for preset, entry in payload["presets"].items():
+        rows.append(
+            [
+                preset,
+                entry["steps"],
+                f"{entry['interp_steps_per_second']:,}",
+                f"{entry['jit_steps_per_second']:,}",
+                f"{entry['speedup']:.2f}x",
+                f"{entry['compile_seconds']:.3f}",
+                entry["code_cache"]["blocks"],
+                entry["engine"]["deopts"],
+            ]
+        )
+    # The acceptance bar: the call-dense workload must run at least 3x
+    # faster on its best preset (the fast-call presets, where blocks
+    # replay whole transfers); banked presets run generic tails and are
+    # reported for scrutiny.
+    best = payload["best_speedup"]
+    assert best["ratio"] >= 3.0, best
+    table = format_table(
+        [
+            "preset",
+            "steps",
+            "interp steps/s",
+            "jit steps/s",
+            "speedup",
+            "compile s",
+            "blocks",
+            "deopts",
+        ],
+        rows,
+    )
+    text = banner("JIT: compiled blocks vs interpreter (template JIT, I5)")
+    return (
+        text
+        + "\n"
+        + table
+        + f"\nbest speedup: {best['ratio']:.2f}x on {best['preset']}"
+        + "\nmodelled cycles and memory references are bit-identical on both engines"
+    )
+
+
+def test_jit_report_shape():
+    payload = json_payload(iterations=120, repeats=1)
+    assert set(payload["presets"]) == set(PRESETS)
+    for entry in payload["presets"].values():
+        assert entry["code_cache"]["blocks"] > 0
+        assert entry["engine"]["deopts"] == 0
+
+
+def test_bench_jit_run(benchmark):
+    machine = _build("i2", host_linkage_cache=True)
+    install_jit(machine)
+
+    def once():
+        machine.stack.clear()
+        machine.start("Main", "main", 120)
+        machine.run()
+
+    benchmark(once)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -49,6 +49,7 @@ EXPERIMENTS = {
     "c15": "bench_c15_local_traffic",
     "c16": "bench_c16_hybrid",
     "host": "bench_host_speed",
+    "jit": "bench_jit",
     "obs": "bench_obs_overhead",
     "faults": "bench_faults",
     "net": "bench_net",

@@ -47,13 +47,16 @@ def measure_program(
     entry: tuple[str, str] = ("Main", "main"),
     args: tuple[int, ...] = (),
     multi_instance: frozenset[str] = frozenset(),
+    engine: str = "interp",
 ) -> TransferCosts:
     """Compile + link + run under *config*; return normalized meters.
 
     The baseline (instruction execution that would happen regardless of
     the transfer mechanism) is *not* subtracted: the comparison across
     configurations of the same program isolates the mechanism because
-    everything else is identical code.
+    everything else is identical code.  ``engine="jit"`` runs compiled
+    blocks instead of the interpreter — the meters are bit-identical by
+    the JIT's conformance contract, only the host wall-clock changes.
     """
     from repro.lang.compiler import CompileOptions, compile_program
     from repro.lang.linker import link
@@ -62,6 +65,10 @@ def measure_program(
     modules = compile_program(sources, options)
     image = link(modules, config, entry)
     machine = Machine(image)
+    if engine == "jit":
+        from repro.jit import install_jit
+
+        install_jit(machine)
     baseline = machine.counter.snapshot()
     machine.start(entry[0], entry[1], *args)
     results = tuple(machine.run())
@@ -104,6 +111,7 @@ def transfer_cost_table(
     entry: tuple[str, str] = ("Main", "main"),
     args: tuple[int, ...] = (),
     configs: list[tuple[str, MachineConfig]] | None = None,
+    engine: str = "interp",
 ) -> list[TransferCosts]:
     """Measure the same program under the whole implementation ladder."""
     if configs is None:
@@ -114,7 +122,8 @@ def transfer_cost_table(
             ("I4 banks", MachineConfig.i4()),
         ]
     return [
-        measure_program(sources, config, label, entry=entry, args=args)
+        measure_program(sources, config, label, entry=entry, args=args,
+                        engine=engine)
         for label, config in configs
     ]
 

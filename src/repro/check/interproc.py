@@ -51,6 +51,7 @@ is caught (see ``check/fuzz.py``).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.interp.image import LinkedModule, ProgramImage
@@ -75,6 +76,25 @@ from repro.check.stackcheck import StackRules, verify_stack_depths
 
 #: Version tag of the facts document; bump on any shape change.
 FACTS_SCHEMA = "repro-facts/1"
+
+
+def image_fingerprint(image: ProgramImage) -> str:
+    """A content hash binding a facts artifact to one linked image.
+
+    Covers the placed code bytes, the configuration axes that change
+    analysis results, and the instance layout (gf addresses and code
+    bases) — the deterministic link reproduces all of these, so a
+    relink of the same sources with the same config fingerprints
+    identically, while any code or layout change does not.
+    """
+    h = hashlib.sha256()
+    h.update(image.code.raw)
+    h.update(image.config.linkage.value.encode())
+    h.update(image.config.arg_convention.value.encode())
+    h.update(str(image.config.eval_stack_depth).encode())
+    for (name, inst), linked in sorted(image.instances.items()):
+        h.update(f"{name}#{inst}@{linked.gf_address}:{linked.code_base};".encode())
+    return h.hexdigest()[:32]
 
 #: Effect-flag vocabulary (the facts document uses these exact strings).
 EFFECT_READS_GLOBALS = "reads-globals"
@@ -255,6 +275,7 @@ class ImageAnalysis:
         total = len(sites)
         return {
             "schema": FACTS_SCHEMA,
+            "image_hash": image_fingerprint(self.image),
             "entry": f"{self.image.entry.module}.{self.image.entry.name}",
             "linkage": self.image.config.linkage.value,
             "arg_convention": self.image.config.arg_convention.value,

@@ -94,12 +94,30 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.errors import TrapError
     from repro.obs import TraceRecorder
 
+    if args.facts and args.engine != "jit":
+        print("run: --facts requires --engine jit", file=sys.stderr)
+        return 2
     machine = _build(_read_sources(args.files), args.impl, args.entry)
-    # A small ring of recent events rides along on every run, so a trap
-    # dies with a story (the faulting context plus the last transfers)
-    # instead of a bare exception.
-    recorder = TraceRecorder(capacity=256)
-    machine.attach_tracer(recorder)
+    recorder = None
+    if args.engine == "jit":
+        from repro.jit import JitRefusal, install_jit
+
+        facts = None
+        if args.facts:
+            facts = json.loads(Path(args.facts).read_text())
+        try:
+            install_jit(machine, facts)
+        except JitRefusal as refusal:
+            print(f"run: jit refused: {refusal}", file=sys.stderr)
+            return 2
+    else:
+        # A small ring of recent events rides along on every run, so a
+        # trap dies with a story (the faulting context plus the last
+        # transfers) instead of a bare exception.  Under the JIT the
+        # tracer would pin execution to the interpreter, so compiled
+        # runs forgo the ring.
+        recorder = TraceRecorder(capacity=256)
+        machine.attach_tracer(recorder)
     machine.start(args.entry[0], args.entry[1], *args.args)
     try:
         results = machine.run()
@@ -135,7 +153,7 @@ def _print_trap_diagnostics(machine, recorder, fault) -> None:
     )
     if fault.detail:
         print(f"  detail: {fault.detail}", file=sys.stderr)
-    tail = recorder.tail(10)
+    tail = recorder.tail(10) if recorder is not None else []
     if tail:
         print(f"last {len(tail)} trace events:", file=sys.stderr)
         for event in tail:
@@ -171,12 +189,15 @@ MEASURE_JSON_SCHEMA = "repro-measure/1"
 
 def cmd_measure(args: argparse.Namespace) -> int:
     sources = _read_program_sources(args.files)
-    costs = transfer_cost_table(sources, entry=args.entry, args=tuple(args.args))
+    costs = transfer_cost_table(
+        sources, entry=args.entry, args=tuple(args.args), engine=args.engine
+    )
     if args.json:
         payload = {
             "schema": MEASURE_JSON_SCHEMA,
             "entry": f"{args.entry[0]}.{args.entry[1]}",
             "args": list(args.args),
+            "engine": args.engine,
             "implementations": [
                 {
                     "label": cost.label,
@@ -700,6 +721,7 @@ def _serve_processes(args: argparse.Namespace, workload, source: str) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     """Drive a shard pool through a loadgen workload and report."""
+    from repro.jit import JitRefusal
     from repro.net.cluster import Cluster
     from repro.net.serve import SERVICE_SOURCES, Request, Server, generate_workload
     from repro.net.transport import SocketTransport
@@ -719,14 +741,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workload = generate_workload(args.seed, args.requests)
         source = f"seed {args.seed}"
     if args.processes:
+        if args.engine == "jit":
+            # Worker processes build their own machines from a spec that
+            # has no engine slot; keep the axes orthogonal for now.
+            print("serve: --engine jit does not combine with --processes",
+                  file=sys.stderr)
+            return 2
         return _serve_processes(args, workload, source)
     transport = SocketTransport() if args.socket else None
-    cluster = Cluster(
-        list(SERVICE_SOURCES),
-        shards=args.shards,
-        config=args.impl,
-        transport=transport,
-    )
+    try:
+        cluster = Cluster(
+            list(SERVICE_SOURCES),
+            shards=args.shards,
+            config=args.impl,
+            transport=transport,
+            engine=args.engine,
+        )
+    except JitRefusal as refusal:
+        print(f"serve: jit refused: {refusal}", file=sys.stderr)
+        return 2
     metrics = MetricsRegistry()
     server = Server(
         cluster,
@@ -809,7 +842,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"chaos: unknown plans {unknown} "
               f"(canned: {', '.join(CANNED_PLANS)})", file=sys.stderr)
         return 2
-    report = run_chaos(programs=programs, seeds=args.seeds, plans=plans)
+    report = run_chaos(programs=programs, seeds=args.seeds, plans=plans,
+                       engine=args.engine)
     print(report.summary())
     if args.report:
         Path(args.report).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
@@ -1053,6 +1087,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--args", type=int, nargs="*", default=[],
                      help="integer arguments for the entry procedure")
     run.add_argument("--stats", action="store_true", help="print the meters")
+    run.add_argument("--engine", choices=["interp", "jit"], default="interp",
+                     help="execution engine (jit compiles verified blocks)")
+    run.add_argument("--facts", metavar="PATH", default=None,
+                     help="precomputed repro-facts/1 artifact (jit only; "
+                     "must match the image)")
     run.set_defaults(func=cmd_run)
 
     disasm = sub.add_parser("disasm", help="show the compiled encoding")
@@ -1063,6 +1102,9 @@ def build_parser() -> argparse.ArgumentParser:
     measure = sub.add_parser("measure", help="run the I1-I4 ladder comparison")
     common(measure)
     measure.add_argument("--args", type=int, nargs="*", default=[])
+    measure.add_argument("--engine", choices=["interp", "jit"],
+                         default="interp",
+                         help="execution engine for every rung of the ladder")
     measure.add_argument("--json", action="store_true",
                          help="emit machine-readable CycleCounter snapshots")
     measure.set_defaults(func=cmd_measure)
@@ -1157,6 +1199,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="canned fault plans to replay (default: all)")
     chaos.add_argument("--seeds", type=int, default=5, metavar="N",
                        help="seeds per (program, plan) pair (default 5)")
+    chaos.add_argument("--engine", choices=["interp", "jit"],
+                       default="interp",
+                       help="install the jit on every machine (outcomes "
+                       "must be unchanged by the deopt contract)")
     chaos.add_argument("--report", metavar="PATH", default=None,
                        help="write the full JSON conformance report here")
     chaos.add_argument("--net", action="store_true",
@@ -1193,6 +1239,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--processes", action="store_true",
                        help="promote each shard to a real OS worker process "
                             "behind the asyncio front door")
+    serve.add_argument("--engine", choices=["interp", "jit"],
+                       default="interp",
+                       help="shard execution engine (in-process shards only)")
     serve.add_argument("--route", choices=["direct", "dispatch"],
                        default="direct",
                        help="process-mode routing: direct (leaf procedure on "

@@ -108,11 +108,16 @@ class ChaosError(Exception):
 # ---------------------------------------------------------------------------
 
 
-def _build(program: Program, preset: str) -> Machine:
+def _build(program: Program, preset: str, engine: str = "interp") -> Machine:
     config = MachineConfig.preset(preset)
     modules = compile_program(list(program.sources), CompileOptions.for_config(config))
     image = link(modules, config, program.entry)
-    return Machine(image)
+    machine = Machine(image)
+    if engine == "jit":
+        from repro.jit import install_jit
+
+        install_jit(machine)
+    return machine
 
 
 class _EventCounter:
@@ -287,15 +292,22 @@ def make_plan(
 # ---------------------------------------------------------------------------
 
 
-def run_case(program: Program, preset: str, plan: FaultPlan) -> Outcome:
+def run_case(
+    program: Program, preset: str, plan: FaultPlan, engine: str = "interp"
+) -> Outcome:
     """Run *program* on *preset* under *plan*; classify the ending.
 
     The controller drives the machine's run loop: state actions fire
     inside the injector; control actions break the loop at an
     instruction boundary and are executed here (snapshot the state
     vector, kill-and-restore onto a fresh image, dispatch a trap).
+
+    With ``engine="jit"`` every machine gets a compiled engine; the
+    injector's tracer pins execution to the interpreter (the deopt
+    contract), so outcomes must be identical — this arm checks that
+    installing the engine never perturbs a faulted run.
     """
-    machine = _build(program, preset)
+    machine = _build(program, preset, engine)
     injector = FaultInjector(plan)
     machine.attach_tracer(injector)
     machine.start(program.entry[0], program.entry[1], *program.args)
@@ -348,7 +360,7 @@ def run_case(program: Program, preset: str, plan: FaultPlan) -> Outcome:
                     )
                 fired += len(injector.fired)
                 machine_state, injector_state = saved
-                machine = _build(program, preset)
+                machine = _build(program, preset, engine)
                 injector = FaultInjector(plan, state=injector_state)
                 # The kill already happened; it must not fire again in
                 # the restored run.
@@ -514,6 +526,7 @@ def run_chaos(
     seeds: int | tuple[int, ...] = 5,
     plans: tuple[str, ...] = tuple(CANNED_PLANS),
     presets: tuple[str, ...] = ALL_PRESETS,
+    engine: str = "interp",
 ) -> ChaosReport:
     """The sweep: programs x seeds x plans, each across *presets*."""
     seed_list = tuple(range(seeds)) if isinstance(seeds, int) else tuple(seeds)
@@ -534,7 +547,8 @@ def run_chaos(
                     )
                     continue
                 outcomes = {
-                    preset: run_case(program, preset, plan) for preset in presets
+                    preset: run_case(program, preset, plan, engine)
+                    for preset in presets
                 }
                 failures = _check_case(program, plan, outcomes, refs)
                 report.cases.append(

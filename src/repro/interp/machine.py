@@ -170,6 +170,18 @@ class Machine:
         self.linkage_cache: LinkageCache | None = (
             LinkageCache(self.counter) if self.config.host_linkage_cache else None
         )
+        # Epoch-bump subscribers: every host-side cache of code-derived
+        # state registers an invalidation callback here, so the
+        # code-swapping services hit them all through one hook.  The
+        # linkage cache subscribes; the JIT code cache (repro.jit) does
+        # too when installed.
+        self._epoch_subscribers: list[Callable[[], None]] = []
+        if self.linkage_cache is not None:
+            self._epoch_subscribers.append(self.linkage_cache.invalidate)
+        #: Optional execution engine (repro.jit.JitEngine).  When set and
+        #: active, ``run()`` delegates to it; ``step()`` is always the
+        #: interpreter (the engine's own deoptimization primitive).
+        self.engine = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -223,7 +235,15 @@ class Machine:
         only observable difference is host wall-clock time.  (A hook
         installed mid-run by a trap handler — e.g. ``enable_profile`` —
         takes effect on the next ``run()``/``step()``.)
+
+        With a JIT engine installed (``repro.jit.install_jit``) and
+        eligible to run — no tracer, profile, or transfer log attached —
+        execution is delegated to compiled blocks instead; meters and
+        state are bit-identical either way.
         """
+        engine = self.engine
+        if engine is not None and engine.active():
+            return engine.run(max_steps)
         limit = self.config.step_limit
         ceiling = limit if max_steps is None else min(limit, self.steps + max_steps)
 
@@ -362,11 +382,25 @@ class Machine:
         replace_procedure`) — the same "unusual event" fallback
         discipline as the IFU return stack.  Clears in place so hoisted
         references in the fused run loop stay valid.
+
+        This is the single shared epoch-bump hook: every cache of
+        code-derived state (linkage cache, JIT code cache, ...) is a
+        subscriber, so a relocate/replace can never leave one of them
+        stale while flushing another.
         """
         self._decode_cache.clear()
         self._code_epoch = self.code.epoch
-        if self.linkage_cache is not None:
-            self.linkage_cache.invalidate()
+        for invalidate in self._epoch_subscribers:
+            invalidate()
+
+    def on_epoch_bump(self, callback: Callable[[], None]) -> None:
+        """Subscribe *callback* to code-space epoch bumps.
+
+        Called (via :meth:`invalidate_linkage`) whenever the code space
+        changes — module relocation, procedure replacement, segment
+        growth.  Used by host-side caches keyed on code layout."""
+        if callback not in self._epoch_subscribers:
+            self._epoch_subscribers.append(callback)
 
     def enable_profile(self) -> None:
         """Start counting executed instructions per opcode (``profile``)."""

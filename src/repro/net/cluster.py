@@ -81,18 +81,27 @@ def build_shard_machine(
     sources: list[str],
     config: MachineConfig,
     entry: tuple[str, str] = ("Main", "main"),
+    engine: str = "interp",
 ) -> Machine:
     """Compile and link one shard's image (no auto-start).
 
     Identical inputs produce an identical image on every shard — the
     property the handshake checks and Remote XFER relies on.
+    ``engine="jit"`` compiles the shard's procedures up front; remote
+    stubs stay on the interpreter's slow path by the deopt contract, so
+    the wire protocol and meters are unchanged.
     """
     from repro.lang.compiler import CompileOptions, compile_program
     from repro.lang.linker import link
 
     modules = compile_program(sources, CompileOptions.for_config(config))
     image = link(modules, config, entry)
-    return Machine(image)
+    machine = Machine(image)
+    if engine == "jit":
+        from repro.jit import install_jit
+
+        install_jit(machine)
+    return machine
 
 
 class Cluster:
@@ -111,6 +120,7 @@ class Cluster:
         quantum: int = 0,
         timeout_ticks: int = DEFAULT_TIMEOUT_TICKS,
         max_retries: int = DEFAULT_MAX_RETRIES,
+        engine: str = "interp",
     ) -> None:
         if shards < 1:
             raise NetError(f"a cluster needs at least one shard, got {shards}")
@@ -133,7 +143,7 @@ class Cluster:
         self.shards: list[Shard] = [
             Shard(
                 shard_id,
-                build_shard_machine(sources, self.config, entry),
+                build_shard_machine(sources, self.config, entry, engine=engine),
                 self.placement,
                 record=record,
                 quantum=quantum,
