@@ -50,6 +50,7 @@ EXPERIMENTS = {
     "c16": "bench_c16_hybrid",
     "host": "bench_host_speed",
     "jit": "bench_jit",
+    "fdo": "bench_fdo",
     "obs": "bench_obs_overhead",
     "faults": "bench_faults",
     "net": "bench_net",

@@ -355,3 +355,95 @@ ANALYZER_DEFECT_INJECTIONS = [
     ("hidden context capture", "undeclared-capture", inject_hidden_context_capture),
     ("under-declared frame size", "fsi-too-small", inject_underdeclared_frame),
 ]
+
+
+# -- FDO-targeted defect injection -----------------------------------------------
+#
+# Same contract again, but the subject is an image the feedback-directed
+# optimizer rewrote (promoted DFC/SDFC sites with section 6 headers,
+# retuned fsi bytes).  Each injector plants the defect a buggy rewriter
+# would introduce; check_image must refuse the image — which is exactly
+# the gate `repro optimize` runs before emitting, so a caught injection
+# here proves a buggy rewrite cannot ship.
+
+
+def build_optimized_image(
+    sources: tuple[str, ...] | list[str],
+    entry: tuple[str, str],
+    preset: str = "i2",
+    args: tuple[int, ...] = (),
+) -> ProgramImage:
+    """An image rewritten by the FDO pipeline (fresh per mutant)."""
+    from repro.check.interproc import analyze_image
+    from repro.fdo import collect_profile, optimize
+
+    profile = collect_profile(list(sources), preset, entry, tuple(args))
+    facts = analyze_image(build_image(sources, entry, preset)).to_facts()
+    result = optimize(list(sources), preset, entry, profile, facts)
+    return result.build().image
+
+
+def inject_bad_direct_header(image: ProgramImage) -> bool:
+    """Corrupt the inline GF word of a promoted DIRECTCALL header.
+
+    A rewriter that emits the header but patches the wrong GF would send
+    every promoted call into a foreign global frame; the checker must
+    hold the header word to the owning instance's GF
+    (check id ``direct-header-gf``).
+    """
+    for (_name, instance), linked in sorted(image.instances.items()):
+        if instance:
+            continue
+        for procedure in linked.module.procedures:
+            if procedure.direct_offset < 0:
+                continue
+            address = linked.code_base + procedure.direct_offset
+            image.code.buffer[address] ^= 0x5A
+            image.code.epoch += 1
+            return True
+    return False
+
+
+def inject_promoted_target_into_body(image: ProgramImage) -> bool:
+    """Re-aim a promoted DFC/SDFC one byte off its header.
+
+    The early-bound address is the whole point of promotion; an
+    off-by-one leaves it pointing into the header's interior, which is
+    not any procedure's DIRECTCALL header (check id ``direct-target``).
+    """
+    for _linked, _procedure, start, items in _decoded_bodies(image):
+        for item in items:
+            if item.instruction.op in (Op.DFC, Op.SDFC):
+                operand_end = start + item.offset + item.length - 1
+                image.code.buffer[operand_end] ^= 0x01
+                image.code.epoch += 1
+                return True
+    return False
+
+
+def inject_fsi_below_observed(image: ProgramImage) -> bool:
+    """Stamp a promoted procedure's fsi under its frame need.
+
+    Models a frame-retuning decision taken below the observed maximum
+    frame size: the linker refuses such overrides (LinkError), so the
+    only way the image can exist is a tampered rewrite — and the base
+    check must still catch it (check id ``fsi-too-small``).
+    """
+    for _linked, procedure, start, _items in _decoded_bodies(image):
+        if procedure.direct_offset < 0:
+            continue
+        if image.ladder.size_of(0) < procedure.frame_words:
+            image.code.buffer[start - 1] = 0  # fsi byte precedes the body
+            image.code.epoch += 1
+            return True
+    return False
+
+
+#: (defect label, check id ``check_image`` must report, injector);
+#: subjects come from :func:`build_optimized_image`.
+FDO_DEFECT_INJECTIONS = [
+    ("promoted header wrong GF", "direct-header-gf", inject_bad_direct_header),
+    ("promoted call into header interior", "direct-target",
+     inject_promoted_target_into_body),
+    ("fsi under observed frame", "fsi-too-small", inject_fsi_below_observed),
+]

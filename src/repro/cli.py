@@ -7,6 +7,8 @@ Usage::
     python -m repro measure prog.mesa [lib.mesa ...] [--json]
     python -m repro trace prog.mesa [--format chrome|folded|jsonl] [--out f]
     python -m repro profile prog.mesa [--top 10] [--shards 2 --pin Math=1]
+    python -m repro optimize prog.mesa --profile p.json --facts f.json --out o.json
+    python -m repro run --image o.json [--engine jit]
     python -m repro serve --shards 4 --requests 1000 --seed 7
     python -m repro loadgen --requests 1000 --seed 7 --out workload.json
     python -m repro chaos --net
@@ -97,7 +99,30 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.facts and args.engine != "jit":
         print("run: --facts requires --engine jit", file=sys.stderr)
         return 2
-    machine = _build(_read_sources(args.files), args.impl, args.entry)
+    hot_order = None
+    if args.image:
+        from repro.fdo import FdoRefusal, load_image
+
+        if args.files:
+            print(
+                "run: --image already embeds the sources; give either "
+                "source files or --image, not both",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            machine, doc = load_image(args.image)
+        except FdoRefusal as refusal:
+            print(f"run: image refused: {refusal}", file=sys.stderr)
+            return 2
+        module, _, proc = doc["entry"].partition(".")
+        args.entry = (module, proc)
+        hot_order = doc.get("log", {}).get("block_order") or None
+    else:
+        if not args.files:
+            print("run: give source files or --image", file=sys.stderr)
+            return 2
+        machine = _build(_read_sources(args.files), args.impl, args.entry)
     recorder = None
     if args.engine == "jit":
         from repro.jit import JitRefusal, install_jit
@@ -106,7 +131,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.facts:
             facts = json.loads(Path(args.facts).read_text())
         try:
-            install_jit(machine, facts)
+            install_jit(machine, facts, hot_order=hot_order)
         except JitRefusal as refusal:
             print(f"run: jit refused: {refusal}", file=sys.stderr)
             return 2
@@ -480,9 +505,35 @@ def _profile_cluster(args: argparse.Namespace) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs import aggregate, build_call_tree
 
+    if (args.json or args.out) and args.shards > 1:
+        print(
+            "profile: --json/--out summarize one machine's run; they do "
+            "not combine with --shards",
+            file=sys.stderr,
+        )
+        return 2
     if args.shards > 1:
         return _profile_cluster(args)
     machine, recorder, results = _traced_run(args, capacity=None, trace_steps=False)
+    if args.json or args.out:
+        from repro.fdo import profile_document
+
+        doc = profile_document(
+            machine,
+            list(recorder.events),
+            results,
+            args.impl,
+            args.entry,
+            tuple(args.args),
+        )
+        text = json.dumps(doc, indent=2)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            if not args.json:
+                print(f"profile written to {args.out}")
+        if args.json:
+            print(text)
+        return 0
     tree = build_call_tree(
         recorder.events,
         total_cycles=machine.counter.cycles,
@@ -1068,6 +1119,70 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """Feedback-directed image rewriting: profile + facts → a verified
+    optimized image (see ``docs/fdo.md``).
+
+    Exit status: 0 when an image was emitted (a no-op rewrite still
+    emits — the image is byte-identical to the original), 2 when the
+    inputs are stale/mismatched or every rewrite candidate failed the
+    verification gates.
+    """
+    from repro.errors import ReproError
+    from repro.fdo import FdoRefusal, optimize, save_image
+
+    try:
+        sources = _read_program_sources(args.files)
+        profile = json.loads(Path(args.profile).read_text())
+        facts = json.loads(Path(args.facts).read_text())
+    except (OSError, json.JSONDecodeError) as fault:
+        print(f"optimize: cannot read inputs: {fault}", file=sys.stderr)
+        return 2
+    try:
+        result = optimize(
+            sources,
+            args.impl,
+            args.entry,
+            profile,
+            facts,
+            min_calls=args.min_site_calls,
+        )
+    except FdoRefusal as refusal:
+        print(f"optimize: refused: {refusal}", file=sys.stderr)
+        return 2
+    except ReproError as fault:
+        print(f"optimize: cannot build: {fault}", file=sys.stderr)
+        return 2
+    save_image(result, args.out)
+    log = result.log
+    if args.log:
+        Path(args.log).write_text(json.dumps(log, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(log, indent=2))
+        return 0
+    kind = "no-op (byte-identical)" if log["noop"] else "rewritten"
+    print(f"optimized image written to {args.out} ({kind})")
+    for decision in log["decisions"]:
+        saving = decision.get("expected_saving", {})
+        cycles = saving.get("cycles")
+        tail = f"  (expect -{cycles} cycles)" if cycles else ""
+        where = decision.get("site") or ", ".join(
+            decision.get("procedures", ())
+        )
+        where = f" {where}" if where else ""
+        print(f"  {decision['kind']}:{where} {decision['rewrite']}{tail}")
+    for refusal in log["refusals"]:
+        site = f" {refusal['site']}" if "site" in refusal else ""
+        print(f"  refused [{refusal['aspect']}]{site}: {refusal['reason']}")
+    total = log["expected_saving"]
+    if total["cycles"] or total["memory_references"]:
+        print(
+            f"  expected saving: {total['memory_references']} memory "
+            f"references, {total['cycles']} cycles (replay-validated)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1081,7 +1196,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="entry procedure, Module.proc (default Main.main)")
 
     run = sub.add_parser("run", help="compile and execute a program")
-    common(run)
+    run.add_argument("files", nargs="*", help="module source files")
+    run.add_argument("--entry", type=_entry, default=("Main", "main"),
+                     help="entry procedure, Module.proc (default Main.main)")
     run.add_argument("--impl", choices=["i1", "i2", "i3", "i4"], default="i2",
                      help="implementation preset (default i2)")
     run.add_argument("--args", type=int, nargs="*", default=[],
@@ -1092,6 +1209,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--facts", metavar="PATH", default=None,
                      help="precomputed repro-facts/1 artifact (jit only; "
                      "must match the image)")
+    run.add_argument("--image", metavar="PATH", default=None,
+                     help="execute a repro-image/1 optimized image written "
+                     "by `repro optimize` (instead of source files; the "
+                     "file pins impl, entry, and sources)")
     run.set_defaults(func=cmd_run)
 
     disasm = sub.add_parser("disasm", help="show the compiled encoding")
@@ -1153,6 +1274,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--pin", type=_pin, action="append", metavar="MOD=SHARD",
                         help="pin a module to a shard (repeatable; default: "
                              "consistent-hash placement)")
+    profile.add_argument("--json", action="store_true",
+                        help="emit the repro-profile/1 document (the input "
+                             "to `repro optimize`) instead of the table")
+    profile.add_argument("--out", metavar="PATH", default=None,
+                        help="write the repro-profile/1 document here")
     profile.set_defaults(func=cmd_profile)
 
     verify = sub.add_parser(
@@ -1314,6 +1440,39 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--strict", action="store_true",
                          help="warnings also fail the analysis")
     analyze.set_defaults(func=cmd_analyze)
+
+    optimize = sub.add_parser(
+        "optimize",
+        help="feedback-directed image rewriting from a profile + facts",
+    )
+    optimize.add_argument("files", nargs="+",
+                          help="module source files (or .py files with "
+                               "embedded MODULE literals, like the examples)")
+    optimize.add_argument("--entry", type=_entry, default=("Main", "main"),
+                          help="entry procedure, Module.proc (default "
+                               "Main.main)")
+    optimize.add_argument("--impl", choices=["i1", "i2", "i3", "i4"],
+                          default="i2",
+                          help="implementation preset the rewrite targets "
+                               "(must match the profile; default i2)")
+    optimize.add_argument("--profile", metavar="PATH", required=True,
+                          help="repro-profile/1 document from "
+                               "`repro profile --out`")
+    optimize.add_argument("--facts", metavar="PATH", required=True,
+                          help="repro-facts/1 artifact from "
+                               "`repro analyze --out`")
+    optimize.add_argument("--out", metavar="PATH", required=True,
+                          help="optimized repro-image/1 file to write "
+                               "(run it with `repro run --image`)")
+    optimize.add_argument("--log", metavar="PATH", default=None,
+                          help="also write the repro-fdo/1 decision log here")
+    optimize.add_argument("--json", action="store_true",
+                          help="print the repro-fdo/1 decision log instead "
+                               "of the summary")
+    optimize.add_argument("--min-site-calls", type=int, default=2, metavar="N",
+                          help="observed calls before a site counts as hot "
+                               "(default 2)")
+    optimize.set_defaults(func=cmd_optimize)
 
     return parser
 

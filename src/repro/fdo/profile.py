@@ -1,0 +1,171 @@
+"""The ``repro-profile/1`` artifact: one run, summarized for the optimizer.
+
+A profile is a pure function of (program, implementation, arguments):
+the machine's meters are modelled, the tracer is meter-neutral, and the
+event stream is deterministic, so two collections of the same run are
+byte-identical.  The document records everything the decision engine
+needs — per-edge call counts with their transfer kinds, per-procedure
+activation counts, the live-frame peak of every AV size class, the
+call-depth histogram — plus the run's own results and meters, which the
+rewriter replays against as its no-regression guard.
+
+``image_hash`` pins the profile to the exact image it observed
+(:func:`repro.check.interproc.image_fingerprint`); the optimizer refuses
+stale profiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.obs import TraceRecorder
+from repro.obs.events import (
+    ALLOC_TRAP,
+    MACHINE_BEGIN,
+    XFER_CALL,
+    XFER_RETURN,
+    XFER_XFER,
+)
+
+#: Version tag of the profile document; bump on shape change.
+PROFILE_SCHEMA = "repro-profile/1"
+
+
+def collect_profile(
+    sources: list[str],
+    impl: str,
+    entry: tuple[str, str] = ("Main", "main"),
+    args: tuple[int, ...] = (),
+) -> dict:
+    """Build, trace one run, and summarize it as a profile document."""
+    from repro.fdo.rewrite import build_machine
+
+    machine = build_machine(sources, impl, entry)
+    recorder = TraceRecorder(capacity=None, trace_steps=False)
+    machine.attach_tracer(recorder)
+    machine.start(entry[0], entry[1], *args)
+    results = machine.run()
+    return profile_document(
+        machine, list(recorder.events), results, impl, entry, args
+    )
+
+
+def profile_document(
+    machine,
+    events: list,
+    results: list[int],
+    impl: str,
+    entry: tuple[str, str],
+    args: tuple[int, ...] = (),
+) -> dict:
+    """Summarize a finished traced run into the versioned document."""
+    from repro.check.interproc import image_fingerprint
+
+    edges: Counter[tuple[str, str, str]] = Counter()
+    activations: Counter[str] = Counter()
+    depth_histogram: Counter[int] = Counter()
+    class_peaks: dict[int, int] = {}
+    class_live: Counter[int] = Counter()
+    alloc_traps = 0
+    structured = True
+
+    fsi_of: dict[str, int] = {}
+    frame_words_of: dict[str, int] = {}
+    for meta in machine.image.procs_by_entry.values():
+        name = f"{meta.module}.{meta.name}"
+        fsi_of[name] = meta.fsi
+        frame_words_of[name] = meta.frame_words
+
+    stack: list[str] = []
+    for event in events:
+        if event.kind == MACHINE_BEGIN:
+            # The root activation gets its frame from start(), not from a
+            # call transfer; put it on the shadow stack so the final
+            # return balances and its frame counts toward its class peak.
+            stack.append(event.name)
+            depth_histogram[len(stack)] += 1
+            fsi = fsi_of.get(event.name)
+            if fsi is not None:
+                class_live[fsi] += 1
+                class_peaks[fsi] = max(class_peaks.get(fsi, 0), class_live[fsi])
+        elif event.kind == XFER_CALL:
+            callee = event.name
+            source = event.data.get("source", "")
+            edges[(source, callee, event.data.get("transfer", ""))] += 1
+            activations[callee] += 1
+            stack.append(callee)
+            depth_histogram[len(stack)] += 1
+            fsi = fsi_of.get(callee)
+            if fsi is not None:
+                class_live[fsi] += 1
+                class_peaks[fsi] = max(class_peaks.get(fsi, 0), class_live[fsi])
+        elif event.kind == XFER_RETURN:
+            if stack and stack[-1] == event.name:
+                returned = stack.pop()
+                fsi = fsi_of.get(returned)
+                if fsi is not None and class_live[fsi] > 0:
+                    class_live[fsi] -= 1
+            else:
+                # A return that does not match the open call (XFER
+                # discipline broke the bracket structure): peak tracking
+                # is no longer exact, so mark the profile approximate.
+                structured = False
+        elif event.kind == XFER_XFER:
+            structured = False
+        elif event.kind == ALLOC_TRAP:
+            alloc_traps += 1
+
+    return {
+        "schema": PROFILE_SCHEMA,
+        "impl": impl,
+        "entry": f"{entry[0]}.{entry[1]}",
+        "args": list(args),
+        "image_hash": image_fingerprint(machine.image),
+        "results": list(results),
+        "meters": {
+            "steps": machine.steps,
+            "cycles": machine.counter.cycles,
+            "memory_references": machine.counter.memory_references,
+        },
+        "structured": structured,
+        "edges": [
+            {
+                "caller": caller,
+                "callee": callee,
+                "transfer": transfer,
+                "count": count,
+            }
+            for (caller, callee, transfer), count in sorted(edges.items())
+        ],
+        "procedures": {
+            name: {
+                "activations": count,
+                "frame_words": frame_words_of.get(name, 0),
+                "fsi": fsi_of.get(name, 0),
+            }
+            for name, count in sorted(activations.items())
+        },
+        "depth": {
+            "max": max(depth_histogram) if depth_histogram else 0,
+            "histogram": {
+                str(depth): count
+                for depth, count in sorted(depth_histogram.items())
+            },
+        },
+        "class_peaks": {
+            str(fsi): peak for fsi, peak in sorted(class_peaks.items())
+        },
+        "alloc_traps": alloc_traps,
+    }
+
+
+def validate_profile(doc: dict) -> str | None:
+    """Shape check; returns a complaint or None when the document is ok."""
+    if not isinstance(doc, dict):
+        return "profile is not a JSON object"
+    if doc.get("schema") != PROFILE_SCHEMA:
+        return f"schema {doc.get('schema')!r} is not {PROFILE_SCHEMA}"
+    for key in ("impl", "entry", "image_hash", "meters", "edges", "procedures"):
+        if key not in doc:
+            return f"profile is missing the {key!r} field"
+    return None

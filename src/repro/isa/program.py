@@ -135,7 +135,9 @@ class ModuleCode:
             return len(self.imports) - 1
 
     def build_segment(
-        self, fsi_of_procedure: dict[str, int], direct_headers: bool = False
+        self,
+        fsi_of_procedure: dict[str, int],
+        direct_headers: bool | frozenset[str] | set[str] = False,
     ) -> bytes:
         """Lay out ``[EV][(GF word,) fsi byte, body]*`` and record offsets.
 
@@ -144,10 +146,14 @@ class ModuleCode:
         each procedure is preceded by a two-byte slot for its global frame
         address, making it a valid DIRECTCALL target (section 6); the
         linker patches the actual GF value in once global frames are
-        placed.  The entry-vector offsets always address the fsi byte, so
-        EXTERNALCALL/LOCALCALL work unchanged either way — that is the
-        paper's fallback compatibility (D2).  Returns the segment bytes
-        and caches them in :attr:`segment`.
+        placed.  ``True`` headers every procedure (DIRECT linkage); a set
+        of procedure names headers only those — the selective form the
+        feedback-directed optimizer uses to promote hot targets while the
+        module otherwise stays on MESA/SIMPLE linkage.  The entry-vector
+        offsets always address the fsi byte, so EXTERNALCALL/LOCALCALL
+        work unchanged either way — that is the paper's fallback
+        compatibility (D2).  Returns the segment bytes and caches them in
+        :attr:`segment`.
         """
         if len(self.procedures) == 0:
             raise EncodingError(f"module {self.name!r} has no procedures")
@@ -159,7 +165,10 @@ class ModuleCode:
             fsi = fsi_of_procedure[procedure.name]
             if not 0 <= fsi <= 0xFF:
                 raise EncodingError(f"fsi {fsi} does not fit the frame-size byte")
-            if direct_headers:
+            if direct_headers is True or (
+                not isinstance(direct_headers, bool)
+                and procedure.name in direct_headers
+            ):
                 procedure.direct_offset = offset
                 bodies.extend(b"\x00\x00")  # GF slot, patched at link time
                 offset += 2

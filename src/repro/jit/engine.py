@@ -37,9 +37,18 @@ from repro.jit.deopt import EngineStats, JitRefusal
 class JitEngine:
     """Compiled-block execution for one machine."""
 
-    def __init__(self, machine, facts: dict | None = None) -> None:
+    def __init__(
+        self,
+        machine,
+        facts: dict | None = None,
+        hot_order: list[str] | None = None,
+    ) -> None:
         self.machine = machine
         self.stats = EngineStats()
+        #: Hot-first qualified procedure names (a profile's block order,
+        #: e.g. from a repro-fdo/1 log): those procedures compile first,
+        #: so the code cache's block dict is laid out hottest-first.
+        self.hot_order = list(hot_order or ())
         image = machine.image
 
         if facts is not None:
@@ -150,6 +159,7 @@ class JitEngine:
         raw = image.code.raw
         blocks: dict = {}
         procedures = 0
+        worklist = []
         for (_name, inst), linked in sorted(image.instances.items()):
             if inst != 0:
                 continue
@@ -158,14 +168,24 @@ class JitEngine:
                 meta = image.procs_by_entry.get(entry)
                 if meta is None:
                     continue
-                base = entry + 1
-                body = raw[base : base + len(procedure.body)]
-                out = compile_procedure(
-                    meta, body, base, machine, self._ctx, self._ns
+                worklist.append((entry, procedure, meta))
+        if self.hot_order:
+            rank = {name: index for index, name in enumerate(self.hot_order)}
+            cold = len(rank)
+            worklist.sort(
+                key=lambda item: rank.get(
+                    f"{item[2].module}.{item[2].name}", cold
                 )
-                if out:
-                    blocks.update(out)
-                    procedures += 1
+            )
+        for entry, procedure, meta in worklist:
+            base = entry + 1
+            body = raw[base : base + len(procedure.body)]
+            out = compile_procedure(
+                meta, body, base, machine, self._ctx, self._ns
+            )
+            if out:
+                blocks.update(out)
+                procedures += 1
         cache.blocks.clear()
         cache.blocks.update(blocks)
         cache.ready = True
@@ -246,15 +266,22 @@ class JitEngine:
         """Cache + engine counters for benchmark tables."""
         out = self.cache.stats()
         out.update(self.stats.as_dict())
+        out["hot_ordered"] = len(self.hot_order)
         return out
 
 
-def install_jit(machine, facts: dict | None = None) -> JitEngine:
+def install_jit(
+    machine,
+    facts: dict | None = None,
+    hot_order: list[str] | None = None,
+) -> JitEngine:
     """Verify, compile, and attach a JIT engine to *machine*.
 
-    Raises :class:`JitRefusal` when the image fails static verification
-    or the supplied facts artifact does not match it.
+    *hot_order* feeds a profile's hotness ranking into the compile
+    queue (see ``docs/fdo.md``).  Raises :class:`JitRefusal` when the
+    image fails static verification or the supplied facts artifact does
+    not match it.
     """
-    engine = JitEngine(machine, facts)
+    engine = JitEngine(machine, facts, hot_order=hot_order)
     machine.engine = engine
     return engine

@@ -81,6 +81,14 @@ class CodegenOptions:
     #: encoding which allows both the generality of §5 and the early
     #: binding of §6 is attractive").
     flexible_modules: frozenset[str] = frozenset()
+    #: Selective early binding under MESA/SIMPLE linkage: call sites named
+    #: as ``(module, procedure, call_ordinal)`` compile to SDFC (same
+    #: module) or DFC (external) instead of LOCALCALL/EXTERNALCALL.  The
+    #: ordinal counts the procedure's call sites in source order, which is
+    #: also their body-offset order.  This is the feedback-directed half
+    #: of the section 6/8 hybrid: the optimizer promotes exactly the hot
+    #: monomorphic sites and leaves the rest on the flexible scheme.
+    promotions: frozenset[tuple[str, str, int]] = frozenset()
 
 
 @dataclass
@@ -120,6 +128,9 @@ class ProcedureGenerator:
         #: body perform a general XF, and does it capture a context word?
         self._performs_xfer = False
         self._captures_context = False
+        #: Source-order index of the next call site, matched against
+        #: :attr:`CodegenOptions.promotions`.
+        self._call_ordinal = 0
 
     # -- driver ---------------------------------------------------------------
 
@@ -431,9 +442,15 @@ class ProcedureGenerator:
         external = signature.module != self.module.name
         direct = self.options.linkage is LinkageKind.DIRECT
         flexible = signature.module in self.options.flexible_modules
+        promoted = (
+            self.module.name,
+            self.procedure.name,
+            self._call_ordinal,
+        ) in self.options.promotions
+        self._call_ordinal += 1
         if not external:
             own_multi = self.module.name in self.options.multi_instance
-            if direct and not own_multi and not flexible:
+            if (direct or promoted) and not own_multi and not flexible:
                 self._emit_direct("sdfc", signature)
             else:
                 target = self.module.procedure(signature.name)
@@ -441,7 +458,7 @@ class ProcedureGenerator:
                 self.asm.emit(Op.LFC, ev_index)
         else:
             target_multi = signature.module in self.options.multi_instance
-            if direct and not target_multi and not flexible:
+            if (direct or promoted) and not target_multi and not flexible:
                 self._emit_direct("dfc", signature)
             else:
                 lv_index = self.module_code.import_index(signature.module, signature.name)

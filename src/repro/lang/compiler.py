@@ -31,6 +31,10 @@ class CompileOptions:
     #: under DIRECT linkage (the section 6/8 hybrid: early-bind "in the
     #: system" modules, stay flexible for code under development).
     flexible_modules: frozenset[str] = frozenset()
+    #: Feedback-directed promotions: ``(module, procedure, call_ordinal)``
+    #: sites compiled to SDFC/DFC even under MESA/SIMPLE linkage (see
+    #: :mod:`repro.fdo`).
+    promotions: frozenset[tuple[str, str, int]] = frozenset()
     #: Run the static verifier over the generated modules; errors raise
     #: :class:`repro.errors.CheckFailed` with the full report attached.
     check: bool = False
@@ -41,6 +45,7 @@ class CompileOptions:
         config: MachineConfig,
         multi_instance: frozenset[str] = frozenset(),
         flexible_modules: frozenset[str] = frozenset(),
+        promotions: frozenset[tuple[str, str, int]] = frozenset(),
         check: bool = False,
     ) -> CompileOptions:
         """The compile options matching a machine configuration."""
@@ -49,6 +54,7 @@ class CompileOptions:
             arg_convention=config.arg_convention,
             multi_instance=multi_instance,
             flexible_modules=flexible_modules,
+            promotions=promotions,
             check=check,
         )
 
@@ -58,6 +64,7 @@ class CompileOptions:
             arg_convention=self.arg_convention,
             multi_instance=self.multi_instance,
             flexible_modules=self.flexible_modules,
+            promotions=self.promotions,
         )
 
 

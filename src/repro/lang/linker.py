@@ -51,6 +51,12 @@ class LinkOptions:
     frame_region_words: int | None = None
     #: Frames the software allocator creates per trap.
     replenish_batch: int = 4
+    #: Feedback-directed frame-size index overrides, keyed by
+    #: ``(module, procedure)``.  An override may only widen a frame's
+    #: class (the ladder class must still hold ``frame_words``); the
+    #: optimizer uses it to merge sparse AV classes into hot ones — the
+    #: section 5.4 tuning lever.
+    fsi_overrides: dict[tuple[str, str], int] = field(default_factory=dict)
 
 
 #: Low memory reserved so that NIL (0) is never a valid frame address.
@@ -84,13 +90,27 @@ def link(
 
     # -- 1. frame-size indices and code layout --------------------------------
     direct = config.linkage is LinkageKind.DIRECT
+    # Selective DIRECTCALL headers: under non-DIRECT linkage, any
+    # procedure targeted by a promoted dfc/sdfc fixup still needs the
+    # section 6 header in front of its fsi byte.
+    header_targets: dict[str, set[str]] = {}
+    if not direct:
+        for module in modules:
+            for fixup in module.fixups:
+                if fixup.kind in ("dfc", "sdfc"):
+                    header_targets.setdefault(fixup.target_module, set()).add(
+                        fixup.target_procedure
+                    )
     fsi_of: dict[str, dict[str, int]] = {}
     for module in modules:
         fsi_of[module.name] = {
-            procedure.name: ladder.fsi_for(procedure.frame_words)
+            procedure.name: _assign_fsi(ladder, module.name, procedure, options)
             for procedure in module.procedures
         }
-        module.build_segment(fsi_of[module.name], direct_headers=direct)
+        module.build_segment(
+            fsi_of[module.name],
+            direct_headers=True if direct else header_targets.get(module.name, set()),
+        )
     code_bases = {module.name: code.place(module) for module in modules}
 
     # -- 2. memory layout -------------------------------------------------------
@@ -193,7 +213,7 @@ def link(
                 lv.set_entry(index, entry_address, target.gf_address)
 
     # -- 5. call and descriptor fixups -------------------------------------------------
-    _apply_fixups(code, modules, instances, options, direct=direct, use_tables=use_tables)
+    _apply_fixups(code, modules, instances, options, use_tables=use_tables)
 
     # -- 6. procedure metadata -------------------------------------------------------------
     procs_by_entry: dict[int, ProcMeta] = {}
@@ -248,6 +268,31 @@ def _align4(value: int) -> int:
     return (value + 3) & ~3
 
 
+def _assign_fsi(
+    ladder: SizeLadder,
+    module_name: str,
+    procedure,
+    options: LinkOptions,
+) -> int:
+    """Tight ladder class, unless a (validated) override widens it."""
+    tight = ladder.fsi_for(procedure.frame_words)
+    override = options.fsi_overrides.get((module_name, procedure.name))
+    if override is None:
+        return tight
+    if not 0 <= override < len(ladder):
+        raise LinkError(
+            f"fsi override {override} for {module_name}.{procedure.name} "
+            f"is outside the {len(ladder)}-class ladder"
+        )
+    if ladder.size_of(override) < procedure.frame_words:
+        raise LinkError(
+            f"fsi override {override} ({ladder.size_of(override)} words) for "
+            f"{module_name}.{procedure.name} is under its "
+            f"{procedure.frame_words}-word frame"
+        )
+    return override
+
+
 def _bias_slots(procedure_count: int) -> int:
     """GFT entries needed for a module of *procedure_count* entry points.
 
@@ -289,21 +334,20 @@ def _apply_fixups(
     modules: list[ModuleCode],
     instances: dict[tuple[str, int], LinkedModule],
     options: LinkOptions,
-    direct: bool,
     use_tables: bool,
 ) -> None:
     """Patch DFC/SDFC operands, GF headers, and descriptor literals."""
-    if direct:
-        # GF headers: each procedure's header gets its (single) instance's
-        # global frame.  Multi-instance modules are not direct targets (D2).
-        for module in modules:
-            count = options.instances.get(module.name, 1)
-            linked = instances[(module.name, 0)]
-            for procedure in module.procedures:
-                if procedure.direct_offset < 0:
-                    continue
-                header = linked.code_base + procedure.direct_offset
-                code.patch_word(header, linked.gf_address if count == 1 else 0)
+    # GF headers: each headered procedure (every one under DIRECT, only
+    # the promoted targets otherwise) gets its (single) instance's global
+    # frame.  Multi-instance modules are not direct targets (D2).
+    for module in modules:
+        count = options.instances.get(module.name, 1)
+        linked = instances[(module.name, 0)]
+        for procedure in module.procedures:
+            if procedure.direct_offset < 0:
+                continue
+            header = linked.code_base + procedure.direct_offset
+            code.patch_word(header, linked.gf_address if count == 1 else 0)
 
     code.epoch += 1  # direct buffer patches below invalidate decode caches
     for module in modules:
@@ -326,11 +370,6 @@ def _apply_fixups(
                 buffer[site + 1] = (descriptor >> 8) & 0xFF
                 buffer[site + 2] = descriptor & 0xFF
                 continue
-            if not direct:
-                raise LinkError(
-                    f"{fixup.kind} fixup in {module.name!r} but the linkage "
-                    "is not DIRECT (recompile for the target linkage)"
-                )
             target_count = options.instances.get(fixup.target_module, 1)
             if target_count != 1:
                 raise LinkError(

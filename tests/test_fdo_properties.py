@@ -1,0 +1,98 @@
+"""Property tests: the optimizer is sound on arbitrary inputs.
+
+Two universally quantified claims, searched with hypothesis over the
+seeded program generator (:mod:`repro.workloads.generator`):
+
+1. For any generated program on any implementation, `optimize` either
+   refuses or emits an image that passes both static gates and computes
+   the profiled run's exact results at no-worse modelled cost.
+2. The same holds when the profile's *evidence* fields (edge counts,
+   class peaks, call depth) are replaced with seeded garbage — wrong
+   evidence may only cost missed optimizations, never correctness,
+   because every emitted image is re-verified and replayed against the
+   recorded results and meters, which the scrambler leaves intact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.check.checker import check_image
+from repro.check.interproc import analyze_image
+from repro.fdo import FdoRefusal, build_machine, collect_profile, optimize
+from repro.workloads.generator import GeneratorConfig, generate_program
+from tests.conftest import ALL_PRESETS, make_rng
+
+
+def generated(seed: int):
+    program = generate_program(
+        GeneratorConfig(
+            seed=seed, modules=2, procs_per_module=3, loop_iterations=6
+        )
+    )
+    return list(program.sources), program.entry, program.expected
+
+
+def assert_sound(result, sources, preset, entry, profile):
+    """The emitted image passes both gates and dominates the profile."""
+    machine = result.build()
+    assert check_image(machine.image).ok
+    assert analyze_image(machine.image).ok
+    machine.start(*entry)
+    assert machine.run() == profile["results"]
+    assert machine.counter.cycles <= profile["meters"]["cycles"]
+    assert (
+        machine.counter.memory_references
+        <= profile["meters"]["memory_references"]
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 9_999),
+    preset=st.sampled_from(ALL_PRESETS),
+    min_calls=st.integers(1, 5),
+)
+def test_generated_programs_optimize_soundly(seed, preset, min_calls):
+    sources, entry, expected = generated(seed)
+    profile = collect_profile(sources, preset, entry)
+    assert profile["results"] == [expected]  # generator's Python mirror
+    facts = analyze_image(
+        build_machine(sources, preset, entry).image
+    ).to_facts()
+    try:
+        result = optimize(
+            sources, preset, entry, profile, facts, min_calls=min_calls
+        )
+    except FdoRefusal:
+        return  # refusing is always a sound outcome
+    assert_sound(result, sources, preset, entry, profile)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 9_999),
+    preset=st.sampled_from(ALL_PRESETS),
+    scramble=st.integers(0, 2**31),
+)
+def test_scrambled_evidence_never_breaks_correctness(seed, preset, scramble):
+    """Garbage evidence, honest ledger: results/meters/hash stay true,
+    so the optimizer may promote cold sites or retune wrongly — and the
+    verify/replay gates must still only let dominated images through."""
+    sources, entry, _ = generated(seed)
+    profile = collect_profile(sources, preset, entry)
+    rng = make_rng(f"fdo-scramble:{scramble}")
+    for edge in profile["edges"]:
+        edge["count"] = rng.randrange(0, 500)
+    for peaks in (profile["class_peaks"],):
+        for key in peaks:
+            peaks[key] = rng.randrange(0, 60)
+    profile["depth"]["max"] = rng.randrange(0, 40)
+    facts = analyze_image(
+        build_machine(sources, preset, entry).image
+    ).to_facts()
+    try:
+        result = optimize(sources, preset, entry, profile, facts)
+    except FdoRefusal:
+        return
+    assert_sound(result, sources, preset, entry, profile)
