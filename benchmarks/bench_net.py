@@ -39,6 +39,11 @@ SEED = 7
 SCALE_REQUESTS = int(os.environ.get("REPRO_NET_SCALE_REQUESTS", "20000"))
 SCALE_SHARDS = int(os.environ.get("REPRO_NET_SCALE_SHARDS", "8"))
 
+#: The migration section rides the same scale knob at 1/50th: the
+#: point is tail latency under skew, which saturates long before the
+#: raw-throughput request counts.
+MIGRATION_REQUESTS = max(200, SCALE_REQUESTS // 50)
+
 
 def _sweep() -> list[dict]:
     rows = []
@@ -106,6 +111,53 @@ def _process_scale() -> dict:
     return summary
 
 
+def _migration() -> dict:
+    """Elastic rebalancing under a skewed 90/10 hot-key workload.
+
+    Ninety percent of requests hammer Fib's home shard; the same
+    seeded workload runs once with a static placement and once with
+    the :class:`~repro.net.balance.Balancer` migrating blocked roots
+    off the hot shard (tick-paced pump so queues are observable).
+    Both runs must finish with zero lost requests and zero wrong
+    answers — migration that drops or corrupts work measures nothing.
+    """
+    from repro.net.balance import Balancer
+    from repro.net.serve import SERVICE_SOURCES, Server, generate_skewed_workload
+
+    pins = {"Main": 0, "Fib": 1}
+    workload = generate_skewed_workload(SEED, MIGRATION_REQUESTS)
+    section: dict = {
+        "requests": MIGRATION_REQUESTS,
+        "shards": 3,
+        "pins": dict(pins),
+        "workload": "skewed 90/10 (hot key: Fib)",
+    }
+    for label, autoscale in (("static", False), ("autoscale", True)):
+        cluster = Cluster(
+            list(SERVICE_SOURCES), shards=3, config="i2", pins=dict(pins)
+        )
+        balancer = (
+            Balancer(high_water=4, low_water=2, patience=2, budget=2)
+            if autoscale
+            else None
+        )
+        started = time.perf_counter()
+        report = Server(
+            cluster,
+            queue_capacity=16,
+            batch_size=8,
+            balancer=balancer,
+            pump_ticks_per_round=1,
+        ).serve(list(workload))
+        elapsed = time.perf_counter() - started
+        assert report.lost == 0, f"migration bench ({label}) lost requests"
+        assert report.wrong == 0, f"migration bench ({label}) answered wrong"
+        summary = report.to_dict()
+        summary["host_seconds"] = round(elapsed, 3)
+        section[label] = summary
+    return section
+
+
 _PAYLOAD: dict | None = None
 
 
@@ -121,6 +173,7 @@ def json_payload() -> dict:
             "sweep": _sweep(),
             "split_call": _split_call_cost(),
             "process_scale": _process_scale(),
+            "migration": _migration(),
         }
     return _PAYLOAD
 
@@ -163,6 +216,17 @@ def report() -> str:
         f"({scale['requests_per_s']} req/s), lost={scale['lost']} "
         f"wrong={scale['wrong']}, p50={scale['p50_ms']}ms "
         f"p99={scale['p99_ms']}ms"
+    )
+    migration = payload["migration"]
+    static, auto = migration["static"], migration["autoscale"]
+    lines.append(
+        f"\nmigration ({migration['workload']}, {migration['requests']} "
+        f"requests, {migration['shards']} shards): static p50/p99 "
+        f"{static['p50_ticks']}/{static['p99_ticks']} ticks at "
+        f"{static['requests_per_tick']} req/tick; autoscale p50/p99 "
+        f"{auto['p50_ticks']}/{auto['p99_ticks']} ticks at "
+        f"{auto['requests_per_tick']} req/tick with "
+        f"{auto['migrations']} migration(s), lost=0 wrong=0 both runs"
     )
     return "\n".join(lines)
 

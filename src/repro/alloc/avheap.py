@@ -181,6 +181,46 @@ class AVHeap:
         """Uncounted read of a live frame's size-class index."""
         return self.memory.peek(frame - 1)
 
+    def host_carve(self, fsi: int, requested_words: int | None = None) -> int:
+        """Carve one live frame straight from the arena, uncounted.
+
+        Migration adopting a foreign process (:mod:`repro.net.migrate`)
+        needs backing store for the incoming frames on the target shard.
+        That relocation is host work, not machine work — the paper's
+        machine never executes it — so the carve uses the loader
+        interface throughout: no memory references, no allocator trap,
+        and no replenish statistics.  The block still gets a real fsi
+        header so a later (counted) ``free`` works unchanged.
+        """
+        class_words = self.ladder.size_of(fsi)
+        if requested_words is None:
+            requested_words = class_words
+        if requested_words > class_words:
+            raise FrameSizeError(
+                f"request of {requested_words} words exceeds class {fsi} "
+                f"size {class_words}"
+            )
+        block_words = class_words + FRAME_OVERHEAD_WORDS
+        if self._bump + block_words > self.arena_limit:
+            raise HeapExhausted(
+                f"frame arena exhausted carving class {fsi} for adoption"
+            )
+        base = self._bump
+        self._bump += block_words
+        if self._bump % 2 == 0:  # keep the next block's pointer even
+            self._bump += 1
+        pointer = base + FRAME_OVERHEAD_WORDS
+        self.memory.poke(base, fsi)  # permanent fsi header
+        self._known.add(pointer)
+        self._live[pointer] = requested_words
+        self.stats.on_allocate(fsi, requested_words, block_words)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "alloc.carve", "avheap", pointer=pointer, fsi=fsi,
+                words=requested_words, class_words=class_words,
+            )
+        return pointer
+
     def note_requested(self, frame: int, requested_words: int) -> None:
         """Adjust a live frame's requested size, without memory traffic.
 

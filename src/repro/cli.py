@@ -723,7 +723,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_processes(args: argparse.Namespace, workload, source: str) -> int:
+def _serve_processes(
+    args: argparse.Namespace, workload, source: str, pins=None
+) -> int:
     """``serve --processes``: each shard a real OS worker process."""
     from repro.net.procserve import ProcessCluster, ProcessServer
     from repro.net.serve import SERVICE_SOURCES
@@ -732,6 +734,7 @@ def _serve_processes(args: argparse.Namespace, workload, source: str) -> int:
         list(SERVICE_SOURCES),
         shards=args.shards,
         config=args.impl,
+        pins=pins,
         self_homed=(args.route == "direct"),
     )
     try:
@@ -788,9 +791,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
             return 2
         workload = [Request.from_dict(r) for r in doc["workload"]]
         source = args.workload
+    elif args.skew:
+        from repro.net.serve import generate_skewed_workload
+
+        workload = generate_skewed_workload(args.seed, args.requests)
+        source = f"seed {args.seed} (skewed 90/10)"
     else:
         workload = generate_workload(args.seed, args.requests)
         source = f"seed {args.seed}"
+    pins = None
+    if args.pins:
+        from repro.errors import NetError
+        from repro.net.colocate import load_pins
+
+        try:
+            pins, planned_shards = load_pins(args.pins)
+        except NetError as fault:
+            print(f"serve: {fault}", file=sys.stderr)
+            return 2
+        if planned_shards and planned_shards != args.shards:
+            print(
+                f"serve: pin map {args.pins} was planned for "
+                f"{planned_shards} shard(s), serving {args.shards}",
+                file=sys.stderr,
+            )
+            return 2
     if args.processes:
         if args.engine == "jit":
             # Worker processes build their own machines from a spec that
@@ -798,25 +823,44 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print("serve: --engine jit does not combine with --processes",
                   file=sys.stderr)
             return 2
-        return _serve_processes(args, workload, source)
+        if args.autoscale:
+            print("serve: --autoscale drives the in-process pump; drop "
+                  "--processes", file=sys.stderr)
+            return 2
+        return _serve_processes(args, workload, source, pins=pins)
     transport = SocketTransport() if args.socket else None
     try:
         cluster = Cluster(
             list(SERVICE_SOURCES),
             shards=args.shards,
             config=args.impl,
+            pins=pins,
             transport=transport,
             engine=args.engine,
         )
     except JitRefusal as refusal:
         print(f"serve: jit refused: {refusal}", file=sys.stderr)
         return 2
+    balancer = None
+    pump_ticks = None
+    if args.autoscale:
+        from repro.net.balance import Balancer
+
+        balancer = Balancer(
+            high_water=args.high_water,
+            low_water=args.low_water,
+            patience=args.patience,
+            budget=args.migration_budget,
+        )
+        pump_ticks = args.pump_ticks
     metrics = MetricsRegistry()
     server = Server(
         cluster,
         queue_capacity=args.queue_capacity,
         batch_size=args.batch_size,
         metrics=metrics,
+        balancer=balancer,
+        pump_ticks_per_round=pump_ticks,
     )
     try:
         report = server.serve(workload)
@@ -830,6 +874,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"lost={report.lost} wrong={report.wrong} retried={report.retried} "
         f"backpressure_stalls={report.backpressure_stalls}"
+        + (f" migrations={report.migrations}" if args.autoscale else "")
     )
     print(
         f"latency: p50={summary['p50_ticks']} p99={summary['p99_ticks']} "
@@ -851,10 +896,144 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if report.lost == 0 and report.wrong == 0 else 1
 
 
+def cmd_migrate(args: argparse.Namespace) -> int:
+    """Live-migrate a running process between shards and prove it safe.
+
+    Runs a corpus program split across shards twice — once untouched,
+    once migrating the root process to a spare shard mid-flight — and
+    compares results and cluster-aggregate modelled meters.  Exclusive
+    mode must be bit-identical on both axes; shared mode must be
+    results-identical (meter attribution legitimately shifts).
+    """
+    import re
+
+    from repro.interp.processes import ProcessStatus
+    from repro.net.cluster import Cluster
+    from repro.net.migrate import MigrateError, aggregate_meters
+    from repro.workloads.programs import CORPUS, program
+
+    if args.program not in CORPUS:
+        print(f"migrate: unknown corpus program {args.program!r} "
+              f"(known: {', '.join(sorted(CORPUS))})", file=sys.stderr)
+        return 2
+    prog = program(args.program)
+    modules: list[str] = []
+    for source in prog.sources:
+        modules.extend(re.findall(r"MODULE\s+(\w+)\s*;", source))
+    entry_module = prog.entry[0]
+    # The split that makes the demo interesting: the entry module alone
+    # on shard 0, everything else on shard 1, shard 2 spare to adopt.
+    pins = {m: (0 if m == entry_module else 1) for m in modules}
+    shards = max(3, args.to + 1)
+    if args.to == 0:
+        print("migrate: --to 0 is the root's own home; pick another shard",
+              file=sys.stderr)
+        return 2
+
+    def build() -> Cluster:
+        return Cluster(
+            list(prog.sources), shards=shards, config=args.impl, pins=pins
+        )
+
+    reference = build()
+    ref_ticket = reference.submit(prog.entry[0], prog.entry[1], *prog.args)
+    reference.pump()
+    ref_agg = aggregate_meters(reference.meters())
+
+    cluster = build()
+    ticket = cluster.submit(prog.entry[0], prog.entry[1], *prog.args)
+    migrated_tick = None
+    moved = True
+    while moved:
+        moved = cluster.pump_tick()
+        if (
+            migrated_tick is None
+            and cluster.ticks >= args.at
+            and ticket.process.status is ProcessStatus.BLOCKED
+        ):
+            try:
+                cluster.migrate(ticket, args.to, mode=args.mode)
+            except MigrateError as refusal:
+                print(f"migrate: refused: {refusal}", file=sys.stderr)
+                return 2
+            migrated_tick = cluster.ticks
+    if migrated_tick is None:
+        print(
+            f"migrate: {args.program} never blocked at/after tick {args.at} "
+            "— nothing to migrate (try a smaller --at)",
+            file=sys.stderr,
+        )
+        return 2
+    agg = aggregate_meters(cluster.meters())
+
+    print(
+        f"migrated {args.program} root p{ticket.process.pid} to shard "
+        f"{args.to} at tick {migrated_tick} ({args.mode} mode)"
+    )
+    ok = True
+    if ticket.status is not ProcessStatus.DONE or ticket.results != ref_ticket.results:
+        print(f"  results: {ticket.results} != reference {ref_ticket.results}")
+        ok = False
+    else:
+        print(f"  results: {ticket.results} == unmigrated reference")
+    if args.mode == "exclusive":
+        if agg == ref_agg:
+            print("  cluster-aggregate meters: bit-identical to the "
+                  "unmigrated run")
+        else:
+            print("  cluster-aggregate meters: DIVERGED from the "
+                  "unmigrated run")
+            ok = False
+    else:
+        same = "identical" if agg == ref_agg else "shifted (expected)"
+        print(f"  cluster-aggregate meters: {same} — shared mode promises "
+              "results only")
+    if args.json:
+        print(json.dumps(
+            {
+                "program": args.program,
+                "mode": args.mode,
+                "migrated_tick": migrated_tick,
+                "results": list(ticket.results),
+                "reference_results": list(ref_ticket.results),
+                "aggregate_meters": agg,
+                "reference_meters": ref_agg,
+                "ok": ok,
+            },
+            indent=2,
+        ))
+    return 0 if ok else 1
+
+
 def _net_chaos(args: argparse.Namespace) -> int:
     """``chaos --net``: the transport-fault sweep over a split cluster."""
-    from repro.net.chaos import NET_PLANS, run_net_chaos, run_net_chaos_process
+    from repro.net.chaos import (
+        MIGRATION_PLANS,
+        NET_PLANS,
+        run_net_chaos,
+        run_net_chaos_process,
+        run_net_migration_chaos,
+    )
 
+    if args.migrate:
+        if args.processes:
+            print("chaos: --migrate races the in-process pump; drop "
+                  "--processes", file=sys.stderr)
+            return 2
+        plans = tuple(args.plans) if args.plans else MIGRATION_PLANS
+        unknown = [name for name in plans if name not in MIGRATION_PLANS]
+        if unknown:
+            print(f"chaos: plans {unknown} do not combine with --migrate "
+                  f"(canned: {', '.join(MIGRATION_PLANS)})", file=sys.stderr)
+            return 2
+        report = run_net_migration_chaos(plans=plans, seeds=args.seeds)
+        print(report.summary())
+        if args.report:
+            Path(args.report).write_text(
+                json.dumps(report.to_dict(), indent=2) + "\n"
+            )
+            print(f"report written to {args.report}")
+        return 0 if report.ok else 1
     plans = tuple(args.plans) if args.plans else tuple(NET_PLANS)
     unknown = [name for name in plans if name not in NET_PLANS]
     if unknown:
@@ -881,6 +1060,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return _net_chaos(args)
     if args.processes:
         print("chaos: --processes requires --net", file=sys.stderr)
+        return 2
+    if args.migrate:
+        print("chaos: --migrate requires --net", file=sys.stderr)
         return 2
     programs = tuple(args.programs) if args.programs else DEFAULT_PROGRAMS
     unknown = [name for name in programs if name not in CORPUS]
@@ -1119,6 +1301,51 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return status
 
 
+def _optimize_placement(args: argparse.Namespace) -> int:
+    """``optimize --placement``: a recorded serving run -> a pin map.
+
+    Runs the service image under the loadgen workload with tracing on,
+    stitches the per-shard spans, and plans pins that co-locate chatty
+    caller/callee module pairs (``repro serve --pins FILE`` loads the
+    result).
+    """
+    from repro.net.colocate import plan_pins
+    from repro.net.serve import run_serve
+    from repro.net.stitch import stitch
+
+    report, cluster, _ = run_serve(
+        shards=args.shards,
+        requests=args.requests,
+        seed=args.seed,
+        config=args.impl,
+        record=True,
+    )
+    if report.lost or report.wrong:
+        print(
+            f"optimize: profiling run lost {report.lost} / answered "
+            f"{report.wrong} wrong — refusing to plan from it",
+            file=sys.stderr,
+        )
+        return 2
+    roots = stitch(cluster.trace_events())
+    plan = plan_pins(roots, args.shards)
+    text = json.dumps(plan.to_dict(), indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"pin map written to {args.out}")
+    else:
+        print(text, end="")
+    hot = plan.edges[:3]
+    for edge in hot:
+        together = plan.pins[edge["caller"]] == plan.pins[edge["callee"]]
+        state = "co-located" if together else "split"
+        print(
+            f"  {edge['caller']} -> {edge['callee']}: {edge['calls']} "
+            f"call(s), {state}"
+        )
+    return 0
+
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     """Feedback-directed image rewriting: profile + facts → a verified
     optimized image (see ``docs/fdo.md``).
@@ -1131,6 +1358,15 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.fdo import FdoRefusal, optimize, save_image
 
+    if args.placement:
+        return _optimize_placement(args)
+    if not args.files or not args.profile or not args.facts or not args.out:
+        print(
+            "optimize: image rewriting needs source files, --profile, "
+            "--facts, and --out (or use --placement for a pin map)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         sources = _read_program_sources(args.files)
         profile = json.loads(Path(args.profile).read_text())
@@ -1339,6 +1575,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --net: drive the sweep across real OS "
                             "worker processes through the front door's "
                             "fault router (outcome-class conformance)")
+    chaos.add_argument("--migrate", action="store_true",
+                       help="with --net: migrate the root request "
+                            "mid-flight in every case — the migration must "
+                            "race the plan and still recover with the "
+                            "reference results, deterministically")
     chaos.set_defaults(func=cmd_chaos)
 
     serve = sub.add_parser(
@@ -1374,11 +1615,59 @@ def build_parser() -> argparse.ArgumentParser:
                             "a round-robin worker; the scale route) or "
                             "dispatch (Main.dispatch with worker-to-worker "
                             "Remote XFER; the conformance route)")
+    serve.add_argument("--pins", metavar="PATH", default=None,
+                       help="repro-pins/1 pin map from `repro optimize "
+                            "--placement`: place modules where the plan says")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="attach the migration balancer: tick-paced "
+                            "pumping, hot shards drained onto cold ones via "
+                            "live process migration (in-process shards only)")
+    serve.add_argument("--skew", action="store_true",
+                       help="use the 90/10 hot-key workload instead of the "
+                            "uniform one (the autoscaling load shape)")
+    serve.add_argument("--pump-ticks", type=int, default=1, metavar="N",
+                       help="with --autoscale: pump ticks per admission "
+                            "round (default 1)")
+    serve.add_argument("--high-water", type=int, default=6, metavar="N",
+                       help="with --autoscale: in-flight requests above "
+                            "which a shard counts as hot (default 6)")
+    serve.add_argument("--low-water", type=int, default=2, metavar="N",
+                       help="with --autoscale: in-flight requests at/below "
+                            "which a shard may receive migrants (default 2)")
+    serve.add_argument("--patience", type=int, default=3, metavar="N",
+                       help="with --autoscale: consecutive hot observations "
+                            "before migrating (default 3)")
+    serve.add_argument("--migration-budget", type=int, default=1, metavar="N",
+                       help="with --autoscale: migrations per observation "
+                            "(default 1)")
     serve.add_argument("--json", action="store_true",
                        help="also print the full JSON report")
     serve.add_argument("--out", metavar="PATH", default=None,
                        help="write the full JSON report here")
     serve.set_defaults(func=cmd_serve)
+
+    migrate = sub.add_parser(
+        "migrate",
+        help="live-migrate a running process between shards and prove it",
+    )
+    migrate.add_argument("--program", default="mathlib", metavar="NAME",
+                         help="corpus program to run split (default mathlib)")
+    migrate.add_argument("--impl", choices=["i1", "i2", "i3", "i4"],
+                         default="i2",
+                         help="implementation preset (default i2)")
+    migrate.add_argument("--at", type=int, default=2, metavar="TICK",
+                         help="migrate at the first block boundary at/after "
+                              "this pump tick (default 2)")
+    migrate.add_argument("--to", type=int, default=2, metavar="SHARD",
+                         help="target shard (default 2, the spare)")
+    migrate.add_argument("--mode", choices=["exclusive", "shared"],
+                         default="exclusive",
+                         help="exclusive: idle target, cluster-aggregate "
+                              "meters bit-identical; shared: busy target, "
+                              "results-exact (default exclusive)")
+    migrate.add_argument("--json", action="store_true",
+                         help="also print the full JSON evidence")
+    migrate.set_defaults(func=cmd_migrate)
 
     loadgen = sub.add_parser(
         "loadgen", help="generate a seeded serving workload with known answers"
@@ -1445,7 +1734,7 @@ def build_parser() -> argparse.ArgumentParser:
         "optimize",
         help="feedback-directed image rewriting from a profile + facts",
     )
-    optimize.add_argument("files", nargs="+",
+    optimize.add_argument("files", nargs="*",
                           help="module source files (or .py files with "
                                "embedded MODULE literals, like the examples)")
     optimize.add_argument("--entry", type=_entry, default=("Main", "main"),
@@ -1455,15 +1744,31 @@ def build_parser() -> argparse.ArgumentParser:
                           default="i2",
                           help="implementation preset the rewrite targets "
                                "(must match the profile; default i2)")
-    optimize.add_argument("--profile", metavar="PATH", required=True,
+    optimize.add_argument("--profile", metavar="PATH", default=None,
                           help="repro-profile/1 document from "
-                               "`repro profile --out`")
-    optimize.add_argument("--facts", metavar="PATH", required=True,
+                               "`repro profile --out` (image rewriting)")
+    optimize.add_argument("--facts", metavar="PATH", default=None,
                           help="repro-facts/1 artifact from "
-                               "`repro analyze --out`")
-    optimize.add_argument("--out", metavar="PATH", required=True,
-                          help="optimized repro-image/1 file to write "
-                               "(run it with `repro run --image`)")
+                               "`repro analyze --out` (image rewriting)")
+    optimize.add_argument("--out", metavar="PATH", default=None,
+                          help="output file: optimized repro-image/1 "
+                               "(required for image rewriting; run it with "
+                               "`repro run --image`) or repro-pins/1 pin "
+                               "map with --placement (default stdout)")
+    optimize.add_argument("--placement", action="store_true",
+                          help="plan a placement pin map instead: run the "
+                               "service image recorded, stitch the "
+                               "cross-shard spans, and co-locate chatty "
+                               "module pairs (`repro serve --pins FILE`)")
+    optimize.add_argument("--shards", type=int, default=4, metavar="N",
+                          help="with --placement: shards to plan for "
+                               "(default 4)")
+    optimize.add_argument("--requests", type=int, default=100, metavar="N",
+                          help="with --placement: profiling workload size "
+                               "(default 100)")
+    optimize.add_argument("--seed", type=int, default=7, metavar="S",
+                          help="with --placement: profiling workload seed "
+                               "(default 7)")
     optimize.add_argument("--log", metavar="PATH", default=None,
                           help="also write the repro-fdo/1 decision log here")
     optimize.add_argument("--json", action="store_true",

@@ -113,6 +113,11 @@ class Scheduler:
         self.current: Process | None = None
         self.stats = SwitchStats()
         self._rotor = 0  # round-robin position
+        #: pids excluded from dispatch (a migration is quiescing them).
+        #: A held RUNNING process is forced out at its next step boundary
+        #: — the same boundary the JIT deoptimizes at, so the hold works
+        #: identically under ``--engine jit``.
+        self.held: set[int] = set()
 
     def spawn(self, module: str, proc: str, *args: int) -> Process:
         """Create a READY process running ``module.proc(*args)``."""
@@ -121,6 +126,17 @@ class Scheduler:
         )
         self.processes.append(process)
         return process
+
+    def hold(self, pid: int) -> None:
+        """Quiesce *pid*: skip it in dispatch, force it out at the next
+        step boundary if it is currently running.  Used by live migration
+        (:mod:`repro.net.migrate`) to pin a process's state vector into
+        its process record without waiting for it to block on its own."""
+        self.held.add(pid)
+
+    def release(self, pid: int) -> None:
+        """Lift a :meth:`hold`; the process re-enters the rotation."""
+        self.held.discard(pid)
 
     def run(self, max_steps: int | None = None) -> list[Process]:
         """Run until no process is READY; returns them with results.
@@ -186,6 +202,9 @@ class Scheduler:
                             self.stats.yields += 1
                             self._switch_out(process, reason="yield")
                         break
+                    if self.held and process.pid in self.held:
+                        self._switch_out(process, reason="hold")
+                        break
                     if self.quantum and process.steps % self.quantum == 0:
                         if self._another_ready(process):
                             self.stats.preemptions += 1
@@ -207,7 +226,7 @@ class Scheduler:
         count = len(self.processes)
         for offset in range(count):
             process = self.processes[(self._rotor + offset) % count]
-            if process.status is ProcessStatus.READY:
+            if process.status is ProcessStatus.READY and process.pid not in self.held:
                 self._rotor = (process.pid + 1) % count
                 return process
         return None

@@ -31,15 +31,26 @@ callee-side per-activation meter deltas are bit-identical to a local
 machine replaying the same activations.
 """
 
+from repro.net.balance import Balancer, BalancerStats
 from repro.net.cluster import Cluster, Ticket, build_shard_machine
+from repro.net.colocate import PINS_SCHEMA, PlacementPlan, load_pins, plan_pins
 from repro.net.ctl import CTL_SCHEMA, Control
 from repro.net.frame import FrameBuffer, encode_frame
+from repro.net.migrate import (
+    MIGRATE_SCHEMA,
+    MigrateError,
+    adopt,
+    aggregate_meters,
+    extract,
+    reattach,
+)
 from repro.net.placement import HashRing, Placement
 from repro.net.procserve import (
     FRONT_DOOR,
     ProcessCluster,
     ProcessServeReport,
     ProcessServer,
+    check_census,
     run_process_serve,
 )
 from repro.net.serve import (
@@ -47,6 +58,7 @@ from repro.net.serve import (
     Request,
     Server,
     ServeReport,
+    generate_skewed_workload,
     generate_workload,
     run_serve,
 )
@@ -61,6 +73,8 @@ from repro.net.transport import (
 from repro.net.wire import WIRE_SCHEMA, Message, decode, wire_words
 
 __all__ = [
+    "Balancer",
+    "BalancerStats",
     "CTL_SCHEMA",
     "Cluster",
     "Control",
@@ -68,9 +82,13 @@ __all__ = [
     "FrameBuffer",
     "HashRing",
     "InProcessTransport",
+    "MIGRATE_SCHEMA",
     "Message",
+    "MigrateError",
     "NetFaultPolicy",
+    "PINS_SCHEMA",
     "Placement",
+    "PlacementPlan",
     "ProcessCluster",
     "ProcessServeReport",
     "ProcessServer",
@@ -84,10 +102,18 @@ __all__ = [
     "Ticket",
     "TransportStats",
     "WIRE_SCHEMA",
+    "adopt",
+    "aggregate_meters",
     "build_shard_machine",
+    "check_census",
     "decode",
     "encode_frame",
+    "extract",
+    "generate_skewed_workload",
     "generate_workload",
+    "load_pins",
+    "plan_pins",
+    "reattach",
     "render",
     "run_process_serve",
     "run_serve",

@@ -1,0 +1,171 @@
+"""Elastic rebalancing: a policy loop that migrates load off hot shards.
+
+The mechanism lives in :mod:`repro.net.migrate` — quiesce, extract,
+adopt, forward.  This module is the **policy**: a :class:`Balancer`
+watches the signals the serving layer already publishes into a
+:class:`~repro.obs.metrics.MetricsRegistry` — per-shard in-flight root
+requests (``net.shard_inflight.<id>`` gauges) and the end-to-end
+``net.latency_ticks`` histogram — and, when one shard runs persistently
+hotter than another, moves BLOCKED root processes from the hot shard to
+the coldest one.
+
+Three disciplines keep the loop from thrashing:
+
+* **hysteresis** — a shard is *hot* only above ``high_water`` in-flight
+  requests, and only a shard at or below ``low_water`` may receive
+  work, so migrations stop long before the pair could oscillate;
+* **patience** — a shard must stay hot for ``patience`` consecutive
+  observations before the balancer acts, so a one-round spike (a batch
+  admission landing all at once) never triggers a move;
+* **budget** — at most ``budget`` migrations per observation, so the
+  balancer's own work is bounded and interleaves with real progress.
+
+Migration here uses **shared** mode by default (the target keeps its
+own processes; see :func:`repro.net.migrate.extract`), which preserves
+results exactly but not per-shard meter attribution — the right trade
+for elasticity.  A preset without an AV heap (i1) refuses shared
+adoption; the balancer treats a refusal as "skip this candidate", never
+as an error, so ``--autoscale`` is safe on every preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetError
+from repro.interp.processes import ProcessStatus
+from repro.net.cluster import Cluster, Ticket
+from repro.net.migrate import MigrateError
+from repro.obs import MetricsRegistry
+
+
+@dataclass
+class BalancerStats:
+    """What the policy loop did — surfaced in the serve report."""
+
+    observations: int = 0
+    migrations: int = 0
+    refusals: int = 0
+    decisions: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "observations": self.observations,
+            "migrations": self.migrations,
+            "refusals": self.refusals,
+        }
+
+
+class Balancer:
+    """Hysteresis-bounded hot-shard drain over live migration.
+
+    Call :meth:`observe` between pump ticks (the cluster is quiescent at
+    a block boundary there — the only place migration is legal) with the
+    root tickets still in flight.  The balancer publishes the per-shard
+    in-flight gauges, updates its heat bookkeeping, and performs at most
+    ``budget`` migrations.
+    """
+
+    def __init__(
+        self,
+        high_water: int = 6,
+        low_water: int = 2,
+        patience: int = 3,
+        budget: int = 1,
+        mode: str = "shared",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if high_water <= low_water:
+            raise NetError(
+                f"high_water ({high_water}) must exceed low_water ({low_water})"
+            )
+        if patience < 1:
+            raise NetError(f"patience must be >= 1, got {patience}")
+        if budget < 1:
+            raise NetError(f"budget must be >= 1, got {budget}")
+        self.high_water = high_water
+        self.low_water = low_water
+        self.patience = patience
+        self.budget = budget
+        self.mode = mode
+        self.metrics = metrics or MetricsRegistry()
+        self.stats = BalancerStats()
+        self._heat: dict[int, int] = {}
+
+    # -- signals -----------------------------------------------------------
+
+    def inflight(self, cluster: Cluster, tickets: list[Ticket]) -> dict[int, int]:
+        """Live root requests per shard, published as gauges."""
+        counts = {shard.id: 0 for shard in cluster.shards}
+        for ticket in tickets:
+            if not ticket.done:
+                counts[ticket.shard_id] += 1
+        for shard_id, count in counts.items():
+            self.metrics.gauge(f"net.shard_inflight.{shard_id}").set(count)
+        return counts
+
+    # -- the policy --------------------------------------------------------
+
+    def _movable(self, cluster: Cluster, ticket: Ticket) -> bool:
+        """A candidate must sit quiesced at a block boundary: BLOCKED on
+        a remote reply, still in its shard's process table."""
+        process = ticket.process
+        return (
+            not ticket.done
+            and process.status is ProcessStatus.BLOCKED
+            and process in cluster.shards[ticket.shard_id].scheduler.processes
+        )
+
+    def observe(self, cluster: Cluster, tickets: list[Ticket]) -> int:
+        """One policy round; returns how many migrations were performed."""
+        self.stats.observations += 1
+        counts = self.inflight(cluster, tickets)
+
+        # Heat bookkeeping: consecutive observations above high water.
+        for shard_id, count in counts.items():
+            if count > self.high_water:
+                self._heat[shard_id] = self._heat.get(shard_id, 0) + 1
+            else:
+                self._heat[shard_id] = 0
+
+        hot = [s for s, rounds in self._heat.items() if rounds >= self.patience]
+        if not hot:
+            return 0
+        # Hottest first; drain into the coldest shard at/below low water.
+        hot.sort(key=lambda s: (-counts[s], s))
+        moved = 0
+        for source in hot:
+            if moved >= self.budget:
+                break
+            cold = [
+                s for s, count in counts.items()
+                if s != source and count <= self.low_water
+            ]
+            if not cold:
+                break
+            cold.sort(key=lambda s: (counts[s], s))
+            target = cold[0]
+            for ticket in tickets:
+                if moved >= self.budget:
+                    break
+                if ticket.shard_id != source or not self._movable(cluster, ticket):
+                    continue
+                try:
+                    cluster.migrate(ticket, target, mode=self.mode)
+                except MigrateError:
+                    # e.g. i1 has no AV heap for shared adoption, or a
+                    # frame is flagged; this candidate stays put.
+                    self.stats.refusals += 1
+                    continue
+                moved += 1
+                counts[source] -= 1
+                counts[target] += 1
+                self.metrics.counter("net.migrations").inc()
+                self.stats.decisions.append(
+                    {"from": source, "to": target, "span": ticket.span}
+                )
+                if counts[source] <= self.high_water:
+                    self._heat[source] = 0
+                    break
+        self.stats.migrations += moved
+        return moved

@@ -338,6 +338,127 @@ def run_net_chaos_process(
     return report
 
 
+#: Plans the migration sweep races against: a partition that heals and
+#: a duplicate+delay plan — the two shapes that interact with the
+#: forwarding tombstones (a delayed or duplicated reply must chase the
+#: process to its new home; a retransmission must bounce off the
+#: source's call forward without executing twice).  ``net_blackhole``
+#: is excluded by design: it ends in a clean trap, which is orthogonal
+#: to migration.
+MIGRATION_PLANS = ("net_partition", "net_dup_delay")
+
+#: Shards in a migration case: the split pair plus a spare to adopt.
+MIGRATION_SHARDS = 3
+
+
+def run_net_migration_case(
+    preset: str, plan: FaultPlan, migrate_at: int
+) -> NetOutcome:
+    """One chaos run that migrates the root request mid-flight.
+
+    The split case program runs under *plan* on a three-shard cluster;
+    at the first pump tick >= *migrate_at* where the root sits BLOCKED
+    on its remote reply, it is migrated (exclusive mode, so the sweep
+    is uniform across I1-I4) to the spare shard 2.  The migration races
+    whatever the plan is doing to the wire — the case must still end
+    RECOVERED with the reference results, and two runs of the same
+    (preset, plan, migrate_at) must meter identically.
+    """
+    from repro.net.migrate import MigrateError
+
+    prog = program(CASE_PROGRAM)
+    policy = NetFaultPolicy(plan)
+    cluster = Cluster(
+        list(prog.sources),
+        shards=MIGRATION_SHARDS,
+        config=preset,
+        pins=CASE_PINS,
+        transport=InProcessTransport(policy=policy),
+    )
+    ticket = cluster.submit(prog.entry[0], prog.entry[1], *prog.args)
+    migrated = False
+    moved = True
+    while moved:
+        moved = cluster.pump_tick()
+        if (
+            not migrated
+            and cluster.ticks >= migrate_at
+            and ticket.process.status is ProcessStatus.BLOCKED
+        ):
+            try:
+                cluster.migrate(ticket, MIGRATION_SHARDS - 1, mode="exclusive")
+            except MigrateError:
+                # The spare was not idle at this tick (a duplicated call
+                # can be executing there); try again at the next one.
+                continue
+            migrated = True
+    cluster.stats.ticks = cluster.ticks
+    outcome = NetOutcome(
+        klass="recovered",
+        ticks=cluster.ticks,
+        injections_fired=len(policy.fired),
+        wire=cluster.transport.stats.as_dict(),
+        meters=cluster.meters(),
+    )
+    if ticket.status is ProcessStatus.DONE:
+        outcome.results = ticket.results
+    elif ticket.status is ProcessStatus.FAULTED:
+        fault = ticket.process.fault or {}
+        outcome.klass = "trapped"
+        outcome.trap = fault.get("trap", "")
+        outcome.detail = fault.get("detail", "")
+    else:
+        raise NetError(
+            f"migration case ended with ticket status {ticket.status}"
+        )
+    outcome.wire["migrated"] = migrated
+    return outcome
+
+
+def run_net_migration_chaos(
+    plans: tuple[str, ...] = MIGRATION_PLANS,
+    seeds: int | tuple[int, ...] = 3,
+    presets: tuple[str, ...] = ALL_PRESETS,
+) -> NetChaosReport:
+    """The migration-under-chaos sweep: every case migrates the root
+    mid-flight at a seeded tick and must still recover with the
+    reference results, deterministically (meters match on a re-run)."""
+    seed_list = tuple(range(seeds)) if isinstance(seeds, int) else tuple(seeds)
+    prog = program(CASE_PROGRAM)
+    reference = list(prog.expect_results)
+    report = NetChaosReport()
+    for plan_name in plans:
+        for seed in seed_list:
+            plan = make_net_plan(plan_name, seed)
+            migrate_at = random.Random(f"migrate:{plan_name}:{seed}").randrange(1, 7)
+            outcomes: dict[str, NetOutcome] = {}
+            failures: list[str] = []
+            for preset in presets:
+                outcome = run_net_migration_case(preset, plan, migrate_at)
+                rerun = run_net_migration_case(preset, plan, migrate_at)
+                if rerun.meters != outcome.meters:
+                    failures.append(
+                        f"{preset}: per-shard meters differ between two "
+                        f"seeded runs of the same migrated plan"
+                    )
+                outcomes[preset] = outcome
+                if outcome.klass != "recovered":
+                    failures.append(
+                        f"{preset}: migration case must recover, got "
+                        f"{outcome.klass} ({outcome.trap}: {outcome.detail})"
+                    )
+                failures.extend(_check_outcome(preset, outcome, reference))
+            report.cases.append(
+                NetCaseResult(
+                    plan=plan.to_dict(),
+                    seed=seed,
+                    outcomes=outcomes,
+                    failures=failures,
+                )
+            )
+    return report
+
+
 def run_net_chaos(
     plans: tuple[str, ...] = tuple(NET_PLANS),
     seeds: int | tuple[int, ...] = 3,

@@ -153,6 +153,10 @@ class Cluster:
         self.tickets: list[Ticket] = []
         self.ticks = 0
         self.stats = ClusterStats()
+        #: Pending tombstone retirements: one record per migration with
+        #: an outstanding request, dropped once the reply lands at (or
+        #: the retry discipline resolves on) the new home.
+        self._migrations: list[dict] = []
         self._handshake()
 
     def close(self) -> None:
@@ -211,6 +215,48 @@ class Cluster:
 
     # -- the pump ----------------------------------------------------------
 
+    def pump_tick(self) -> bool:
+        """One deterministic pump tick; False means the cluster is
+        quiescent (nothing ran, nothing in flight, nobody awaiting).
+
+        This is exactly one iteration of :meth:`pump`'s loop — the
+        serving layer's tick-paced mode and the balancer drive it
+        directly so they can interleave policy (and migrations) between
+        ticks.  When every shard is stalled awaiting replies, the tick
+        ages the timeout/retry discipline and reports True: the pump
+        must keep ticking for retries to fire.
+        """
+        progress = False
+        for shard in self.shards:
+            messages = self.transport.poll(shard.id)
+            if messages:
+                shard.deliver(messages)
+                progress = True
+            if shard.step(self.ticks):
+                progress = True
+            outgoing = shard.drain_outbox()
+            for message in outgoing:
+                self.transport.send(message)
+            if outgoing:
+                progress = True
+        self.transport.tick()
+        self.ticks += 1
+        self._mark_completions()
+        self._retire_tombstones()
+        if progress or self.transport.pending():
+            return True
+        if any(shard.has_ready() for shard in self.shards):
+            return True
+        if not any(shard.awaiting for shard in self.shards):
+            return False
+        # Stalled on replies: age the timeouts; retries re-enter the
+        # transport through the ordinary outbox path.
+        for shard in self.shards:
+            if shard.retry(self.ticks, self.timeout_ticks, self.max_retries):
+                for message in shard.drain_outbox():
+                    self.transport.send(message)
+        return True
+
     def pump(self, max_ticks: int = 100_000) -> int:
         """Drive the shards until quiescent; returns ticks consumed.
 
@@ -221,42 +267,100 @@ class Cluster:
         """
         start = self.ticks
         while True:
-            progress = False
-            for shard in self.shards:
-                messages = self.transport.poll(shard.id)
-                if messages:
-                    shard.deliver(messages)
-                    progress = True
-                if shard.step(self.ticks):
-                    progress = True
-                outgoing = shard.drain_outbox()
-                for message in outgoing:
-                    self.transport.send(message)
-                if outgoing:
-                    progress = True
-            self.transport.tick()
-            self.ticks += 1
+            moved = self.pump_tick()
             if self.ticks - start > max_ticks:
                 raise NetError(
                     f"cluster did not quiesce within {max_ticks} ticks "
                     f"({sum(s.awaiting for s in self.shards)} request(s) "
                     "outstanding)"
                 )
-            self._mark_completions()
-            if progress or self.transport.pending():
-                continue
-            if any(shard.has_ready() for shard in self.shards):
-                continue
-            if not any(shard.awaiting for shard in self.shards):
+            if not moved:
                 break
-            # Stalled on replies: age the timeouts; retries re-enter the
-            # transport through the ordinary outbox path.
-            for shard in self.shards:
-                if shard.retry(self.ticks, self.timeout_ticks, self.max_retries):
-                    for message in shard.drain_outbox():
-                        self.transport.send(message)
         self.stats.ticks = self.ticks
         return self.ticks - start
+
+    # -- migration ---------------------------------------------------------
+
+    def migrate(self, ticket: Ticket, dst: int, mode: str = "exclusive") -> Process:
+        """Move a ticket's process to shard *dst* between pump ticks.
+
+        Quiesces nothing itself: call between ticks (``pump_tick``
+        returns, or before the first ``pump``), when every live process
+        sits at a block boundary.  To migrate a process that would
+        otherwise run to completion inside one tick, ``hold`` its pid on
+        the source scheduler before pumping, migrate, then the adoption
+        resumes it on the target.  Updates the ticket in place so
+        completion tracking follows the process to its new home.
+        """
+        from repro.net.migrate import (
+            MigrateError,
+            adopt,
+            adopted_key,
+            extract,
+            reattach,
+            source_key,
+        )
+
+        if not 0 <= dst < len(self.shards):
+            raise MigrateError(f"unknown migration target shard {dst}")
+        source = self.shards[ticket.shard_id]
+        target = self.shards[dst]
+        process = ticket.process
+        if process not in source.scheduler.processes:
+            raise MigrateError(
+                f"p{process.pid} is not on shard {source.id} (already "
+                "migrated?)"
+            )
+        slice_ = extract(source, process, dst, mode=mode)
+        try:
+            adopted = adopt(target, slice_, now=self.ticks)
+        except MigrateError:
+            # The process never left: restore the source's net
+            # bookkeeping and tombstones so the refusal is invisible.
+            reattach(source, process, slice_, now=self.ticks)
+            raise
+        source.scheduler.release(process.pid)
+        source.remove_process(process)
+        ticket.process = adopted
+        ticket.shard_id = dst
+        awaiting = slice_["net"].get("awaiting")
+        if awaiting is not None:
+            key = adopted_key(awaiting)
+            # A chained migration moves the awaiting entry again: every
+            # earlier tombstone for this request now resolves at the
+            # *new* home, so retarget the watch before adding this hop.
+            for record in self._migrations:
+                if record["key"] == key:
+                    record["target"] = dst
+            self._migrations.append(
+                {
+                    "source": source.id,
+                    "target": dst,
+                    "key": key,
+                    "source_key": source_key(awaiting),
+                }
+            )
+        return adopted
+
+    def _retire_tombstones(self) -> None:
+        """Drop reply forwards whose reply has landed at the new home.
+
+        The adopter's ``_awaiting`` entry disappears when the forwarded
+        reply (or error, or the retry discipline's own fault) resolves
+        it — from then on the old home's tombstone can serve no one.
+        Call forwards are deliberately never retired: a late transport
+        duplicate must never find a shard willing to execute the
+        request a second time.
+        """
+        if not self._migrations:
+            return
+        still_pending = []
+        for record in self._migrations:
+            if record["key"] in self.shards[record["target"]]._awaiting:
+                still_pending.append(record)
+            else:
+                self.shards[record["source"]].retire_forward(record["source_key"])
+        self._migrations = still_pending
 
     def _mark_completions(self) -> None:
         for ticket in self.tickets:

@@ -18,6 +18,13 @@ A control record is one framed JSON document ``{"schema":
 ``snapshot``     -> ``snapshot_reply`` with a ``repro-snapshot/2`` doc
 ``restore``      -> ``restore_reply`` after restoring such a doc
 ``status``       -> ``status_reply`` with the process table
+``extract``      -> ``extract_reply`` with a ``repro-migrate/1`` slice
+                 (the worker detaches the process; on refusal the
+                 reply's ``slice`` is null and ``error`` says why)
+``adopt``        -> ``adopt_reply`` with the adopted pid (or null +
+                 ``error`` on refusal)
+``repin``        -> ``repin_reply``; the worker installs the new pin
+                 map and the epoch that fences it
 ``shutdown``     -> ``shutdown_reply``; the worker then exits cleanly
 ``worker_error`` (unsolicited) the worker's dying diagnostic
 ===============  ============================================
@@ -45,6 +52,12 @@ _REQUIRED_BODY: dict[str, tuple[str, ...]] = {
     "restore_reply": (),
     "status": (),
     "status_reply": ("processes",),
+    "extract": ("pid", "dst", "mode"),
+    "extract_reply": ("slice",),
+    "adopt": ("slice",),
+    "adopt_reply": ("pid",),
+    "repin": ("pins", "epoch"),
+    "repin_reply": ("epoch",),
     "shutdown": (),
     "shutdown_reply": (),
     "worker_error": ("error",),

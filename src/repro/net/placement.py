@@ -53,7 +53,15 @@ class HashRing:
 
 
 class Placement:
-    """Where each module executes: pins first, the ring otherwise."""
+    """Where each module executes: pins first, the ring otherwise.
+
+    A placement carries an **epoch**: a version number bumped by every
+    :meth:`repin`.  Routing is only coherent while every participant
+    uses the same pins, so the epoch travels in the process-mode hello
+    and any later repin must be pushed to every worker explicitly —
+    see :meth:`repro.net.procserve.ProcessCluster.repin`.  Mutating
+    ``pins`` behind the epoch's back is the bug this exists to catch.
+    """
 
     def __init__(
         self,
@@ -63,12 +71,30 @@ class Placement:
     ) -> None:
         self.ring = HashRing(shard_ids, vnodes)
         self.pins = dict(pins or {})
+        self.epoch = 0
         known = set(self.ring.shard_ids)
         for module, shard_id in self.pins.items():
             if shard_id not in known:
                 raise RouteError(
                     f"module {module!r} pinned to unknown shard {shard_id}"
                 )
+
+    def repin(self, pins: dict[str, int]) -> int:
+        """Replace the pin map and bump the epoch; returns the new epoch.
+
+        Validation matches the constructor: every pin must name a known
+        shard.  The caller owns propagation — in process mode that means
+        a ``repin`` control round to every worker, fenced by the epoch.
+        """
+        known = set(self.ring.shard_ids)
+        for module, shard_id in pins.items():
+            if shard_id not in known:
+                raise RouteError(
+                    f"module {module!r} pinned to unknown shard {shard_id}"
+                )
+        self.pins = dict(pins)
+        self.epoch += 1
+        return self.epoch
 
     def home(self, module: str) -> int:
         """The shard on which *module*'s procedures execute."""

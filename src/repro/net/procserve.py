@@ -78,6 +78,7 @@ __all__ = [
     "ProcessCluster",
     "ProcessServeReport",
     "ProcessServer",
+    "check_census",
     "run_process_serve",
 ]
 
@@ -88,6 +89,44 @@ STARTUP_TIMEOUT = 120.0
 #: ``net_partition`` details are stated in ticks, and process mode turns
 #: them into timers at this exchange rate.
 DEFAULT_TICK_SECONDS = 0.05
+
+
+def check_census(
+    hellos: dict[int, wire.Message], placement_epoch: int
+) -> None:
+    """The handshake cross-check, centralized and testable.
+
+    Every worker must present the same configuration token, the same
+    module census, and — new with live repinning — the **placement
+    epoch** the front door holds.  A worker forked before a repin (or
+    one whose spec was built from a stale pin map) would route calls by
+    a different table than its peers; before the epoch travelled in the
+    hello, that drift was silently ignored and requests landed on the
+    wrong shard.  Now it fails the handshake loudly.
+    """
+    reference = hellos[min(hellos)].body
+    for shard_id, hello in hellos.items():
+        body = hello.body
+        if body["config"] != reference["config"]:
+            raise NetError(
+                f"worker {shard_id} handshake failed: configuration "
+                "token mismatch — Remote XFER requires identical "
+                "machine configurations"
+            )
+        if body["modules"] != reference["modules"]:
+            raise NetError(
+                f"worker {shard_id} handshake failed: module census "
+                "differs — shards must link the same image"
+            )
+        epoch = body.get("epoch", 0)
+        if epoch != placement_epoch:
+            raise NetError(
+                f"worker {shard_id} handshake failed: placement epoch "
+                f"{epoch} != front door epoch {placement_epoch} — the "
+                "pin map changed after the worker spec was built; "
+                "propagate pins with ProcessCluster.repin, never by "
+                "mutating Placement.pins directly"
+            )
 
 
 class _WorkerHandle:
@@ -195,6 +234,7 @@ class ProcessCluster:
             "timeout_s": timeout_s,
             "max_retries": max_retries,
             "self_homed": self_homed,
+            "placement_epoch": self.placement.epoch,
         }
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
@@ -348,23 +388,16 @@ class ProcessCluster:
         self._handles[shard_id] = _WorkerHandle(shard_id, writer, message)
         if len(self._handles) == self.shards and not self._ready.done():
             # The in-process handshake, centralized: every worker must
-            # present the same configuration token and module census.
-            reference = self._handles[min(self._handles)].hello.body
-            for handle in self._handles.values():
-                body = handle.hello.body
-                if body["config"] != reference["config"]:
-                    self._ready.set_exception(NetError(
-                        f"worker {handle.id} handshake failed: configuration "
-                        "token mismatch — Remote XFER requires identical "
-                        "machine configurations"
-                    ))
-                    return shard_id
-                if body["modules"] != reference["modules"]:
-                    self._ready.set_exception(NetError(
-                        f"worker {handle.id} handshake failed: module census "
-                        "differs — shards must link the same image"
-                    ))
-                    return shard_id
+            # present the same configuration token, module census, and
+            # placement epoch (see check_census).
+            try:
+                check_census(
+                    {h.id: h.hello for h in self._handles.values()},
+                    self.placement.epoch,
+                )
+            except NetError as fault:
+                self._ready.set_exception(fault)
+                return shard_id
             self._ready.set_result(None)
         return shard_id
 
@@ -597,6 +630,98 @@ class ProcessCluster:
     def status(self, shard: int) -> list[dict]:
         """One worker's process table (pid, status, results, fault)."""
         return self._run(self._control(shard, "status")).body["processes"]
+
+    # -- migration and repinning -------------------------------------------
+
+    def extract(self, shard: int, pid: int, dst: int, mode: str = "exclusive") -> dict:
+        """Slice process *pid* out of worker *shard* for adoption on *dst*.
+
+        Returns the ``repro-migrate/1`` slice; raises
+        :class:`~repro.errors.NetError` if the worker refused (the
+        process completed while the request was in flight, the mode
+        does not fit the preset, ...) — the worker itself survives a
+        refusal untouched.
+        """
+        body = self._run(
+            self._control(shard, "extract", {"pid": pid, "dst": dst, "mode": mode})
+        ).body
+        if body["slice"] is None:
+            raise NetError(
+                f"worker {shard} refused extract of p{pid}: "
+                f"{body.get('error', 'unspecified')}"
+            )
+        return body["slice"]
+
+    def adopt(self, shard: int, slice_: dict) -> int:
+        """Install a migration slice on worker *shard*; returns the pid."""
+        body = self._run(self._control(shard, "adopt", {"slice": slice_})).body
+        if body["pid"] is None:
+            raise NetError(
+                f"worker {shard} refused adoption: "
+                f"{body.get('error', 'unspecified')}"
+            )
+        return body["pid"]
+
+    def migrate(self, src: int, pid: int, dst: int, mode: str = "exclusive") -> int:
+        """Move process *pid* from worker *src* to worker *dst*.
+
+        The ``repro-ctl/1`` verb pair end to end: extract on the source
+        (which installs the source-side forwards, so the outstanding
+        reply and any in-flight duplicates chase the process), adopt on
+        the target, return the adopted pid.  Worker-mode forwards are
+        kept for the life of the source worker — with real sockets
+        there is no quiescent instant in which a coordinator could
+        prove no duplicate is still in flight, so the tombstones stay.
+        """
+        slice_ = self.extract(src, pid, dst, mode=mode)
+        try:
+            return self.adopt(dst, slice_)
+        except NetError as refusal:
+            # The source already dropped the process; adopt the slice
+            # back home so a refused migration strands nothing.  The
+            # source still holds its own reply forward — adoption
+            # retires it and re-keys the outstanding request, so the
+            # un-forwarded reply resolves normally.
+            try:
+                self.adopt(src, slice_)
+            except NetError as stranded:
+                raise NetError(
+                    f"migration of p{pid} refused ({refusal}) and the "
+                    f"rollback adoption also refused ({stranded}); the "
+                    "process is stranded"
+                ) from refusal
+            raise NetError(
+                f"migration of p{pid} to shard {dst} refused "
+                f"({refusal}); the process was adopted back onto shard "
+                f"{src}"
+            ) from refusal
+
+    def repin(self, pins: dict[str, int]) -> int:
+        """Replace the pin map everywhere, fenced by the placement epoch.
+
+        Bumps the front door's epoch, pushes the (pins, epoch) pair to
+        every live worker, and verifies each acknowledged the same
+        epoch.  Routing of requests submitted after ``repin`` returns
+        follows the new table on every participant.
+        """
+        epoch = self.placement.repin(pins)
+        body = {"pins": dict(pins), "epoch": epoch}
+
+        async def push() -> list[ctl.Control]:
+            return await asyncio.gather(
+                *[
+                    self._control(shard, "repin", dict(body))
+                    for shard in sorted(self._handles)
+                ]
+            )
+
+        for reply in self._run(push()):
+            if reply.body["epoch"] != epoch:
+                raise NetError(
+                    f"worker {reply.shard} acknowledged epoch "
+                    f"{reply.body['epoch']}, expected {epoch}"
+                )
+        return epoch
 
 
 # ---------------------------------------------------------------------------

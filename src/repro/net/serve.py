@@ -171,6 +171,42 @@ def generate_workload(seed: int, requests: int) -> list[Request]:
     return workload
 
 
+def generate_skewed_workload(
+    seed: int, requests: int, hot_fraction: float = 0.9
+) -> list[Request]:
+    """A hot-key workload: ``hot_fraction`` of the requests are ``Fib``
+    calls (op 0), the rest spread over the other operations.
+
+    This is the autoscaling benchmark's load shape — with ``Main``
+    pinned to one shard, the dispatcher's home runs persistently hot
+    while its peers idle, which is exactly the imbalance the
+    :class:`~repro.net.balance.Balancer` exists to drain.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise NetError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    rng = random.Random(seed)
+    workload: list[Request] = []
+    for index in range(requests):
+        if rng.random() < hot_fraction:
+            op = 0
+        else:
+            op = rng.randrange(1, 4)
+        if op == 0:
+            a, b = rng.randrange(6, 13), 0
+            expected = _fib(a)
+        elif op == 1:
+            a, b = rng.randrange(1, 40), 0
+            expected = a * (a + 1) // 2
+        elif op == 2:
+            a, b = rng.randrange(1, 500), rng.randrange(1, 500)
+            expected = _gcd(a, b)
+        else:
+            a, b = rng.randrange(2, 6), rng.randrange(0, 7)
+            expected = a**b
+        workload.append(Request(index=index, op=op, a=a, b=b, expected=expected))
+    return workload
+
+
 @dataclass
 class ServeReport:
     """What a serving run did — the acceptance evidence."""
@@ -182,6 +218,7 @@ class ServeReport:
     wrong: int = 0
     retried: int = 0
     backpressure_stalls: int = 0
+    migrations: int = 0
     ticks: int = 0
     wire_words: int = 0
     latencies: list[int] = field(default_factory=list)
@@ -203,6 +240,7 @@ class ServeReport:
             "wrong": self.wrong,
             "retried": self.retried,
             "backpressure_stalls": self.backpressure_stalls,
+            "migrations": self.migrations,
             "ticks": self.ticks,
             "wire_words": self.wire_words,
             "p50_ticks": self.percentile(0.50),
@@ -214,7 +252,19 @@ class ServeReport:
 
 
 class Server:
-    """Admission control over a cluster: batching, backpressure, retry."""
+    """Admission control over a cluster: batching, backpressure, retry.
+
+    Two pumping disciplines.  With ``pump_ticks_per_round=None`` (the
+    default, and the historical behavior) every round runs the cluster
+    to quiescence, so each admitted batch completes before the next is
+    considered.  With an integer, each round advances the cluster by at
+    most that many pump **ticks**, so requests stay in flight across
+    rounds — the mode autoscaling needs, because a
+    :class:`~repro.net.balance.Balancer` can only drain a shard whose
+    queue is actually deep between ticks.  When a balancer is attached
+    it observes the cluster after every round's pumping (a block
+    boundary, where migration is legal).
+    """
 
     def __init__(
         self,
@@ -224,17 +274,29 @@ class Server:
         max_retries: int = 2,
         backoff_base: int = 2,
         metrics: MetricsRegistry | None = None,
+        balancer=None,
+        pump_ticks_per_round: int | None = None,
     ) -> None:
         if queue_capacity < 1:
             raise NetError(f"queue_capacity must be >= 1, got {queue_capacity}")
         if batch_size < 1:
             raise NetError(f"batch_size must be >= 1, got {batch_size}")
+        if pump_ticks_per_round is not None and pump_ticks_per_round < 1:
+            raise NetError(
+                f"pump_ticks_per_round must be >= 1, got {pump_ticks_per_round}"
+            )
         self.cluster = cluster
         self.queue_capacity = queue_capacity
         self.batch_size = batch_size
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.metrics = metrics or MetricsRegistry()
+        self.balancer = balancer
+        self.pump_ticks_per_round = pump_ticks_per_round
+        if balancer is not None:
+            # One registry end to end: the balancer reads the latency
+            # histogram and publishes its gauges where the report looks.
+            balancer.metrics = self.metrics
 
     # -- internals ---------------------------------------------------------
 
@@ -312,7 +374,21 @@ class Server:
             waiting = still_waiting
             depth_gauge.set(len(waiting))
 
-            cluster.pump()
+            if self.pump_ticks_per_round is None:
+                cluster.pump()
+            else:
+                for _ in range(self.pump_ticks_per_round):
+                    if not cluster.pump_tick():
+                        break
+                cluster.stats.ticks = cluster.ticks
+
+            if self.balancer is not None:
+                live = [
+                    entry["ticket"]
+                    for entry in tracked
+                    if entry["ticket"] is not None and not entry.get("settled")
+                ]
+                report.migrations += self.balancer.observe(cluster, live)
 
             # Harvest completions; faulted requests go back to the queue
             # with exponential backoff until their retries run out.

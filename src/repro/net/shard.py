@@ -62,6 +62,16 @@ class Shard:
         self._served: dict[tuple[int, int], Process] = {}
         #: (src shard, request id) -> the reply already sent (dedup).
         self._reply_cache: dict[tuple[int, int], Message] = {}
+        #: Tombstones for callers that migrated away: awaiting-key ->
+        #: new home shard.  A reply/error landing here is re-routed (with
+        #: an ``origin`` body field naming the original requester) and
+        #: the entry retired once the coordinator sees the reply land.
+        self._forwards: dict = {}
+        #: (src shard, request id) -> new home for in-flight requests
+        #: whose *serving* process migrated away.  Placement still routes
+        #: retries of those requests here, so the old home must bounce
+        #: them — src preserved, keeping the adopter's dedup key intact.
+        self._call_forwards: dict[tuple[int, int], int] = {}
         #: pid -> the span this process is executing (for span parents).
         self._spans: dict[int, str] = {}
         self._next_request = 0
@@ -86,6 +96,17 @@ class Shard:
         if self.placement.home(meta.module) == self.id:
             return False
         machine = self.machine
+        frame = machine.frame
+        if frame is not None and frame.proc.module == meta.module:
+            # A migrated process executing away from its module's
+            # placement home: its intra-module calls stay local.  The
+            # code is linked on every shard, and bouncing a module's
+            # internal calls over the wire would break the meter
+            # identity migration promises (and route the call straight
+            # back to the shard the process just left).  Never taken
+            # without a migration: otherwise the running frame's module
+            # is homed here, and the first check already answered.
+            return False
         current = self.scheduler.current
         if current is None:
             raise NetError(
@@ -183,6 +204,19 @@ class Shard:
             return
         if key in self._served:
             return  # duplicate of a request still executing
+        new_home = self._call_forwards.get(key)
+        if new_home is not None:
+            # The serving process migrated away mid-request; bounce the
+            # (retried or duplicated) call to its new home with the
+            # source preserved, so the adopter's dedup key — the
+            # original (src, id) — still matches.  These forwards are
+            # permanent: a late transport duplicate must never find a
+            # shard willing to execute the request a second time.
+            self.outbox.append(
+                Message(kind="call", src=message.src, dst=new_home, body=dict(body))
+            )
+            self._emit_forward(message, new_home)
+            return
         process = self.scheduler.spawn(body["module"], body["proc"], *body["args"])
         self._served[key] = process
         self._spans[process.pid] = body["span"]
@@ -198,17 +232,62 @@ class Shard:
                 origin=message.src,
             )
 
+    @staticmethod
+    def awaiting_key(body: dict):
+        """The ``_awaiting`` key a reply or error resolves to.
+
+        Requests this shard sent itself key by their bare integer id; a
+        request *adopted* through migration keys by ``("adopt", origin,
+        id)``, where *origin* is the shard that originally sent it — the
+        forwarded message carries that origin in its body, so adopted
+        ids can never collide with the adopter's own request counter.
+        """
+        origin = body.get("origin")
+        if origin is None:
+            return body["id"]
+        return ("adopt", origin, body["id"])
+
+    def _forward_reply(self, message: Message, key) -> bool:
+        """Re-route a reply/error whose blocked caller migrated away."""
+        new_home = self._forwards.get(key)
+        if new_home is None:
+            return False
+        body = dict(message.body)
+        # First hop stamps the origin (this shard sent the original
+        # request); later hops preserve it — the adopter keyed on it.
+        body.setdefault("origin", self.id)
+        self.outbox.append(
+            Message(kind=message.kind, src=message.src, dst=new_home, body=body)
+        )
+        self._emit_forward(message, new_home)
+        return True
+
+    def _emit_forward(self, message: Message, new_home: int) -> None:
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.emit(
+                "net.migrate.forward",
+                message.describe(),
+                shard=self.id,
+                dst=new_home,
+                kind=message.kind,
+            )
+
     def _handle_reply(self, message: Message) -> None:
         body = message.body
-        entry = self._awaiting.pop(body["id"], None)
+        key = self.awaiting_key(body)
+        entry = self._awaiting.pop(key, None)
         if entry is None:
-            return  # duplicate reply for an already-resumed caller
+            self._forward_reply(message, key)
+            return  # forwarded, or duplicate for an already-resumed caller
         self.scheduler.unblock(entry["process"], body["results"])
 
     def _handle_error(self, message: Message) -> None:
         body = message.body
-        entry = self._awaiting.pop(body["id"], None)
+        key = self.awaiting_key(body)
+        entry = self._awaiting.pop(key, None)
         if entry is None:
+            self._forward_reply(message, key)
             return
         self.scheduler.fault_blocked(
             entry["process"],
@@ -358,6 +437,38 @@ class Shard:
     def drain_outbox(self) -> list[Message]:
         messages, self.outbox = self.outbox, []
         return messages
+
+    # -- migration surgery (host-side, uncounted) --------------------------
+
+    def install_forward(self, key, new_home: int) -> None:
+        """Tombstone an awaiting key: route its reply to *new_home*."""
+        self._forwards[key] = new_home
+
+    def retire_forward(self, key) -> None:
+        """Drop a tombstone once its reply has landed at the new home."""
+        self._forwards.pop(key, None)
+
+    def remove_process(self, process: Process) -> None:
+        """Drop a migrated-away process and renumber the table.
+
+        Mirrors the worker's prune idiom: surviving processes take
+        dense pids, the span map is rebuilt, and the rotor restarts.
+        Host bookkeeping only — no machine meters move.  The process's
+        frames stay allocated in this shard's heap (their live copies
+        now belong to the adopter); the arena wears the scar, which is
+        bounded by one frame chain per migration.
+        """
+        self.scheduler.held.discard(process.pid)
+        keep = [p for p in self.scheduler.processes if p is not process]
+        spans: dict[int, str] = {}
+        for index, survivor in enumerate(keep):
+            span = self._spans.get(survivor.pid)
+            survivor.pid = index
+            if span is not None:
+                spans[index] = span
+        self.scheduler.processes = keep
+        self._spans = spans
+        self.scheduler._rotor = 0
 
     @property
     def awaiting(self) -> int:

@@ -132,14 +132,21 @@ def decode(text: str) -> Message:
 # -- constructors ------------------------------------------------------------
 
 
-def hello(src: int, dst: int, config, modules: list[str]) -> Message:
-    """The handshake: my configuration token and module list."""
-    return Message(
-        kind="hello",
-        src=src,
-        dst=dst,
-        body={"config": config_token(config), "modules": sorted(modules)},
-    )
+def hello(
+    src: int, dst: int, config, modules: list[str], epoch: int | None = None
+) -> Message:
+    """The handshake: my configuration token and module list.
+
+    *epoch* is the sender's placement epoch (see
+    :class:`~repro.net.placement.Placement`); process-mode workers send
+    it so the front door can refuse a worker whose pin map has drifted
+    from the cluster's.  ``None`` omits the field — required body
+    validation ignores extras, so old and new speakers interoperate.
+    """
+    body = {"config": config_token(config), "modules": sorted(modules)}
+    if epoch is not None:
+        body["epoch"] = epoch
+    return Message(kind="hello", src=src, dst=dst, body=body)
 
 
 def call(

@@ -96,6 +96,10 @@ class Worker:
                 pins=spec.get("pins"),
                 vnodes=spec.get("vnodes", 64),
             )
+        # The placement epoch the front door forked us with; sent back in
+        # the hello so the handshake can refuse a worker whose pin map
+        # drifted from the cluster's (the silently-ignored-repin bug).
+        placement.epoch = spec.get("placement_epoch", 0)
         self.shard = Shard(
             self.id,
             build_shard_machine(
@@ -154,6 +158,19 @@ class Worker:
             reply = record.reply("restore_reply")
         elif record.kind == "status":
             reply = record.reply("status_reply", {"processes": self.status()})
+        elif record.kind == "extract":
+            reply = record.reply("extract_reply", self._extract(record.body))
+        elif record.kind == "adopt":
+            reply = record.reply("adopt_reply", self._adopt(record.body))
+        elif record.kind == "repin":
+            # Install the new pin map under the epoch that fences it.
+            # Validation mirrors Placement.repin; the epoch itself is the
+            # front door's, not a local increment, so every worker lands
+            # on the same number.
+            placement = self.shard.placement
+            placement.repin(record.body["pins"])
+            placement.epoch = record.body["epoch"]
+            reply = record.reply("repin_reply", {"epoch": placement.epoch})
         elif record.kind == "shutdown":
             self._running = False
             reply = record.reply("shutdown_reply")
@@ -162,6 +179,41 @@ class Worker:
                 f"worker {self.id}: unexpected control kind {record.kind!r}"
             )
         self._send_text(reply.encode())
+
+    def _extract(self, body: dict) -> dict:
+        """Slice a process out for migration (``extract`` control).
+
+        A refusal — the pid is gone, the reply already landed and the
+        process completed, the mode does not fit this preset — answers
+        with a null slice and a diagnostic instead of killing the
+        worker: migration is advisory, the data plane must survive it.
+        """
+        from repro.net.migrate import MigrateError, extract
+
+        pid = body["pid"]
+        target = None
+        for process in self.shard.scheduler.processes:
+            if process.pid == pid:
+                target = process
+                break
+        if target is None:
+            return {"slice": None, "error": f"no process with pid {pid}"}
+        try:
+            slice_ = extract(self.shard, target, body["dst"], mode=body["mode"])
+        except MigrateError as refusal:
+            return {"slice": None, "error": str(refusal)}
+        self.shard.remove_process(target)
+        return {"slice": slice_}
+
+    def _adopt(self, body: dict) -> dict:
+        """Install a migrated slice (``adopt`` control)."""
+        from repro.net.migrate import MigrateError, adopt
+
+        try:
+            process = adopt(self.shard, body["slice"], now=time.monotonic())
+        except MigrateError as refusal:
+            return {"pid": None, "error": str(refusal)}
+        return {"pid": process.pid}
 
     def meters(self) -> dict:
         """The shard's modelled meters (same shape as Cluster.meters())."""
@@ -245,7 +297,11 @@ class Worker:
         """The worker loop: greet, then read/dispatch/pump until EOF."""
         self._send_text(
             wire.hello(
-                self.id, FRONT_DOOR, self.shard.machine.config, self.shard.modules()
+                self.id,
+                FRONT_DOOR,
+                self.shard.machine.config,
+                self.shard.modules(),
+                epoch=self.shard.placement.epoch,
             ).encode()
         )
         self.sock.settimeout(POLL_SECONDS)

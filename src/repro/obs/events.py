@@ -49,6 +49,9 @@ ALLOC_TRAP = "alloc.trap"
 #: Bounded retry: the arena was full and the allocation was granted a
 #: frame from a larger size class (graceful degradation).
 ALLOC_PROMOTE = "alloc.promote"
+#: Migration carved backing store for an adopted frame (uncounted host
+#: work — no machine meters move).
+ALLOC_CARVE = "alloc.carve"
 
 #: A return was served from the IFU return stack (jump speed).
 IFU_HIT = "ifu.hit"
@@ -98,6 +101,14 @@ NET_DELAY = "net.delay"
 NET_PARTITION = "net.partition"
 #: A request was re-sent after a timeout or a shard fault.
 NET_RETRY = "net.retry"
+#: A process was extracted from its shard for migration (quiesced,
+#: sliced out of the process table, forwarding installed).
+NET_MIGRATE_EXTRACT = "net.migrate.extract"
+#: A migrated process was adopted by its new home shard.
+NET_MIGRATE_ADOPT = "net.migrate.adopt"
+#: A reply (or error) for a migrated process hit the forwarding entry
+#: on its old home and was re-routed to the new one.
+NET_MIGRATE_FORWARD = "net.migrate.forward"
 
 #: Every event kind, for validation and documentation.
 ALL_KINDS: tuple[str, ...] = (
@@ -112,6 +123,7 @@ ALL_KINDS: tuple[str, ...] = (
     ALLOC_FREE,
     ALLOC_TRAP,
     ALLOC_PROMOTE,
+    ALLOC_CARVE,
     IFU_HIT,
     IFU_MISS,
     IFU_FLUSH,
@@ -134,6 +146,9 @@ ALL_KINDS: tuple[str, ...] = (
     NET_DELAY,
     NET_PARTITION,
     NET_RETRY,
+    NET_MIGRATE_EXTRACT,
+    NET_MIGRATE_ADOPT,
+    NET_MIGRATE_FORWARD,
 )
 
 

@@ -303,3 +303,108 @@ def test_front_door_submissions_are_ordinary_wire_calls():
     call = wire.call(FRONT_DOOR, 0, 3, f"{FRONT_DOOR}:3", None, "Main", "main", [])
     assert wire.decode(call.encode()) == call
     assert call.src == FRONT_DOOR
+
+# ---------------------------------------------------------------------------
+# Live migration across OS workers (repro-migrate/1 over repro-ctl/1)
+# ---------------------------------------------------------------------------
+
+#: Main blocks on a deliberately slow remote fib so the BLOCKED window
+#: is wide enough to observe from outside on a one-core container.
+SLOW_SOURCES = (
+    """
+MODULE Main;
+PROCEDURE main(): INT;
+BEGIN
+  RETURN Math.fib(18) + 1;
+END;
+END.
+""",
+    """
+MODULE Math;
+PROCEDURE fib(n): INT;
+BEGIN
+  IF n < 2 THEN RETURN n; END;
+  RETURN fib(n - 1) + fib(n - 2);
+END;
+END.
+""",
+)
+
+FIB18 = 2584
+
+
+def test_migrate_blocked_process_onto_a_third_worker():
+    """Extract a root BLOCKED on a live remote call from worker 0 and
+    adopt it on worker 2 — a worker it never snapshotted from.  The
+    Math reply must chase it through worker 0's forward."""
+    import asyncio
+
+    cluster = ProcessCluster(
+        list(SLOW_SOURCES),
+        shards=3,
+        config="i2",
+        pins=PINS,
+        timeout_s=30.0,
+        root_timeout_s=60.0,
+    )
+    try:
+        future = asyncio.run_coroutine_threadsafe(
+            cluster.call_async(0, "Main", "main", ()), cluster._loop
+        )
+        deadline = time.monotonic() + 30.0
+        blocked = False
+        while time.monotonic() < deadline:
+            table = cluster.status(0)
+            if table and table[0]["status"] == "blocked":
+                blocked = True
+                break
+            time.sleep(0.02)
+        assert blocked, "root never observed BLOCKED on worker 0"
+        pid = cluster.migrate(0, 0, 2)
+        assert future.result(timeout=60.0) == [FIB18 + 1]
+        assert cluster.status(0) == []
+        target = cluster.status(2)
+        assert target[pid]["status"] == "done"
+        assert target[pid]["results"] == [FIB18 + 1]
+    finally:
+        cluster.close()
+
+
+def test_repin_propagates_epoch_to_every_worker():
+    """A live pin-map swap: the front door bumps the epoch, every
+    worker acknowledges it, and routing follows the new table."""
+    cluster = ProcessCluster(
+        list(MATHLIB.sources), shards=2, config="i2", pins=PINS
+    )
+    try:
+        assert cluster.call("Main", "main") == list(MATHLIB.expect_results)
+        assert cluster.repin({"Main": 0, "Math": 0}) == 1
+        assert cluster.placement.epoch == 1
+        assert cluster.call("Main", "main") == list(MATHLIB.expect_results)
+    finally:
+        cluster.close()
+
+
+def test_check_census_rejects_stale_placement_epoch():
+    """Pin changes after workers start must fail loudly, not silently
+    route against two different tables."""
+    from repro.errors import NetError
+    from repro.net.procserve import check_census
+
+    config = MachineConfig.preset("i2")
+
+    def hello(shard: int, epoch: int | None) -> wire.Message:
+        return wire.hello(shard, FRONT_DOOR, config, ["Main"], epoch=epoch)
+
+    fresh = {0: hello(0, 2), 1: hello(1, 2)}
+    check_census(fresh, 2)  # same epoch everywhere: fine
+
+    stale = {0: hello(0, 2), 1: hello(1, 1)}
+    with pytest.raises(NetError, match="placement epoch"):
+        check_census(stale, 2)
+
+    # A pre-epoch speaker (no epoch field) counts as epoch 0.
+    legacy = {0: hello(0, None)}
+    check_census(legacy, 0)
+    with pytest.raises(NetError, match="placement epoch"):
+        check_census(legacy, 1)
